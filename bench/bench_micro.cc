@@ -1,0 +1,155 @@
+// Micro-benchmarks (google-benchmark): index construction cost and
+// in-memory query throughput for all four structures, plus the Voronoi
+// substrate. These measure wall-clock performance of this implementation
+// (the paper's metrics are packet counts, covered by the figure benches).
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/kirkpatrick/kirkpatrick.h"
+#include "baselines/rstar/rstar.h"
+#include "baselines/trapmap/trapmap.h"
+#include "common/rng.h"
+#include "dtree/dtree.h"
+#include "subdivision/voronoi.h"
+#include "workload/datasets.h"
+
+namespace {
+
+using namespace dtree;
+
+const sub::Subdivision& SharedSubdivision(int n) {
+  static auto* cache =
+      new std::map<int, sub::Subdivision>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    Rng rng(99);
+    const geom::BBox area = workload::DefaultServiceArea();
+    auto pts = workload::UniformPoints(n, area, &rng);
+    auto sub = sub::BuildVoronoiSubdivision(pts, area);
+    it = cache->emplace(n, std::move(sub).value()).first;
+  }
+  return it->second;
+}
+
+void BM_VoronoiBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  const geom::BBox area = workload::DefaultServiceArea();
+  auto pts = workload::UniformPoints(n, area, &rng);
+  for (auto _ : state) {
+    auto sub = sub::BuildVoronoiSubdivision(pts, area);
+    benchmark::DoNotOptimize(sub);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_VoronoiBuild)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_DTreeBuild(benchmark::State& state) {
+  const sub::Subdivision& sub = SharedSubdivision(
+      static_cast<int>(state.range(0)));
+  core::DTree::Options o;
+  o.packet_capacity = 256;
+  for (auto _ : state) {
+    auto tree = core::DTree::Build(sub, o);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_DTreeBuild)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_RStarBuild(benchmark::State& state) {
+  const sub::Subdivision& sub = SharedSubdivision(
+      static_cast<int>(state.range(0)));
+  baselines::RStarTree::Options o;
+  o.packet_capacity = 256;
+  for (auto _ : state) {
+    auto tree = baselines::RStarTree::Build(sub, o);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_RStarBuild)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_TrapMapBuild(benchmark::State& state) {
+  const sub::Subdivision& sub = SharedSubdivision(
+      static_cast<int>(state.range(0)));
+  baselines::TrapMap::Options o;
+  o.packet_capacity = 256;
+  for (auto _ : state) {
+    auto map = baselines::TrapMap::Build(sub, o);
+    benchmark::DoNotOptimize(map);
+  }
+}
+BENCHMARK(BM_TrapMapBuild)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_TrianTreeBuild(benchmark::State& state) {
+  const sub::Subdivision& sub = SharedSubdivision(
+      static_cast<int>(state.range(0)));
+  baselines::TrianTree::Options o;
+  o.packet_capacity = 256;
+  for (auto _ : state) {
+    auto tree = baselines::TrianTree::Build(sub, o);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_TrianTreeBuild)->Arg(100)->Arg(500)->Arg(1000);
+
+template <typename Index>
+void QueryLoop(benchmark::State& state, const Index& index,
+               const sub::Subdivision& sub) {
+  Rng rng(5);
+  const geom::BBox& a = sub.service_area();
+  std::vector<geom::Point> queries;
+  for (int i = 0; i < 1024; ++i) {
+    queries.push_back({rng.Uniform(a.min_x, a.max_x),
+                       rng.Uniform(a.min_y, a.max_y)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Locate(queries[i & 1023]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_DTreeQuery(benchmark::State& state) {
+  const sub::Subdivision& sub = SharedSubdivision(
+      static_cast<int>(state.range(0)));
+  core::DTree::Options o;
+  o.packet_capacity = 256;
+  auto tree = core::DTree::Build(sub, o);
+  QueryLoop(state, tree.value(), sub);
+}
+BENCHMARK(BM_DTreeQuery)->Arg(100)->Arg(1000);
+
+void BM_RStarQuery(benchmark::State& state) {
+  const sub::Subdivision& sub = SharedSubdivision(
+      static_cast<int>(state.range(0)));
+  baselines::RStarTree::Options o;
+  o.packet_capacity = 256;
+  auto tree = baselines::RStarTree::Build(sub, o);
+  QueryLoop(state, tree.value(), sub);
+}
+BENCHMARK(BM_RStarQuery)->Arg(100)->Arg(1000);
+
+void BM_TrapMapQuery(benchmark::State& state) {
+  const sub::Subdivision& sub = SharedSubdivision(
+      static_cast<int>(state.range(0)));
+  baselines::TrapMap::Options o;
+  o.packet_capacity = 256;
+  auto map = baselines::TrapMap::Build(sub, o);
+  QueryLoop(state, map.value(), sub);
+}
+BENCHMARK(BM_TrapMapQuery)->Arg(100)->Arg(1000);
+
+void BM_TrianTreeQuery(benchmark::State& state) {
+  const sub::Subdivision& sub = SharedSubdivision(
+      static_cast<int>(state.range(0)));
+  baselines::TrianTree::Options o;
+  o.packet_capacity = 256;
+  auto tree = baselines::TrianTree::Build(sub, o);
+  QueryLoop(state, tree.value(), sub);
+}
+BENCHMARK(BM_TrianTreeQuery)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,201 @@
+// Shared harness code for the paper-reproduction benchmark binaries.
+//
+// Every figure binary sweeps (dataset x index x packet capacity) cells,
+// runs the broadcast-channel experiment, and prints the series the paper
+// plots. Flags:
+//   --queries=N        queries per cell (default 20000; paper used 1e6)
+//   --seed=S           RNG seed (default 42)
+//   --datasets=a,b     subset of UNIFORM,HOSPITAL,PARK
+//   --capacities=...   subset of 64,128,256,512,1024,2048
+
+#ifndef DTREE_BENCH_BENCH_UTIL_H_
+#define DTREE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/kirkpatrick/kirkpatrick.h"
+#include "baselines/rstar/rstar.h"
+#include "baselines/trapmap/trapmap.h"
+#include "broadcast/experiment.h"
+#include "common/check.h"
+#include "dtree/dtree.h"
+#include "workload/datasets.h"
+
+namespace dtree::bench {
+
+enum class IndexKind { kDTree, kRStar, kTrapTree, kTrianTree };
+
+inline const char* KindName(IndexKind k) {
+  switch (k) {
+    case IndexKind::kDTree:
+      return "d-tree";
+    case IndexKind::kRStar:
+      return "r*-tree";
+    case IndexKind::kTrapTree:
+      return "trap-tree";
+    case IndexKind::kTrianTree:
+      return "trian-tree";
+  }
+  return "?";
+}
+
+inline constexpr IndexKind kAllKinds[] = {
+    IndexKind::kDTree, IndexKind::kRStar, IndexKind::kTrapTree,
+    IndexKind::kTrianTree};
+
+inline Result<std::unique_ptr<bcast::AirIndex>> BuildIndex(
+    IndexKind kind, const sub::Subdivision& sub, int capacity) {
+  switch (kind) {
+    case IndexKind::kDTree: {
+      core::DTree::Options o;
+      o.packet_capacity = capacity;
+      Result<core::DTree> r = core::DTree::Build(sub, o);
+      if (!r.ok()) return r.status();
+      return std::unique_ptr<bcast::AirIndex>(
+          new core::DTree(std::move(r).value()));
+    }
+    case IndexKind::kRStar: {
+      baselines::RStarTree::Options o;
+      o.packet_capacity = capacity;
+      Result<baselines::RStarTree> r = baselines::RStarTree::Build(sub, o);
+      if (!r.ok()) return r.status();
+      return std::unique_ptr<bcast::AirIndex>(
+          new baselines::RStarTree(std::move(r).value()));
+    }
+    case IndexKind::kTrapTree: {
+      baselines::TrapMap::Options o;
+      o.packet_capacity = capacity;
+      Result<baselines::TrapMap> r = baselines::TrapMap::Build(sub, o);
+      if (!r.ok()) return r.status();
+      return std::unique_ptr<bcast::AirIndex>(
+          new baselines::TrapMap(std::move(r).value()));
+    }
+    case IndexKind::kTrianTree: {
+      baselines::TrianTree::Options o;
+      o.packet_capacity = capacity;
+      Result<baselines::TrianTree> r = baselines::TrianTree::Build(sub, o);
+      if (!r.ok()) return r.status();
+      return std::unique_ptr<bcast::AirIndex>(
+          new baselines::TrianTree(std::move(r).value()));
+    }
+  }
+  return Status::InvalidArgument("unknown index kind");
+}
+
+struct BenchFlags {
+  int queries = 20000;
+  uint64_t seed = 42;
+  std::vector<std::string> datasets{"UNIFORM", "HOSPITAL", "PARK"};
+  std::vector<int> capacities{64, 128, 256, 512, 1024, 2048};
+};
+
+inline std::vector<std::string> SplitCsv(const char* s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+inline BenchFlags ParseFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--queries=", 10) == 0) {
+      flags.queries = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      flags.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--datasets=", 11) == 0) {
+      flags.datasets = SplitCsv(arg + 11);
+    } else if (std::strncmp(arg, "--capacities=", 13) == 0) {
+      flags.capacities.clear();
+      for (const std::string& c : SplitCsv(arg + 13)) {
+        flags.capacities.push_back(std::atoi(c.c_str()));
+      }
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (supported: --queries= --seed= "
+                   "--datasets= --capacities=)\n",
+                   arg);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+inline Result<std::vector<workload::Dataset>> LoadDatasets(
+    const BenchFlags& flags) {
+  std::vector<workload::Dataset> out;
+  for (const std::string& name : flags.datasets) {
+    Result<workload::Dataset> d =
+        name == "UNIFORM"    ? workload::MakeUniformDataset()
+        : name == "HOSPITAL" ? workload::MakeHospitalDataset()
+        : name == "PARK"     ? workload::MakeParkDataset()
+                             : Result<workload::Dataset>(Status::InvalidArgument(
+                                   "unknown dataset " + name));
+    if (!d.ok()) return d.status();
+    out.push_back(std::move(d).value());
+  }
+  return out;
+}
+
+/// Runs one (dataset, kind, capacity) cell end to end.
+inline Result<bcast::ExperimentResult> RunCell(const workload::Dataset& ds,
+                                               IndexKind kind, int capacity,
+                                               const BenchFlags& flags) {
+  Result<std::unique_ptr<bcast::AirIndex>> index =
+      BuildIndex(kind, ds.subdivision, capacity);
+  if (!index.ok()) return index.status();
+  bcast::ExperimentOptions opt;
+  opt.packet_capacity = capacity;
+  opt.num_queries = flags.queries;
+  opt.seed = flags.seed;
+  Result<bcast::ExperimentResult> res =
+      bcast::RunExperiment(*index.value(), ds.subdivision, nullptr, opt);
+  if (!res.ok()) return res.status();
+  bcast::ExperimentResult r = std::move(res).value();
+  r.index_name = KindName(kind);
+  return r;
+}
+
+/// Prints one figure's table: rows = packet capacity, one column per
+/// index; `value` selects the metric.
+template <typename ValueFn>
+void PrintFigureTable(const char* title, const workload::Dataset& ds,
+                      const BenchFlags& flags, ValueFn value) {
+  std::printf("\n%s — dataset %s (N=%d)\n", title, ds.name.c_str(),
+              ds.subdivision.NumRegions());
+  std::printf("%-10s", "packet");
+  for (IndexKind k : kAllKinds) std::printf(" %12s", KindName(k));
+  std::printf("\n");
+  for (int capacity : flags.capacities) {
+    std::printf("%-10d", capacity);
+    for (IndexKind k : kAllKinds) {
+      Result<bcast::ExperimentResult> res = RunCell(ds, k, capacity, flags);
+      if (!res.ok()) {
+        std::printf(" %12s", "ERR");
+        std::fprintf(stderr, "cell %s/%s/%d failed: %s\n", ds.name.c_str(),
+                     KindName(k), capacity, res.status().ToString().c_str());
+        continue;
+      }
+      std::printf(" %12.3f", value(res.value()));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace dtree::bench
+
+#endif  // DTREE_BENCH_BENCH_UTIL_H_

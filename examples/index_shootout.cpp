@@ -1,0 +1,89 @@
+// index_shootout: builds all four air-index structures over the same
+// dataset and prints a side-by-side comparison of the paper's metrics —
+// a one-screen summary of the whole evaluation.
+//
+//   $ ./index_shootout [UNIFORM|HOSPITAL|PARK] [packet_capacity] [queries]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "baselines/kirkpatrick/kirkpatrick.h"
+#include "baselines/rstar/rstar.h"
+#include "baselines/trapmap/trapmap.h"
+#include "broadcast/experiment.h"
+#include "dtree/dtree.h"
+#include "workload/datasets.h"
+
+int main(int argc, char** argv) {
+  using namespace dtree;
+  const char* dataset = argc > 1 ? argv[1] : "HOSPITAL";
+  const int capacity = argc > 2 ? std::atoi(argv[2]) : 256;
+  const int queries = argc > 3 ? std::atoi(argv[3]) : 20000;
+
+  Result<workload::Dataset> ds_r =
+      std::strcmp(dataset, "UNIFORM") == 0    ? workload::MakeUniformDataset()
+      : std::strcmp(dataset, "HOSPITAL") == 0 ? workload::MakeHospitalDataset()
+      : std::strcmp(dataset, "PARK") == 0     ? workload::MakeParkDataset()
+          : Result<workload::Dataset>(
+                Status::InvalidArgument("unknown dataset; use "
+                                        "UNIFORM|HOSPITAL|PARK"));
+  if (!ds_r.ok()) {
+    std::fprintf(stderr, "%s\n", ds_r.status().ToString().c_str());
+    return 1;
+  }
+  const workload::Dataset& ds = ds_r.value();
+
+  std::printf("dataset %s: N=%d regions, packet %d B, %d queries\n\n",
+              ds.name.c_str(), ds.subdivision.NumRegions(), capacity,
+              queries);
+  std::printf("%-12s %8s %10s %9s %9s %8s %11s\n", "index", "packets",
+              "bytes", "norm.size", "latency", "tuning", "efficiency");
+
+  auto report = [&](const bcast::AirIndex& index) {
+    bcast::ExperimentOptions opt;
+    opt.packet_capacity = capacity;
+    opt.num_queries = queries;
+    auto res_r = bcast::RunExperiment(index, ds.subdivision, nullptr, opt);
+    if (!res_r.ok()) {
+      std::printf("%-12s ERROR: %s\n", index.name().c_str(),
+                  res_r.status().ToString().c_str());
+      return;
+    }
+    const auto& r = res_r.value();
+    std::printf("%-12s %8d %10zu %9.3f %9.3f %8.3f %11.3f\n",
+                index.name().c_str(), r.index_packets, r.index_bytes,
+                r.normalized_index_size, r.normalized_latency,
+                r.mean_tuning_index, r.indexing_efficiency);
+  };
+
+  {
+    core::DTree::Options o;
+    o.packet_capacity = capacity;
+    auto t = core::DTree::Build(ds.subdivision, o);
+    if (t.ok()) report(t.value());
+  }
+  {
+    baselines::RStarTree::Options o;
+    o.packet_capacity = capacity;
+    auto t = baselines::RStarTree::Build(ds.subdivision, o);
+    if (t.ok()) report(t.value());
+  }
+  {
+    baselines::TrapMap::Options o;
+    o.packet_capacity = capacity;
+    auto t = baselines::TrapMap::Build(ds.subdivision, o);
+    if (t.ok()) report(t.value());
+  }
+  {
+    baselines::TrianTree::Options o;
+    o.packet_capacity = capacity;
+    auto t = baselines::TrianTree::Build(ds.subdivision, o);
+    if (t.ok()) report(t.value());
+  }
+  std::printf("\nlatency normalized to the optimal (no-index) latency; "
+              "tuning = index-search packets;\nefficiency = tuning saved / "
+              "latency overhead (higher is better).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: build valid scopes with the Voronoi substrate, index them
+// with a D-tree, and answer location-dependent point queries.
+//
+//   $ ./quickstart
+//
+// This is the 60-second tour of the public API; see city_guide.cpp for a
+// full broadcast-protocol session and index_shootout.cpp for the baseline
+// comparison.
+
+#include <cstdio>
+
+#include "dtree/dtree.h"
+#include "subdivision/voronoi.h"
+
+int main() {
+  using namespace dtree;
+
+  // Four cities and the service area they cover — the paper's running
+  // example: each city's valid scope is its Voronoi cell.
+  const geom::BBox service_area{0, 0, 100, 100};
+  const std::vector<geom::Point> cities{
+      {25, 70},  // o1
+      {70, 80},  // o2
+      {20, 20},  // o3
+      {75, 30},  // o4
+  };
+  const char* names[] = {"Arcadia", "Brookfield", "Carverton", "Dunmore"};
+
+  Result<sub::Subdivision> scopes =
+      sub::BuildVoronoiSubdivision(cities, service_area);
+  if (!scopes.ok()) {
+    std::fprintf(stderr, "voronoi: %s\n", scopes.status().ToString().c_str());
+    return 1;
+  }
+
+  core::DTree::Options options;
+  options.packet_capacity = 64;  // small packets, as in a GPRS-like link
+  Result<core::DTree> index = core::DTree::Build(scopes.value(), options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "d-tree: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("D-tree over %d data regions: %d nodes, height %d, "
+              "%d packets (%zu bytes)\n\n",
+              scopes.value().NumRegions(), index.value().num_nodes(),
+              index.value().height(), index.value().NumIndexPackets(),
+              index.value().IndexBytes());
+
+  const geom::Point queries[] = {{10, 10}, {50, 50}, {90, 90}, {60, 10}};
+  for (const geom::Point& q : queries) {
+    const int region = index.value().Locate(q);
+    Result<bcast::ProbeTrace> trace = index.value().Probe(q);
+    std::printf("query (%4.1f, %4.1f) -> region %d (%s)", q.x, q.y, region,
+                names[region]);
+    if (trace.ok()) {
+      std::printf("  [index search read %zu packet(s)]",
+                  trace.value().packets.size());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

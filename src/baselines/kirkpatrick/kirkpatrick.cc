@@ -1,0 +1,367 @@
+#include "baselines/kirkpatrick/kirkpatrick.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+#include "broadcast/params.h"
+#include "common/check.h"
+#include "geom/predicates.h"
+#include "subdivision/extent.h"
+#include "subdivision/triangulate.h"
+
+namespace dtree::baselines {
+
+namespace {
+
+using geom::Point;
+using geom::Triangle;
+
+uint64_t PointKey(const Point& p) {
+  uint64_t xb, yb;
+  std::memcpy(&xb, &p.x, sizeof(xb));
+  std::memcpy(&yb, &p.y, sizeof(yb));
+  return xb * 0x9e3779b97f4a7c15ULL ^ yb;
+}
+
+/// Serialized node size: bid + triangle + one 4 B pointer per child (base
+/// triangles carry a single data pointer). Header is 0 per Table 2.
+size_t NodeSize(size_t num_children) {
+  return bcast::kBidSize + 6 * bcast::kCoordinateSize +
+         std::max<size_t>(1, num_children) * bcast::kPointerSize;
+}
+
+/// Mesh bookkeeping during hierarchy construction.
+struct Mesh {
+  std::unordered_map<uint64_t, int> vid;  ///< coordinate bits -> vertex id
+  std::vector<Point> coords;
+  std::vector<std::vector<int>> incident;  ///< vertex -> active triangles
+  std::vector<bool> corner;                ///< unremovable (box corners)
+
+  int Intern(const Point& p) {
+    const uint64_t key = PointKey(p);
+    auto it = vid.find(key);
+    if (it != vid.end()) return it->second;
+    const int id = static_cast<int>(coords.size());
+    vid.emplace(key, id);
+    coords.push_back(p);
+    incident.emplace_back();
+    corner.push_back(false);
+    return id;
+  }
+};
+
+}  // namespace
+
+Result<TrianTree> TrianTree::Build(const sub::Subdivision& sub,
+                                   const Options& options) {
+  if (options.packet_capacity < static_cast<int>(NodeSize(8))) {
+    return Status::InvalidArgument(
+        "packet capacity cannot hold a trian-tree node");
+  }
+  if (options.t_min < 1 || options.max_degree < 3) {
+    return Status::InvalidArgument("invalid trian-tree parameters");
+  }
+  if (sub.NumRegions() < 1) {
+    return Status::InvalidArgument("empty subdivision");
+  }
+
+  TrianTree tree;
+  tree.options_ = options;
+
+  // ---- 1. Base triangulation: regions + bounding-rectangle annulus. ----
+  std::vector<std::pair<Triangle, int>> base;  // triangle, region
+  for (int r = 0; r < sub.NumRegions(); ++r) {
+    std::vector<Point> ring;
+    for (int v : sub.Ring(r)) ring.push_back(sub.vertices()[v]);
+    std::vector<Triangle> tris;
+    DTREE_RETURN_IF_ERROR(sub::EarClipTriangulate(ring, &tris));
+    for (const Triangle& t : tris) base.emplace_back(t, r);
+  }
+  {
+    std::vector<int> all(sub.NumRegions());
+    for (int i = 0; i < sub.NumRegions(); ++i) all[i] = i;
+    Result<std::vector<geom::Polyline>> boundary_r =
+        sub::ComputeExtent(sub, all);
+    if (!boundary_r.ok()) return boundary_r.status();
+    if (boundary_r.value().size() != 1) {
+      return Status::Internal("subdivision boundary is not a single loop");
+    }
+    const geom::BBox& area = sub.service_area();
+    const double mx = std::max(area.width(), area.height()) * 0.1;
+    const geom::BBox outer{area.min_x - mx, area.min_y - mx,
+                           area.max_x + mx, area.max_y + mx};
+    std::vector<Triangle> gap;
+    DTREE_RETURN_IF_ERROR(sub::TriangulateRectAnnulus(
+        outer, area, boundary_r.value()[0].pts, &gap));
+    for (const Triangle& t : gap) base.emplace_back(t, -1);
+  }
+
+  // ---- 2. Mesh + coarsening hierarchy. ----
+  Mesh mesh;
+  std::vector<std::array<int, 3>> tri_verts;
+  auto add_triangle = [&](const Triangle& t, int region, int level) {
+    TriNode node;
+    node.tri = t;
+    node.region = region;
+    node.level = level;
+    const int id = static_cast<int>(tree.tris_.size());
+    tree.tris_.push_back(std::move(node));
+    std::array<int, 3> vs;
+    for (int i = 0; i < 3; ++i) {
+      vs[i] = mesh.Intern(t.v[i]);
+      mesh.incident[vs[i]].push_back(id);
+    }
+    tri_verts.push_back(vs);
+    return id;
+  };
+
+  std::vector<bool> active;
+  int active_count = 0;
+  for (const auto& [t, region] : base) {
+    Triangle ccw = t;
+    ccw.EnsureCCW();
+    if (ccw.Area() <= 0.0) {
+      return Status::Internal("degenerate base triangle");
+    }
+    add_triangle(ccw, region, 0);
+    ++active_count;
+  }
+  active.assign(tree.tris_.size(), true);
+  // Box corners are unremovable.
+  {
+    const geom::BBox& area = sub.service_area();
+    const double mx = std::max(area.width(), area.height()) * 0.1;
+    for (const Point& c :
+         {Point{area.min_x - mx, area.min_y - mx},
+          Point{area.max_x + mx, area.min_y - mx},
+          Point{area.max_x + mx, area.max_y + mx},
+          Point{area.min_x - mx, area.max_y + mx}}) {
+      auto it = mesh.vid.find(PointKey(c));
+      if (it == mesh.vid.end()) {
+        return Status::Internal("bounding-box corner missing from mesh");
+      }
+      mesh.corner[it->second] = true;
+    }
+  }
+
+  auto active_incident = [&](int v) {
+    std::vector<int>& inc = mesh.incident[v];
+    inc.erase(std::remove_if(inc.begin(), inc.end(),
+                             [&](int t) { return !active[t]; }),
+              inc.end());
+    return inc;
+  };
+
+  int level = 0;
+  while (active_count > options.t_min) {
+    ++level;
+    // Greedy independent set of removable low-degree vertices. Visiting
+    // vertices in ascending degree yields larger sets (and smaller star
+    // holes), which keeps the hierarchy shallow.
+    std::vector<std::pair<int, int>> eligible;  // (degree, vertex)
+    for (size_t v = 0; v < mesh.coords.size(); ++v) {
+      if (mesh.corner[v]) continue;
+      const std::vector<int>& inc = active_incident(static_cast<int>(v));
+      if (inc.empty() ||
+          static_cast<int>(inc.size()) > options.max_degree) {
+        continue;
+      }
+      eligible.emplace_back(static_cast<int>(inc.size()),
+                            static_cast<int>(v));
+    }
+    std::sort(eligible.begin(), eligible.end());
+    std::vector<int> chosen;
+    std::vector<bool> blocked(mesh.coords.size(), false);
+    for (const auto& [deg, v] : eligible) {
+      if (blocked[v]) continue;
+      chosen.push_back(v);
+      for (int t : mesh.incident[v]) {
+        for (int u : tri_verts[t]) blocked[u] = true;
+      }
+    }
+    if (chosen.empty()) break;
+
+    for (int v : chosen) {
+      const std::vector<int> star = active_incident(v);
+      if (static_cast<int>(star.size()) > options.max_degree ||
+          star.empty()) {
+        continue;  // degree changed due to earlier removals this round
+      }
+      // Link polygon: chain the edges opposite v, oriented CCW around v.
+      std::unordered_map<int, int> next;
+      for (int t : star) {
+        const std::array<int, 3>& vs = tri_verts[t];
+        int a = -1, b = -1;
+        for (int i = 0; i < 3; ++i) {
+          if (vs[i] == v) {
+            a = vs[(i + 1) % 3];
+            b = vs[(i + 2) % 3];
+            break;
+          }
+        }
+        DTREE_CHECK(a >= 0 && b >= 0);
+        next[a] = b;
+      }
+      if (next.size() != star.size()) {
+        return Status::Internal("inconsistent star around mesh vertex");
+      }
+      std::vector<int> ring_ids;
+      int cur = next.begin()->first;
+      for (size_t i = 0; i < next.size(); ++i) {
+        ring_ids.push_back(cur);
+        auto it = next.find(cur);
+        if (it == next.end()) {
+          return Status::Internal("open star link around interior vertex");
+        }
+        cur = it->second;
+      }
+      if (cur != ring_ids.front()) {
+        return Status::Internal("star link does not close");
+      }
+      std::vector<Point> ring;
+      for (int u : ring_ids) ring.push_back(mesh.coords[u]);
+
+      std::vector<Triangle> retris;
+      DTREE_RETURN_IF_ERROR(sub::EarClipTriangulate(ring, &retris));
+      // Deactivate the star.
+      for (int t : star) {
+        DTREE_CHECK(active[t]);
+        active[t] = false;
+        --active_count;
+      }
+      for (const Triangle& t : retris) {
+        const int id = add_triangle(t, -1, level);
+        active.push_back(true);
+        ++active_count;
+        for (int old : star) {
+          if (t.OverlapsInterior(tree.tris_[old].tri)) {
+            tree.tris_[id].children.push_back(old);
+          }
+        }
+        if (tree.tris_[id].children.empty()) {
+          return Status::Internal("hierarchy triangle with no children");
+        }
+      }
+      mesh.incident[v].clear();
+    }
+  }
+  tree.num_levels_ = level + 1;
+  for (size_t t = 0; t < tree.tris_.size(); ++t) {
+    if (active[t]) tree.roots_.push_back(static_cast<int>(t));
+  }
+
+  DTREE_RETURN_IF_ERROR(tree.Page());
+  return tree;
+}
+
+Status TrianTree::Page() {
+  // Top-down broadcast order: coarsest level first. Since every DAG edge
+  // goes from a higher level to a strictly lower one, level-descending
+  // order guarantees the client only ever jumps forward on the channel —
+  // a breadth-first order from the roots would not (shared children can
+  // precede a later parent).
+  bfs_order_.clear();
+  bfs_order_.reserve(tris_.size());
+  for (size_t t = 0; t < tris_.size(); ++t) {
+    bfs_order_.push_back(static_cast<int>(t));
+  }
+  std::stable_sort(bfs_order_.begin(), bfs_order_.end(),
+                   [&](int a, int b) { return tris_[a].level > tris_[b].level; });
+  tri_bfs_pos_.assign(tris_.size(), -1);
+  for (size_t pos = 0; pos < bfs_order_.size(); ++pos) {
+    tri_bfs_pos_[bfs_order_[pos]] = static_cast<int>(pos);
+  }
+  // Scan the root list and every node's children in broadcast order so the
+  // probe never rewinds (a node's children may span several levels).
+  std::stable_sort(roots_.begin(), roots_.end(), [&](int a, int b) {
+    return tri_bfs_pos_[a] < tri_bfs_pos_[b];
+  });
+  for (TriNode& node : tris_) {
+    std::stable_sort(node.children.begin(), node.children.end(),
+                     [&](int a, int b) {
+                       return tri_bfs_pos_[a] < tri_bfs_pos_[b];
+                     });
+  }
+  std::vector<size_t> sizes;
+  sizes.reserve(bfs_order_.size());
+  for (int id : bfs_order_) {
+    sizes.push_back(NodeSize(tris_[id].children.size()));
+  }
+  Result<bcast::PagingResult> r =
+      bcast::GreedyPage(sizes, options_.packet_capacity);
+  if (!r.ok()) return r.status();
+  paging_ = std::move(r).value();
+  return Status::OK();
+}
+
+namespace {
+
+double DistanceToTriangle(const Triangle& t, const Point& p) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 3; ++i) {
+    best = std::min(best,
+                    geom::DistanceToSegment(t.v[i], t.v[(i + 1) % 3], p));
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<bcast::ProbeTrace> TrianTree::Probe(const geom::Point& p) const {
+  bcast::ProbeTrace trace;
+  auto touch = [&](int tri_id) {
+    const bcast::NodeSpan& span = paging_.spans[tri_bfs_pos_[tri_id]];
+    for (int k = 0; k < span.num_packets; ++k) {
+      const int packet = span.first_packet + k;
+      if (trace.packets.empty() || trace.packets.back() != packet) {
+        trace.packets.push_back(packet);
+      }
+    }
+  };
+
+  const std::vector<int>* candidates = &roots_;
+  for (int depth = 0; depth < 1 << 16; ++depth) {
+    int found = -1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    int nearest = -1;
+    for (int c : *candidates) {
+      touch(c);
+      if (tris_[c].tri.Contains(p)) {
+        found = c;
+        break;
+      }
+      const double d = DistanceToTriangle(tris_[c].tri, p);
+      if (d < best_dist) {
+        best_dist = d;
+        nearest = c;
+      }
+    }
+    if (found < 0) {
+      // Numeric crack between adjacent triangles: take the nearest.
+      if (nearest < 0) {
+        return Status::Internal("query point escaped the triangulation");
+      }
+      found = nearest;
+    }
+    if (tris_[found].children.empty()) {
+      trace.region = tris_[found].region;
+      if (trace.region < 0) {
+        return Status::NotFound("query point outside the service area");
+      }
+      return trace;
+    }
+    candidates = &tris_[found].children;
+  }
+  return Status::Internal("trian-tree descent did not terminate");
+}
+
+int TrianTree::Locate(const geom::Point& p) const {
+  Result<bcast::ProbeTrace> r = Probe(p);
+  if (!r.ok()) return -1;
+  return r.value().region;
+}
+
+}  // namespace dtree::baselines

@@ -1,0 +1,93 @@
+// Kirkpatrick planar point-location hierarchy (the paper's "trian-tree"
+// baseline, §3.1 / Figure 3).
+//
+// Construction:
+//  1. Triangulate the subdivision: each (convex) Voronoi region is
+//     ear-clipped, and the gap between the service area and an enclosing
+//     bounding rectangle is triangulated with corner fans (see
+//     subdivision/triangulate.h). Every base triangle carries its data
+//     region (-1 for gap triangles).
+//  2. Repeatedly remove an independent set of interior vertices of degree
+//     <= 8, re-triangulating each star hole by ear clipping, and linking
+//     every new triangle to the removed triangles it overlaps.
+//  3. Stop when no removable vertex remains or the top level has fewer
+//     than `t_min` triangles. The DAG root is the list of surviving
+//     triangles, probed sequentially (Figure 3(d) has a multi-child root).
+//
+// Query: scan the root triangles for one containing p, then repeatedly
+// descend to the overlapping child triangle containing p until reaching a
+// base triangle; its region label answers the query.
+//
+// On the air: node = bid (2 B) + 3 vertices (24 B) + 4 B pointers, one per
+// child (Table 2; header 0). Nodes are paged greedily in breadth-first
+// order — a DAG node has several parents, so the top-down parent-packet
+// heuristic does not apply (§5).
+
+#ifndef DTREE_BASELINES_KIRKPATRICK_KIRKPATRICK_H_
+#define DTREE_BASELINES_KIRKPATRICK_KIRKPATRICK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "broadcast/air_index.h"
+#include "broadcast/pager.h"
+#include "common/status.h"
+#include "geom/triangle.h"
+#include "subdivision/subdivision.h"
+
+namespace dtree::baselines {
+
+class TrianTree final : public bcast::AirIndex {
+ public:
+  struct Options {
+    int packet_capacity = 128;
+    /// Stop coarsening when the top level has fewer triangles than this
+    /// (the paper's example uses 5).
+    int t_min = 5;
+    /// Maximum degree of a removable vertex (Kirkpatrick's constant).
+    int max_degree = 8;
+  };
+
+  static Result<TrianTree> Build(const sub::Subdivision& sub,
+                                 const Options& options);
+
+  // --- AirIndex -----------------------------------------------------------
+  std::string name() const override { return "trian-tree"; }
+  int NumIndexPackets() const override { return paging_.num_packets; }
+  size_t IndexBytes() const override { return paging_.used_bytes; }
+  int PacketCapacity() const override { return options_.packet_capacity; }
+  Result<bcast::ProbeTrace> Probe(const geom::Point& p) const override;
+
+  /// In-memory query without packet accounting.
+  int Locate(const geom::Point& p) const;
+
+  // --- introspection -------------------------------------------------------
+  int num_triangles() const { return static_cast<int>(tris_.size()); }
+  int num_root_triangles() const { return static_cast<int>(roots_.size()); }
+  int num_levels() const { return num_levels_; }
+
+ private:
+  struct TriNode {
+    geom::Triangle tri;
+    int region = -1;             ///< base triangles: data region
+    std::vector<int> children;   ///< finer triangles this one overlaps
+    int level = 0;               ///< 0 = base triangulation
+  };
+
+  TrianTree() = default;
+
+  Status Page();
+
+  Options options_;
+  std::vector<TriNode> tris_;
+  std::vector<int> roots_;  ///< surviving top-level triangles
+  int num_levels_ = 1;
+  std::vector<int> bfs_order_;     ///< bfs position -> triangle id
+  std::vector<int> tri_bfs_pos_;   ///< triangle id -> bfs position
+  bcast::PagingResult paging_;
+};
+
+}  // namespace dtree::baselines
+
+#endif  // DTREE_BASELINES_KIRKPATRICK_KIRKPATRICK_H_

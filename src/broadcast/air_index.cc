@@ -1,0 +1,27 @@
+#include "broadcast/air_index.h"
+
+namespace dtree::bcast {
+
+Status ValidateTrace(const ProbeTrace& trace, int num_index_packets,
+                     int num_regions, bool require_forward) {
+  if (trace.region < 0 || trace.region >= num_regions) {
+    return Status::Internal("trace resolves to invalid region " +
+                            std::to_string(trace.region));
+  }
+  int prev = -1;
+  for (int id : trace.packets) {
+    if (id < 0 || id >= num_index_packets) {
+      return Status::Internal("trace accesses out-of-range packet " +
+                              std::to_string(id));
+    }
+    if (require_forward && id < prev) {
+      return Status::Internal("trace jumps backwards: packet " +
+                              std::to_string(id) + " after " +
+                              std::to_string(prev));
+    }
+    prev = id;
+  }
+  return Status::OK();
+}
+
+}  // namespace dtree::bcast

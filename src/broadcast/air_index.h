@@ -1,0 +1,61 @@
+// The interface every air-index structure implements, plus the probe-trace
+// type the broadcast-channel simulator consumes.
+//
+// An air index is a set of nodes allocated into fixed-capacity packets laid
+// out in a fixed broadcast order (packet id == position within the index
+// segment). Probing with a query point yields the data region id plus the
+// ordered list of index packets the client had to listen to — the paper's
+// tuning-time measure for the index search step.
+
+#ifndef DTREE_BROADCAST_AIR_INDEX_H_
+#define DTREE_BROADCAST_AIR_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/point.h"
+
+namespace dtree::bcast {
+
+/// Result of one index search over the air.
+struct ProbeTrace {
+  /// Data region (== data instance) the query resolves to.
+  int region = -1;
+  /// Index packet ids accessed, in access order. Ids are positions within
+  /// the index segment. Tree-shaped indexes only ever jump forward
+  /// (non-decreasing); a DAG-shaped index (the trap-tree) may reference an
+  /// earlier packet, in which case the client must wait for the next index
+  /// repetition to read it — the channel simulator charges that wait.
+  std::vector<int> packets;
+};
+
+/// Abstract paged air index.
+class AirIndex {
+ public:
+  virtual ~AirIndex() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Number of packets in one index segment.
+  virtual int NumIndexPackets() const = 0;
+
+  /// Total occupied bytes across index packets (<= packets * capacity).
+  virtual size_t IndexBytes() const = 0;
+
+  /// Packet capacity this index was paged for.
+  virtual int PacketCapacity() const = 0;
+
+  /// Simulates the client's index search for query point p.
+  virtual Result<ProbeTrace> Probe(const geom::Point& p) const = 0;
+};
+
+/// Validates a trace: region resolved, packet ids within range, and — when
+/// `require_forward` — non-decreasing. Shared by tests and the channel
+/// simulator.
+Status ValidateTrace(const ProbeTrace& trace, int num_index_packets,
+                     int num_regions, bool require_forward = true);
+
+}  // namespace dtree::bcast
+
+#endif  // DTREE_BROADCAST_AIR_INDEX_H_

@@ -1,0 +1,157 @@
+#include "broadcast/channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dtree::bcast {
+
+Result<BroadcastChannel> BroadcastChannel::Create(
+    int index_packets, int num_regions, const ChannelOptions& options) {
+  if (options.packet_capacity < 1) {
+    return Status::InvalidArgument("packet capacity must be positive");
+  }
+  if (num_regions < 1) {
+    return Status::InvalidArgument("channel needs at least one data bucket");
+  }
+  if (index_packets < 0) {
+    return Status::InvalidArgument("negative index size");
+  }
+
+  BroadcastChannel ch;
+  ch.packet_capacity_ = options.packet_capacity;
+  ch.index_packets_ = index_packets;
+  ch.num_regions_ = num_regions;
+  ch.bucket_packets_ = static_cast<int>(
+      (options.data_instance_size + options.packet_capacity - 1) /
+      options.packet_capacity);
+  ch.data_packets_ =
+      static_cast<int64_t>(num_regions) * ch.bucket_packets_;
+
+  int m = options.m;
+  if (m == 0) {
+    // Optimal index replication from "Data on air": m* = sqrt(Data/Index).
+    if (index_packets == 0) {
+      m = 1;
+    } else {
+      m = static_cast<int>(std::lround(std::sqrt(
+          static_cast<double>(ch.data_packets_) / index_packets)));
+    }
+  }
+  m = std::clamp(m, 1, num_regions);
+  ch.m_ = m;
+
+  // Split data buckets into m nearly equal contiguous chunks.
+  ch.chunk_first_.resize(m + 1);
+  for (int j = 0; j <= m; ++j) {
+    ch.chunk_first_[j] =
+        static_cast<int>((static_cast<int64_t>(num_regions) * j) / m);
+  }
+  ch.segment_start_.resize(m);
+  for (int j = 0; j < m; ++j) {
+    ch.segment_start_[j] =
+        static_cast<int64_t>(j) * index_packets +
+        static_cast<int64_t>(ch.chunk_first_[j]) * ch.bucket_packets_;
+  }
+  ch.cycle_packets_ =
+      static_cast<int64_t>(m) * index_packets + ch.data_packets_;
+  return ch;
+}
+
+int64_t BroadcastChannel::IndexSegmentStart(int j) const {
+  DTREE_CHECK(j >= 0 && j < m_);
+  return segment_start_[j];
+}
+
+int64_t BroadcastChannel::BucketStart(int r) const {
+  DTREE_CHECK(r >= 0 && r < num_regions_);
+  // Chunk containing bucket r.
+  const auto it = std::upper_bound(chunk_first_.begin(), chunk_first_.end(),
+                                   r);
+  const int chunk = static_cast<int>(it - chunk_first_.begin()) - 1;
+  DTREE_CHECK(chunk >= 0 && chunk < m_);
+  return segment_start_[chunk] + index_packets_ +
+         static_cast<int64_t>(r - chunk_first_[chunk]) * bucket_packets_;
+}
+
+Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
+    const ProbeTrace& trace, double arrival) const {
+  if (arrival < 0.0 || arrival >= static_cast<double>(cycle_packets_)) {
+    return Status::InvalidArgument("arrival outside the broadcast cycle");
+  }
+  DTREE_RETURN_IF_ERROR(ValidateTrace(trace, std::max(index_packets_, 1),
+                                      num_regions_,
+                                      /*require_forward=*/false));
+
+  QueryOutcome out;
+  // --- Initial probe: wait for the next packet boundary, read one packet
+  // to learn where the next index segment starts.
+  const int64_t probe_packet = static_cast<int64_t>(std::ceil(arrival));
+  out.tuning_probe = 1;
+  int64_t pos = probe_packet + 1;  // finished reading the probe packet
+
+  // Smallest absolute index-segment start >= t.
+  auto next_segment_start = [&](int64_t t) {
+    const int64_t base = (t / cycle_packets_) * cycle_packets_;
+    const int64_t in_cycle = t - base;
+    for (int j = 0; j < m_; ++j) {
+      if (segment_start_[j] >= in_cycle) return base + segment_start_[j];
+    }
+    return base + cycle_packets_ + segment_start_[0];
+  };
+
+  // --- Index search: jump to the first index segment at or after pos.
+  int64_t seg_start = next_segment_start(pos);
+  DTREE_CHECK(seg_start >= pos);
+
+  for (int packet_id : trace.packets) {
+    int64_t at = seg_start + packet_id;
+    if (at < pos) {
+      // The referenced packet already went by (a backward pointer in a
+      // DAG-shaped index): wait for the next repetition of the index that
+      // still has this packet ahead of us.
+      seg_start = next_segment_start(pos - packet_id);
+      at = seg_start + packet_id;
+      DTREE_CHECK(at >= pos);
+    }
+    pos = at + 1;
+    ++out.tuning_index;
+  }
+  if (trace.packets.empty()) {
+    pos = std::max(pos, seg_start);  // degenerate: empty index
+  }
+
+  // --- Data retrieval: next occurrence of the bucket at or after pos.
+  const int64_t bucket_in_cycle = BucketStart(trace.region);
+  int64_t cycle_base = (pos / cycle_packets_) * cycle_packets_;
+  int64_t data_at = cycle_base + bucket_in_cycle;
+  if (data_at < pos) data_at += cycle_packets_;
+  out.tuning_data = bucket_packets_;
+  const int64_t done = data_at + bucket_packets_;
+  out.latency = static_cast<double>(done) - arrival;
+  return out;
+}
+
+BroadcastChannel::QueryOutcome BroadcastChannel::SimulateNoIndex(
+    int region, double arrival) const {
+  DTREE_CHECK(region >= 0 && region < num_regions_);
+  // Pure-data cycle: buckets back to back, no index segments.
+  const int64_t cycle = data_packets_;
+  const double a = std::fmod(arrival, static_cast<double>(cycle));
+  const int64_t start_listen = static_cast<int64_t>(std::ceil(a));
+  const int64_t bucket_at = static_cast<int64_t>(region) * bucket_packets_;
+  int64_t data_at = bucket_at;
+  if (data_at < start_listen) data_at += cycle;
+  QueryOutcome out;
+  out.tuning_probe = 0;
+  out.tuning_data = bucket_packets_;
+  // Without an index the client listens to every packet until its bucket
+  // completes.
+  const int64_t done = data_at + bucket_packets_;
+  out.tuning_index = static_cast<int>(data_at - start_listen);
+  out.latency = static_cast<double>(done) - a;
+  return out;
+}
+
+}  // namespace dtree::bcast

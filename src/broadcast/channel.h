@@ -1,0 +1,98 @@
+// (1, m) broadcast-channel layout and client access-protocol simulation.
+//
+// The channel broadcasts, per cycle, m copies of the index segment
+// interleaved with the data (Imielinski et al.'s (1, m) scheme, Figure 2 of
+// the paper): [Index][Data 1/m][Index][Data 2/m]...[Index][Data m/m].
+// Every packet carries a pointer to the start of the next index segment,
+// which the client uses after its initial probe.
+//
+// Positions and latencies are measured in packets; query arrival times are
+// continuous (a client may tune in mid-packet and must wait for the next
+// packet boundary to synchronize).
+
+#ifndef DTREE_BROADCAST_CHANNEL_H_
+#define DTREE_BROADCAST_CHANNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/air_index.h"
+#include "broadcast/params.h"
+#include "common/status.h"
+
+namespace dtree::bcast {
+
+struct ChannelOptions {
+  int packet_capacity = 0;             ///< required, > 0
+  size_t data_instance_size = kDataInstanceSize;
+  /// Index repetitions per cycle; 0 selects the optimal
+  /// m* = round(sqrt(data_packets / index_packets)) per Imielinski et al.
+  int m = 0;
+};
+
+/// Immutable per-cycle layout for one index structure.
+class BroadcastChannel {
+ public:
+  /// Builds the layout for `num_regions` data buckets and an index segment
+  /// of `index_packets` packets.
+  static Result<BroadcastChannel> Create(int index_packets, int num_regions,
+                                         const ChannelOptions& options);
+
+  int m() const { return m_; }
+  int index_packets() const { return index_packets_; }
+  int64_t data_packets() const { return data_packets_; }
+  int64_t cycle_packets() const { return cycle_packets_; }
+  int bucket_packets() const { return bucket_packets_; }
+  int num_regions() const { return num_regions_; }
+
+  /// Expected access latency with no index at all — half a pure-data cycle
+  /// (the paper's "optimal access latency" used for normalization).
+  double OptimalLatency() const { return data_packets_ / 2.0; }
+
+  /// Absolute position (within the cycle) of the first packet of index
+  /// segment j, j in [0, m).
+  int64_t IndexSegmentStart(int j) const;
+
+  /// Absolute position of the first packet of data bucket r.
+  int64_t BucketStart(int r) const;
+
+  struct QueryOutcome {
+    double latency = 0.0;        ///< packets, query issue -> data complete
+    int tuning_probe = 0;        ///< initial-probe packets (always 1)
+    int tuning_index = 0;        ///< index-search packets (the paper's
+                                 ///< tuning-time measure)
+    int tuning_data = 0;         ///< data-retrieval packets
+    int tuning_total() const {
+      return tuning_probe + tuning_index + tuning_data;
+    }
+  };
+
+  /// Simulates the full access protocol for a client arriving at continuous
+  /// time `arrival` in [0, cycle) whose index search produced `trace`.
+  Result<QueryOutcome> Simulate(const ProbeTrace& trace,
+                                double arrival) const;
+
+  /// Baseline without any index: the client listens from arrival until its
+  /// bucket has gone by, on a pure-data cycle of the same database.
+  QueryOutcome SimulateNoIndex(int region, double arrival) const;
+
+ private:
+  BroadcastChannel() = default;
+
+  int packet_capacity_ = 0;
+  int m_ = 1;
+  int index_packets_ = 0;
+  int num_regions_ = 0;
+  int bucket_packets_ = 0;
+  int64_t data_packets_ = 0;
+  int64_t cycle_packets_ = 0;
+  /// First data-bucket id of each of the m data chunks (size m + 1,
+  /// chunk_first_[m] == num_regions).
+  std::vector<int> chunk_first_;
+  /// Precomputed segment start positions (size m).
+  std::vector<int64_t> segment_start_;
+};
+
+}  // namespace dtree::bcast
+
+#endif  // DTREE_BROADCAST_CHANNEL_H_

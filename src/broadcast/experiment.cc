@@ -1,0 +1,166 @@
+#include "broadcast/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geom/polygon.h"
+
+namespace dtree::bcast {
+
+Result<QuerySampler> QuerySampler::Create(const sub::Subdivision& subdivision,
+                                          QueryDistribution distribution,
+                                          std::vector<double> weights) {
+  std::vector<double> cumulative;
+  if (distribution == QueryDistribution::kWeightedRegion) {
+    if (weights.size() != static_cast<size_t>(subdivision.NumRegions())) {
+      return Status::InvalidArgument(
+          "kWeightedRegion needs one weight per region");
+    }
+    double total = 0.0;
+    cumulative.reserve(weights.size());
+    for (double w : weights) {
+      if (w < 0.0 || !std::isfinite(w)) {
+        return Status::InvalidArgument("negative or non-finite weight");
+      }
+      total += w;
+      cumulative.push_back(total);
+    }
+    if (total <= 0.0) {
+      return Status::InvalidArgument("weights sum to zero");
+    }
+  }
+  return QuerySampler(subdivision, distribution, std::move(cumulative));
+}
+
+geom::Point QuerySampler::DrawInRegion(int region, Rng* rng) const {
+  const geom::BBox& b = sub_.RegionBounds(region);
+  const geom::Polygon poly = sub_.RegionPolygon(region);
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    geom::Point p{rng->Uniform(b.min_x, b.max_x),
+                  rng->Uniform(b.min_y, b.max_y)};
+    if (poly.Contains(p)) return p;
+  }
+  // Pathologically thin region: fall back to its centroid.
+  return poly.Centroid();
+}
+
+geom::Point QuerySampler::Draw(Rng* rng) const {
+  const geom::BBox& area = sub_.service_area();
+  switch (distribution_) {
+    case QueryDistribution::kUniformArea:
+      return {rng->Uniform(area.min_x, area.max_x),
+              rng->Uniform(area.min_y, area.max_y)};
+    case QueryDistribution::kUniformRegion: {
+      if (sub_.NumRegions() == 0) {
+        return {rng->Uniform(area.min_x, area.max_x),
+                rng->Uniform(area.min_y, area.max_y)};
+      }
+      const int r =
+          static_cast<int>(rng->UniformInt(0, sub_.NumRegions() - 1));
+      return DrawInRegion(r, rng);
+    }
+    case QueryDistribution::kWeightedRegion: {
+      const double u = rng->Uniform(0.0, cumulative_.back());
+      const auto it =
+          std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+      const int r = static_cast<int>(
+          std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                                   cumulative_.size() - 1));
+      return DrawInRegion(r, rng);
+    }
+  }
+  DTREE_CHECK(false);
+  return {};
+}
+
+geom::Point DrawQueryPoint(const sub::Subdivision& subdivision,
+                           QueryDistribution distribution, Rng* rng) {
+  Result<QuerySampler> s = QuerySampler::Create(subdivision, distribution, {});
+  DTREE_CHECK(s.ok());
+  return s.value().Draw(rng);
+}
+
+Result<ExperimentResult> RunExperiment(const AirIndex& index,
+                                       const sub::Subdivision& subdivision,
+                                       const sub::PointLocator* oracle,
+                                       const ExperimentOptions& options) {
+  if (options.num_queries < 1) {
+    return Status::InvalidArgument("need at least one query");
+  }
+  ChannelOptions copt;
+  copt.packet_capacity = options.packet_capacity;
+  copt.data_instance_size = options.data_instance_size;
+  copt.m = options.m;
+  Result<BroadcastChannel> channel_r = BroadcastChannel::Create(
+      index.NumIndexPackets(), subdivision.NumRegions(), copt);
+  if (!channel_r.ok()) return channel_r.status();
+  const BroadcastChannel& ch = channel_r.value();
+
+  Result<QuerySampler> sampler_r = QuerySampler::Create(
+      subdivision, options.distribution, options.region_weights);
+  if (!sampler_r.ok()) return sampler_r.status();
+  const QuerySampler& sampler = sampler_r.value();
+
+  Rng rng(options.seed);
+  double sum_latency = 0.0;
+  double sum_tuning_index = 0.0;
+  double sum_tuning_total = 0.0;
+  double sum_tuning_noindex = 0.0;
+
+  for (int q = 0; q < options.num_queries; ++q) {
+    const geom::Point p = sampler.Draw(&rng);
+    Result<ProbeTrace> trace_r = index.Probe(p);
+    if (!trace_r.ok()) return trace_r.status();
+    const ProbeTrace& trace = trace_r.value();
+
+    if (oracle != nullptr) {
+      const int expect = oracle->Locate(p);
+      if (expect != trace.region &&
+          subdivision.DistanceToNearestBorder(p) > geom::kMergeEps * 100.0) {
+        return Status::Internal(
+            index.name() + " located region " + std::to_string(trace.region) +
+            " but oracle says " + std::to_string(expect));
+      }
+    }
+
+    const double arrival =
+        rng.Uniform(0.0, static_cast<double>(ch.cycle_packets()));
+    Result<BroadcastChannel::QueryOutcome> out_r =
+        ch.Simulate(trace, arrival);
+    if (!out_r.ok()) return out_r.status();
+    const auto& out = out_r.value();
+    sum_latency += out.latency;
+    sum_tuning_index += out.tuning_index;
+    sum_tuning_total += out.tuning_total();
+
+    const auto base = ch.SimulateNoIndex(trace.region, arrival);
+    sum_tuning_noindex += base.tuning_total();
+  }
+
+  const double n = static_cast<double>(options.num_queries);
+  ExperimentResult res;
+  res.index_name = index.name();
+  res.packet_capacity = options.packet_capacity;
+  res.m = ch.m();
+  res.index_packets = index.NumIndexPackets();
+  res.index_bytes = index.IndexBytes();
+  res.data_packets = ch.data_packets();
+  res.cycle_packets = ch.cycle_packets();
+  res.mean_latency = sum_latency / n;
+  res.optimal_latency = ch.OptimalLatency();
+  res.normalized_latency = res.mean_latency / res.optimal_latency;
+  res.mean_tuning_index = sum_tuning_index / n;
+  res.mean_tuning_total = sum_tuning_total / n;
+  res.mean_tuning_noindex = sum_tuning_noindex / n;
+  const double saved = res.mean_tuning_noindex - res.mean_tuning_total;
+  const double overhead = res.mean_latency - res.optimal_latency;
+  res.indexing_efficiency = overhead > 0.0 ? saved / overhead : 0.0;
+  const double db_bytes =
+      static_cast<double>(subdivision.NumRegions()) *
+      static_cast<double>(options.data_instance_size);
+  res.normalized_index_size = static_cast<double>(res.index_bytes) / db_bytes;
+  return res;
+}
+
+}  // namespace dtree::bcast

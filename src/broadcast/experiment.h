@@ -1,0 +1,106 @@
+// Experiment driver: runs a query load against an air index over a
+// (1, m) broadcast channel and aggregates the paper's three metrics.
+
+#ifndef DTREE_BROADCAST_EXPERIMENT_H_
+#define DTREE_BROADCAST_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "broadcast/air_index.h"
+#include "broadcast/channel.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "subdivision/subdivision.h"
+
+namespace dtree::bcast {
+
+/// How query points are drawn.
+enum class QueryDistribution {
+  /// Uniform over data regions (each region equally likely, point uniform
+  /// inside it) — the paper's "uniform access distribution over the data
+  /// regions".
+  kUniformRegion,
+  /// Uniform over the service area.
+  kUniformArea,
+  /// Regions drawn with the probabilities in
+  /// ExperimentOptions::region_weights (skewed-access experiments).
+  kWeightedRegion,
+};
+
+struct ExperimentOptions {
+  int packet_capacity = 0;
+  int num_queries = 100000;
+  uint64_t seed = 42;
+  QueryDistribution distribution = QueryDistribution::kUniformRegion;
+  /// Per-region access weights for kWeightedRegion (any non-negative
+  /// scale, one entry per region).
+  std::vector<double> region_weights;
+  size_t data_instance_size = kDataInstanceSize;
+  int m = 0;  ///< 0 = optimal
+};
+
+/// Draws query points for a distribution; precomputes the cumulative
+/// weight table once so skewed loads sample in O(log N).
+class QuerySampler {
+ public:
+  /// Fails when kWeightedRegion is requested with a missing or malformed
+  /// weight vector.
+  static Result<QuerySampler> Create(const sub::Subdivision& subdivision,
+                                     QueryDistribution distribution,
+                                     std::vector<double> weights);
+
+  geom::Point Draw(Rng* rng) const;
+
+ private:
+  QuerySampler(const sub::Subdivision& subdivision,
+               QueryDistribution distribution, std::vector<double> cumulative)
+      : sub_(subdivision), distribution_(distribution),
+        cumulative_(std::move(cumulative)) {}
+
+  geom::Point DrawInRegion(int region, Rng* rng) const;
+
+  const sub::Subdivision& sub_;
+  QueryDistribution distribution_;
+  std::vector<double> cumulative_;  ///< kWeightedRegion only
+};
+
+/// Aggregated results of one (index, dataset, packet-capacity) cell.
+struct ExperimentResult {
+  std::string index_name;
+  int packet_capacity = 0;
+  int m = 0;
+  int index_packets = 0;
+  size_t index_bytes = 0;
+  int64_t data_packets = 0;
+  int64_t cycle_packets = 0;
+
+  double mean_latency = 0.0;            ///< packets
+  double optimal_latency = 0.0;         ///< data_packets / 2
+  double normalized_latency = 0.0;      ///< mean / optimal (Fig. 10)
+  double mean_tuning_index = 0.0;       ///< packets, index search (Fig. 12)
+  double mean_tuning_total = 0.0;       ///< probe + index + data
+  double mean_tuning_noindex = 0.0;     ///< listening without an index
+  /// (tuning saved) / (latency overhead) — Fig. 13.
+  double indexing_efficiency = 0.0;
+  /// Index size / database size (Fig. 11).
+  double normalized_index_size = 0.0;
+};
+
+/// Runs the experiment. Every query is answered through the index's Probe
+/// and simulated on the channel; results are validated against the
+/// brute-force locator when `oracle` is non-null (mismatches fail the run,
+/// except for points within geom::kMergeEps*100 of a region border where
+/// the answer is numerically ambiguous).
+Result<ExperimentResult> RunExperiment(const AirIndex& index,
+                                       const sub::Subdivision& subdivision,
+                                       const sub::PointLocator* oracle,
+                                       const ExperimentOptions& options);
+
+/// Draws a query point according to the distribution.
+geom::Point DrawQueryPoint(const sub::Subdivision& subdivision,
+                           QueryDistribution distribution, Rng* rng);
+
+}  // namespace dtree::bcast
+
+#endif  // DTREE_BROADCAST_EXPERIMENT_H_

@@ -1,0 +1,195 @@
+#include "broadcast/pager.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace dtree::bcast {
+
+namespace {
+
+/// Mutable packet fill state during allocation.
+struct PacketFill {
+  size_t used = 0;
+};
+
+}  // namespace
+
+Result<PagingResult> TopDownPage(const PagingInput& input, int capacity,
+                                 bool merge_leaf_packets) {
+  const size_t n = input.sizes.size();
+  if (capacity < 1) return Status::InvalidArgument("capacity must be >= 1");
+  if (input.parent.size() != n || input.is_leaf.size() != n) {
+    return Status::InvalidArgument("paging input arrays disagree in length");
+  }
+  const size_t cap = static_cast<size_t>(capacity);
+
+  PagingResult out;
+  out.spans.assign(n, NodeSpan{});
+  std::vector<PacketFill> packets;
+
+  auto allocate_new = [&](size_t size) {
+    NodeSpan span;
+    span.first_packet = static_cast<int>(packets.size());
+    span.offset = 0;
+    // A node larger than one packet spans ceil(size/cap) packets; the last
+    // one is partially filled and can host descendants.
+    while (size > cap) {
+      packets.push_back(PacketFill{cap});
+      size -= cap;
+    }
+    packets.push_back(PacketFill{size});
+    span.num_packets = static_cast<int>(packets.size()) - span.first_packet;
+    return span;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const size_t size = input.sizes[i];
+    if (size == 0) return Status::InvalidArgument("zero-sized node");
+    const int parent = input.parent[i];
+    if (parent >= static_cast<int>(i)) {
+      return Status::InvalidArgument("node precedes its parent");
+    }
+    if (parent >= 0) {
+      // Anchor packet: the parent's packet — or, for DAG nodes with
+      // several parents, the latest parent's packet, so the node is never
+      // broadcast before one of the pointers that reference it.
+      const NodeSpan& pspan = out.spans[parent];
+      DTREE_CHECK(pspan.first_packet >= 0);
+      int anchor = pspan.last_packet();
+      if (i < input.all_parents.size()) {
+        for (int extra : input.all_parents[i]) {
+          DTREE_CHECK(extra >= 0 && extra < static_cast<int>(i));
+          anchor = std::max(anchor, out.spans[extra].last_packet());
+        }
+      }
+      if (packets[anchor].used + size <= cap) {
+        out.spans[i] = NodeSpan{anchor, 1, packets[anchor].used};
+        packets[anchor].used += size;
+        continue;
+      }
+    }
+    out.spans[i] = allocate_new(size);
+  }
+
+  if (merge_leaf_packets && !packets.empty()) {
+    // Greedy partial-packet merging (Algorithm 3 lines 19-25, generalized
+    // from leaf-level packets to any packet whose nodes all fit — without
+    // it, large capacities fragment badly: every overflowing child opens a
+    // fresh packet its small subtree never fills). Packets containing a
+    // multi-packet node stay put.
+    std::vector<bool> mergeable(packets.size(), true);
+    std::vector<std::vector<size_t>> nodes_in(packets.size());
+    for (size_t i = 0; i < n; ++i) {
+      const NodeSpan& s = out.spans[i];
+      for (int p = s.first_packet; p <= s.last_packet(); ++p) {
+        nodes_in[p].push_back(i);
+        if (s.num_packets > 1) mergeable[p] = false;
+      }
+    }
+    int prev = -1;  // last retained mergeable packet
+    std::vector<bool> deleted(packets.size(), false);
+    for (size_t p = 0; p < packets.size(); ++p) {
+      if (!mergeable[p] || nodes_in[p].empty()) continue;
+      // Moving nodes to an earlier packet must not move them before their
+      // parents, or the broadcast pointer would point backwards and the
+      // client would have to wait a whole index repetition.
+      bool forward_safe = true;
+      if (prev >= 0) {
+        auto parent_blocks = [&](int parent, size_t packet) {
+          if (parent < 0) return false;
+          // A parent inside this same packet moves along with the node.
+          if (out.spans[parent].first_packet == static_cast<int>(packet)) {
+            return false;
+          }
+          return out.spans[parent].last_packet() > prev;
+        };
+        for (size_t node : nodes_in[p]) {
+          if (parent_blocks(input.parent[node], p)) {
+            forward_safe = false;
+            break;
+          }
+          if (node < input.all_parents.size()) {
+            for (int extra : input.all_parents[node]) {
+              if (parent_blocks(extra, p)) {
+                forward_safe = false;
+                break;
+              }
+            }
+          }
+          if (!forward_safe) break;
+        }
+      }
+      if (prev >= 0 && forward_safe &&
+          packets[prev].used + packets[p].used <= cap) {
+        // Move this packet's nodes to the end of `prev`.
+        for (size_t node : nodes_in[p]) {
+          out.spans[node].first_packet = prev;
+          out.spans[node].offset =
+              packets[prev].used + out.spans[node].offset;
+        }
+        packets[prev].used += packets[p].used;
+        deleted[p] = true;
+      } else {
+        prev = static_cast<int>(p);
+      }
+    }
+    // Renumber surviving packets.
+    std::vector<int> remap(packets.size(), -1);
+    int next_id = 0;
+    std::vector<PacketFill> kept;
+    for (size_t p = 0; p < packets.size(); ++p) {
+      if (deleted[p]) continue;
+      remap[p] = next_id++;
+      kept.push_back(packets[p]);
+    }
+    for (NodeSpan& s : out.spans) {
+      DTREE_CHECK(remap[s.first_packet] >= 0);
+      s.first_packet = remap[s.first_packet];
+    }
+    packets = std::move(kept);
+  }
+
+  out.num_packets = static_cast<int>(packets.size());
+  out.used_bytes = std::accumulate(input.sizes.begin(), input.sizes.end(),
+                                   size_t{0});
+  return out;
+}
+
+Result<PagingResult> GreedyPage(const std::vector<size_t>& sizes,
+                                int capacity) {
+  if (capacity < 1) return Status::InvalidArgument("capacity must be >= 1");
+  const size_t cap = static_cast<size_t>(capacity);
+  PagingResult out;
+  out.spans.reserve(sizes.size());
+  size_t cur_used = 0;
+  int cur_packet = -1;
+  for (size_t size : sizes) {
+    if (size == 0) return Status::InvalidArgument("zero-sized node");
+    if (cur_packet < 0 || cur_used + size > cap) {
+      // Start at a fresh packet.
+      NodeSpan span;
+      span.first_packet = cur_packet + 1;
+      span.offset = 0;
+      size_t rest = size;
+      int count = 0;
+      while (rest > cap) {
+        rest -= cap;
+        ++count;
+      }
+      span.num_packets = count + 1;
+      cur_packet = span.first_packet + count;
+      cur_used = rest;
+      out.spans.push_back(span);
+    } else {
+      out.spans.push_back(NodeSpan{cur_packet, 1, cur_used});
+      cur_used += size;
+    }
+    out.used_bytes += size;
+  }
+  out.num_packets = cur_packet + 1;
+  return out;
+}
+
+}  // namespace dtree::bcast

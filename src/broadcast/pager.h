@@ -1,0 +1,63 @@
+// Packet allocation ("paging") of index nodes into fixed-capacity packets.
+//
+// Implements the paper's top-down paging (Algorithm 3): nodes are visited
+// in breadth-first order, each node joins its parent's packet when it fits,
+// otherwise it starts a new packet (or a run of packets when the node is
+// larger than one packet). Optionally, partial packets at the leaf level
+// are merged greedily to save broadcast space. A greedy first-fit variant
+// (used for the trian-tree, whose DAG nodes have several parents, and for
+// the R*-tree shape layer) is also provided.
+
+#ifndef DTREE_BROADCAST_PAGER_H_
+#define DTREE_BROADCAST_PAGER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dtree::bcast {
+
+/// Where a node landed: `num_packets` consecutive packets starting at
+/// `first_packet`; the node begins `offset` bytes into the first one.
+struct NodeSpan {
+  int first_packet = -1;
+  int num_packets = 0;
+  size_t offset = 0;
+
+  int last_packet() const { return first_packet + num_packets - 1; }
+};
+
+/// Input to the pager. Nodes must be listed in the order they are to be
+/// broadcast (breadth-first for the D-tree / trap-tree), with every
+/// node's parent earlier in the order.
+struct PagingInput {
+  std::vector<size_t> sizes;   ///< serialized node sizes in bytes
+  std::vector<int> parent;     ///< index of parent node, -1 for roots
+  std::vector<bool> is_leaf;   ///< leaf nodes (eligible for merging)
+  /// For DAG-shaped indexes: every parent of each node (used by the
+  /// packet-merging forward-safety check; `parent` alone would miss
+  /// secondary parents). Leave empty for trees.
+  std::vector<std::vector<int>> all_parents;
+};
+
+struct PagingResult {
+  std::vector<NodeSpan> spans;  ///< one per input node
+  int num_packets = 0;
+  size_t used_bytes = 0;        ///< sum of node sizes (excludes padding)
+};
+
+/// Algorithm 3: top-down paging with optional greedy leaf-packet merging.
+/// Fails with InvalidArgument on malformed input (children before parents,
+/// zero-sized nodes, capacity < 1).
+Result<PagingResult> TopDownPage(const PagingInput& input, int capacity,
+                                 bool merge_leaf_packets);
+
+/// Greedy paging: nodes fill packets first-fit in the given order; a node
+/// larger than one packet spans consecutive packets.
+Result<PagingResult> GreedyPage(const std::vector<size_t>& sizes,
+                                int capacity);
+
+}  // namespace dtree::bcast
+
+#endif  // DTREE_BROADCAST_PAGER_H_

@@ -1,0 +1,25 @@
+// System parameters from Table 2 of the paper.
+
+#ifndef DTREE_BROADCAST_PARAMS_H_
+#define DTREE_BROADCAST_PARAMS_H_
+
+#include <cstddef>
+
+namespace dtree::bcast {
+
+/// Serialized field sizes, in bytes (Table 2).
+inline constexpr size_t kBidSize = 2;           ///< node id, all indexes
+inline constexpr size_t kDTreeHeaderSize = 2;   ///< D-tree only; others 0
+inline constexpr size_t kPointerSize = 4;       ///< D-tree / trian / trap
+inline constexpr size_t kRStarPointerSize = 2;  ///< R*-tree packet offsets
+inline constexpr size_t kCoordinateSize = 4;    ///< one scalar coordinate
+inline constexpr size_t kDataInstanceSize = 1024;  ///< 1 KB per instance
+
+/// Packet capacities evaluated in the paper: 64 B .. 2 KB.
+inline constexpr int kPacketCapacities[] = {64, 128, 256, 512, 1024, 2048};
+inline constexpr int kMinPacketCapacity = 64;
+inline constexpr int kMaxPacketCapacity = 2048;
+
+}  // namespace dtree::bcast
+
+#endif  // DTREE_BROADCAST_PARAMS_H_

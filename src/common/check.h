@@ -1,0 +1,39 @@
+// Invariant-checking macros.
+//
+// DTREE_CHECK fires in all build types and is reserved for invariants whose
+// violation would make continuing meaningless (memory-safety hazards,
+// broken tree structure). Input validation belongs in Status returns, not
+// here.
+
+#ifndef DTREE_COMMON_CHECK_H_
+#define DTREE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dtree::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "DTREE_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace dtree::internal
+
+#define DTREE_CHECK(cond)                                         \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::dtree::internal::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                              \
+  } while (0)
+
+#ifndef NDEBUG
+#define DTREE_DCHECK(cond) DTREE_CHECK(cond)
+#else
+#define DTREE_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#endif
+
+#endif  // DTREE_COMMON_CHECK_H_

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components (workload generators, the randomized
+// incremental trapezoidal map, query streams) take an explicit Rng so that
+// every experiment in the repository is reproducible from a seed.
+
+#ifndef DTREE_COMMON_RNG_H_
+#define DTREE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dtree {
+
+/// Seeded 64-bit Mersenne-Twister wrapper with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    DTREE_DCHECK(lo <= hi);
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dtree
+
+#endif  // DTREE_COMMON_RNG_H_

@@ -1,0 +1,127 @@
+// Status / Result error-handling primitives for the dtree_air library.
+//
+// Library code does not throw exceptions; fallible operations return a
+// Status (or a Result<T> which is a Status plus a value). This mirrors the
+// convention used by production database engines (RocksDB, Arrow).
+
+#ifndef DTREE_COMMON_STATUS_H_
+#define DTREE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dtree {
+
+/// Machine-readable error category attached to a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller supplied malformed input
+  kFailedPrecondition,///< object not in a state where the call is legal
+  kNotFound,          ///< lookup target does not exist
+  kOutOfRange,        ///< index / capacity exceeded
+  kInternal,          ///< invariant violation inside the library
+  kUnimplemented,     ///< feature intentionally not supported
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: either OK or a code plus a message.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;   // propagate
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A Status carrying a value on success.
+///
+/// Usage:
+///   Result<Tree> r = Build(...);
+///   if (!r.ok()) return r.status();
+///   Tree t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK Status: failure. Constructing from an OK
+  /// Status is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define DTREE_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::dtree::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+}  // namespace dtree
+
+#endif  // DTREE_COMMON_STATUS_H_

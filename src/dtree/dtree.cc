@@ -1,0 +1,244 @@
+#include "dtree/dtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/check.h"
+
+namespace dtree::core {
+
+namespace {
+
+/// Transient child descriptor during recursive construction.
+struct ChildRef {
+  int node = -1;
+  int region = -1;
+};
+
+}  // namespace
+
+size_t DTree::NodeByteSize(DTreeNode* node, const Options& options) {
+  // bid + header + left_ptr + right_ptr (Figure 7, Table 2).
+  size_t size = bcast::kBidSize + bcast::kDTreeHeaderSize +
+                2 * bcast::kPointerSize;
+  for (const geom::Polyline& pl : node->polylines) {
+    const size_t points = pl.pts.size() + (pl.closed ? 1 : 0);
+    size += 2;                                   // per-polyline point count
+    size += points * 2 * bcast::kCoordinateSize; // vertices
+  }
+
+  // Is the near shortcut bound recoverable as the partition's extreme
+  // coordinate? (See the explicit_bounds comment in dtree.h.)
+  double extreme = node->dim == PartitionDim::kYDim
+                       ? std::numeric_limits<double>::infinity()
+                       : -std::numeric_limits<double>::infinity();
+  for (const geom::Polyline& pl : node->polylines) {
+    for (const geom::Point& p : pl.pts) {
+      if (node->dim == PartitionDim::kYDim) {
+        extreme = std::min(extreme, p.x);
+      } else {
+        extreme = std::max(extreme, p.y);
+      }
+    }
+  }
+  const bool near_recoverable =
+      std::abs(extreme - node->near_bound) <= geom::kMergeEps;
+
+  node->explicit_bounds = !near_recoverable;
+  node->large = size + (node->explicit_bounds ? 2 * bcast::kCoordinateSize
+                                              : size_t{0}) >
+                static_cast<size_t>(options.packet_capacity);
+  if (node->large && options.early_termination) {
+    // §4.4 arrangement: RMC/LMC up front so D1/D3 queries resolve from the
+    // node's first packet.
+    node->explicit_bounds = true;
+  }
+  if (node->explicit_bounds) size += 2 * bcast::kCoordinateSize;
+  node->large = size > static_cast<size_t>(options.packet_capacity);
+  node->byte_size = size;
+  return size;
+}
+
+Result<DTree> DTree::Build(const sub::Subdivision& sub,
+                           const Options& options) {
+  if (options.packet_capacity < 24) {
+    // A node's fixed prefix (bid + header + two pointers + RMC/LMC) must
+    // fit in the first packet for the access protocol to work.
+    return Status::InvalidArgument(
+        "packet capacity too small for a D-tree node prefix");
+  }
+  if (sub.NumRegions() < 1) {
+    return Status::InvalidArgument("empty subdivision");
+  }
+  if (!options.access_weights.empty() &&
+      options.access_weights.size() !=
+          static_cast<size_t>(sub.NumRegions())) {
+    return Status::InvalidArgument(
+        "access_weights must have one entry per region");
+  }
+
+  DTree tree;
+  tree.options_ = options;
+  tree.num_regions_ = sub.NumRegions();
+
+  if (sub.NumRegions() == 1) {
+    // Degenerate index: no nodes; every probe resolves to region 0.
+    tree.root_ = -1;
+    tree.height_ = 0;
+    return tree;
+  }
+
+  // Recursive construction (explicit because N can be large).
+  Status build_status = Status::OK();
+  auto build = [&](auto&& self, const std::vector<int>& regions,
+                   int depth) -> ChildRef {
+    if (!build_status.ok()) return {};
+    if (regions.size() == 1) return ChildRef{-1, regions[0]};
+    Result<Partition> part_r =
+        ChooseBestPartition(sub, regions, options.interprob_tiebreak,
+                            options.access_weights);
+    if (!part_r.ok()) {
+      build_status = part_r.status();
+      return {};
+    }
+    Partition part = std::move(part_r).value();
+    const int id = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.emplace_back();
+    {
+      DTreeNode& n = tree.nodes_[id];
+      n.dim = part.style.dim;
+      n.near_bound = part.near_bound;
+      n.far_bound = part.far_bound;
+      n.polylines = std::move(part.polylines);
+      n.depth = depth;
+    }
+    const ChildRef left = self(self, part.first_group, depth + 1);
+    const ChildRef right = self(self, part.second_group, depth + 1);
+    if (!build_status.ok()) return {};
+    DTreeNode& n = tree.nodes_[id];
+    n.left_node = left.node;
+    n.left_region = left.region;
+    n.right_node = right.node;
+    n.right_region = right.region;
+    NodeByteSize(&n, options);
+    return ChildRef{id, -1};
+  };
+
+  std::vector<int> all(sub.NumRegions());
+  for (int i = 0; i < sub.NumRegions(); ++i) all[i] = i;
+  const ChildRef root = build(build, all, 0);
+  if (!build_status.ok()) return build_status;
+  DTREE_CHECK(root.node >= 0);
+  tree.root_ = root.node;
+  for (const DTreeNode& n : tree.nodes_) {
+    tree.height_ = std::max(tree.height_, n.depth + 1);
+  }
+
+  // Breadth-first broadcast order.
+  tree.bfs_order_.reserve(tree.nodes_.size());
+  std::deque<int> queue{tree.root_};
+  while (!queue.empty()) {
+    const int id = queue.front();
+    queue.pop_front();
+    tree.bfs_order_.push_back(id);
+    const DTreeNode& n = tree.nodes_[id];
+    if (n.left_node >= 0) queue.push_back(n.left_node);
+    if (n.right_node >= 0) queue.push_back(n.right_node);
+  }
+  DTREE_CHECK(tree.bfs_order_.size() == tree.nodes_.size());
+  tree.bfs_pos_.assign(tree.nodes_.size(), -1);
+  for (size_t pos = 0; pos < tree.bfs_order_.size(); ++pos) {
+    tree.bfs_pos_[tree.bfs_order_[pos]] = static_cast<int>(pos);
+  }
+
+  // Page into packets (Algorithm 3).
+  bcast::PagingInput input;
+  input.sizes.reserve(tree.nodes_.size());
+  input.parent.assign(tree.nodes_.size(), -1);
+  input.is_leaf.reserve(tree.nodes_.size());
+  for (int id : tree.bfs_order_) {
+    input.sizes.push_back(tree.nodes_[id].byte_size);
+    input.is_leaf.push_back(tree.nodes_[id].IsLeaf());
+  }
+  for (size_t pos = 0; pos < tree.bfs_order_.size(); ++pos) {
+    const DTreeNode& n = tree.nodes_[tree.bfs_order_[pos]];
+    if (n.left_node >= 0) {
+      input.parent[tree.bfs_pos_[n.left_node]] = static_cast<int>(pos);
+    }
+    if (n.right_node >= 0) {
+      input.parent[tree.bfs_pos_[n.right_node]] = static_cast<int>(pos);
+    }
+  }
+  Result<bcast::PagingResult> paging_r = bcast::TopDownPage(
+      input, options.packet_capacity, options.merge_leaf_packets);
+  if (!paging_r.ok()) return paging_r.status();
+  tree.paging_ = std::move(paging_r).value();
+  return tree;
+}
+
+int DTree::Locate(const geom::Point& p) const {
+  if (root_ < 0) return num_regions_ == 1 ? 0 : -1;
+  int id = root_;
+  for (;;) {
+    const DTreeNode& n = nodes_[id];
+    if (PointInSubspaceTest(n.dim, n.near_bound, n.far_bound, n.polylines,
+                            p)) {
+      if (n.left_node < 0) return n.left_region;
+      id = n.left_node;
+    } else {
+      if (n.right_node < 0) return n.right_region;
+      id = n.right_node;
+    }
+  }
+}
+
+Result<bcast::ProbeTrace> DTree::Probe(const geom::Point& p) const {
+  bcast::ProbeTrace trace;
+  if (root_ < 0) {
+    if (num_regions_ != 1) return Status::FailedPrecondition("empty tree");
+    trace.region = 0;
+    return trace;
+  }
+  int id = root_;
+  for (;;) {
+    const DTreeNode& n = nodes_[id];
+    bool via_shortcut = false;
+    const bool first = PointInSubspaceTest(n.dim, n.near_bound, n.far_bound,
+                                           n.polylines, p, &via_shortcut);
+
+    // Packet accounting for reading this node.
+    const bcast::NodeSpan& s = paging_.spans[bfs_pos_[id]];
+    int packets_read;
+    if (s.num_packets == 1) {
+      packets_read = 1;
+    } else if (options_.early_termination && via_shortcut) {
+      packets_read = 1;  // pointers + RMC/LMC live in the first packet
+    } else {
+      packets_read = s.num_packets;
+    }
+    for (int k = 0; k < packets_read; ++k) {
+      const int packet = s.first_packet + k;
+      if (trace.packets.empty() || trace.packets.back() != packet) {
+        trace.packets.push_back(packet);
+      }
+    }
+
+    if (first) {
+      if (n.left_node < 0) {
+        trace.region = n.left_region;
+        return trace;
+      }
+      id = n.left_node;
+    } else {
+      if (n.right_node < 0) {
+        trace.region = n.right_region;
+        return trace;
+      }
+      id = n.right_node;
+    }
+  }
+}
+
+}  // namespace dtree::core

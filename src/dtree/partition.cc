@@ -1,0 +1,359 @@
+#include "dtree/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "geom/predicates.h"
+#include "subdivision/extent.h"
+
+namespace dtree::core {
+
+namespace {
+
+using geom::Point;
+using geom::Polyline;
+
+constexpr double kLineTol = 1e-9;
+
+/// Sort coordinate of a region for the given style.
+double StyleKey(const sub::Subdivision& sub, int region,
+                const PartitionStyle& style) {
+  const geom::BBox& b = sub.RegionBounds(region);
+  if (style.dim == PartitionDim::kYDim) {
+    return style.key == SortKey::kMinCoord ? b.min_x : b.max_x;
+  }
+  return style.key == SortKey::kMinCoord ? b.min_y : b.max_y;
+}
+
+/// Clips segment [a, b] to the kept half-space of the partition: x >=
+/// bound for kYDim, y <= bound for kXDim. Returns false when nothing is
+/// kept. Endpoints within kLineTol of the line count as kept.
+bool ClipSegmentToKeptSide(PartitionDim dim, double bound, Point a, Point b,
+                           Point* out_a, Point* out_b) {
+  auto coord = [&](const Point& p) {
+    return dim == PartitionDim::kYDim ? p.x : p.y;
+  };
+  // Signed "inside" amount: >= 0 means kept.
+  auto inside = [&](const Point& p) {
+    return dim == PartitionDim::kYDim ? coord(p) - bound : bound - coord(p);
+  };
+  double ia = inside(a);
+  double ib = inside(b);
+  if (ia < -kLineTol && ib < -kLineTol) return false;  // fully pruned
+  if (ia >= -kLineTol && ib >= -kLineTol) {            // fully kept
+    *out_a = a;
+    *out_b = b;
+    return true;
+  }
+  // Crossing: truncate at the line (Algorithm 1 lines 9-15).
+  const double t = ia / (ia - ib);
+  Point cut{a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+  if (dim == PartitionDim::kYDim) {
+    cut.x = bound;  // pin exactly onto the line
+  } else {
+    cut.y = bound;
+  }
+  if (ia >= -kLineTol) {
+    *out_a = a;
+    *out_b = cut;
+  } else {
+    *out_a = cut;
+    *out_b = b;
+  }
+  // An edge leaving the kept side exactly at the line clips to a point;
+  // treat it as pruned.
+  return !geom::NearlyEqual(*out_a, *out_b, geom::kGeomEps);
+}
+
+/// Counts the scalar coordinates a polyline occupies on the air (closed
+/// polylines repeat their first vertex).
+int ScalarCoords(const Polyline& pl) {
+  const int v = static_cast<int>(pl.pts.size()) + (pl.closed ? 1 : 0);
+  return 2 * v;
+}
+
+/// Splits/keeps the extent loops against the pruning line and chains the
+/// surviving pieces into maximal polylines.
+std::vector<Polyline> PruneExtent(const std::vector<Polyline>& loops,
+                                  PartitionDim dim, double bound) {
+  std::vector<Polyline> out;
+  for (const Polyline& loop : loops) {
+    DTREE_CHECK(loop.closed);
+    std::vector<Polyline> chains;
+    Polyline cur;
+    bool cur_open_started_at_cut = false;
+    const size_t nseg = loop.NumSegments();
+    for (size_t i = 0; i < nseg; ++i) {
+      Point a, b, ka, kb;
+      loop.Segment(i, &a, &b);
+      if (!ClipSegmentToKeptSide(dim, bound, a, b, &ka, &kb)) {
+        // Segment fully pruned: close the running chain.
+        if (cur.pts.size() >= 2) chains.push_back(std::move(cur));
+        cur = Polyline{};
+        continue;
+      }
+      if (cur.pts.empty()) {
+        cur.pts.push_back(ka);
+        cur.pts.push_back(kb);
+        cur_open_started_at_cut = !geom::NearlyEqual(ka, a, geom::kGeomEps);
+        (void)cur_open_started_at_cut;
+      } else if (geom::NearlyEqual(cur.pts.back(), ka, geom::kMergeEps)) {
+        cur.pts.push_back(kb);
+      } else {
+        // Discontinuity (segment was truncated at its start).
+        if (cur.pts.size() >= 2) chains.push_back(std::move(cur));
+        cur = Polyline{};
+        cur.pts.push_back(ka);
+        cur.pts.push_back(kb);
+      }
+    }
+    if (cur.pts.size() >= 2) chains.push_back(std::move(cur));
+    if (chains.empty()) continue;
+    // The walk started mid-loop; if the loop survived in one piece wrap
+    // first/last chains together, or mark fully closed.
+    if (chains.size() == 1 &&
+        geom::NearlyEqual(chains[0].pts.front(), chains[0].pts.back(),
+                          geom::kMergeEps)) {
+      chains[0].pts.pop_back();
+      chains[0].closed = true;
+    } else if (chains.size() >= 2 &&
+               geom::NearlyEqual(chains.back().pts.back(),
+                                 chains.front().pts.front(),
+                                 geom::kMergeEps)) {
+      Polyline& last = chains.back();
+      last.pts.insert(last.pts.end(), chains.front().pts.begin() + 1,
+                      chains.front().pts.end());
+      chains.front() = std::move(last);
+      chains.pop_back();
+    }
+    for (Polyline& c : chains) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<PartitionStyle> EnumerateStyles(int n) {
+  std::vector<PartitionStyle> styles;
+  const bool odd = (n % 2) != 0;
+  for (PartitionDim dim : {PartitionDim::kYDim, PartitionDim::kXDim}) {
+    for (SortKey key : {SortKey::kMaxCoord, SortKey::kMinCoord}) {
+      if (odd) {
+        styles.push_back({dim, key, false});
+        styles.push_back({dim, key, true});
+      } else {
+        styles.push_back({dim, key, false});
+      }
+    }
+  }
+  return styles;
+}
+
+Result<Partition> ComputePartition(const sub::Subdivision& sub,
+                                   const std::vector<int>& regions,
+                                   const PartitionStyle& style,
+                                   const std::vector<double>& access_weights) {
+  const int n = static_cast<int>(regions.size());
+  if (n < 2) {
+    return Status::InvalidArgument("partitioning needs at least two regions");
+  }
+
+  // Phase 1 (Algorithm 1 lines 1-3): sort and split the regions.
+  std::vector<int> sorted = regions;
+  std::stable_sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+    const double ka = StyleKey(sub, a, style);
+    const double kb = StyleKey(sub, b, style);
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+  int k;
+  if (access_weights.empty()) {
+    k = style.first_group_larger ? (n + 1) / 2 : n / 2;
+  } else {
+    // Skew-aware split: cut where the cumulative access mass is closest
+    // to half, so both subtrees answer about half the query load.
+    double total = 0.0;
+    for (int r : sorted) {
+      if (r >= static_cast<int>(access_weights.size()) ||
+          access_weights[r] < 0.0) {
+        return Status::InvalidArgument("invalid access weight for region " +
+                                       std::to_string(r));
+      }
+      total += access_weights[r];
+    }
+    if (total <= 0.0) {
+      return Status::InvalidArgument("access weights sum to zero");
+    }
+    k = 1;
+    double best_diff = std::numeric_limits<double>::infinity();
+    double prefix = 0.0;
+    for (int i = 0; i < n - 1; ++i) {
+      prefix += access_weights[sorted[i]];
+      const double diff = std::abs(prefix - total / 2.0);
+      if (diff < best_diff) {
+        best_diff = diff;
+        k = i + 1;
+      }
+    }
+  }
+  DTREE_CHECK(k >= 1 && k < n);
+
+  Partition part;
+  part.style = style;
+  if (style.dim == PartitionDim::kYDim) {
+    // Ascending x keys: the first k regions form the LEFT (first) group.
+    part.first_group.assign(sorted.begin(), sorted.begin() + k);
+    part.second_group.assign(sorted.begin() + k, sorted.end());
+  } else {
+    // Ascending y keys: the first k regions are the LOWER (second) group;
+    // the paper's left child is the UPPER subspace.
+    part.second_group.assign(sorted.begin(), sorted.begin() + k);
+    part.first_group.assign(sorted.begin() + k, sorted.end());
+  }
+
+  // Shortcut bounds from the complementary group's bounding boxes.
+  if (style.dim == PartitionDim::kYDim) {
+    double right_lmc = std::numeric_limits<double>::infinity();
+    for (int r : part.second_group) {
+      right_lmc = std::min(right_lmc, sub.RegionBounds(r).min_x);
+    }
+    double left_rmc = -std::numeric_limits<double>::infinity();
+    for (int r : part.first_group) {
+      left_rmc = std::max(left_rmc, sub.RegionBounds(r).max_x);
+    }
+    part.near_bound = right_lmc;
+    part.far_bound = left_rmc;
+  } else {
+    double lower_umc = -std::numeric_limits<double>::infinity();
+    for (int r : part.second_group) {
+      lower_umc = std::max(lower_umc, sub.RegionBounds(r).max_y);
+    }
+    double upper_lwc = std::numeric_limits<double>::infinity();
+    for (int r : part.first_group) {
+      upper_lwc = std::min(upper_lwc, sub.RegionBounds(r).min_y);
+    }
+    part.near_bound = lower_umc;
+    part.far_bound = upper_lwc;
+  }
+
+  // Phase 2 (lines 4-16): extent of the first group, pruned + truncated.
+  Result<std::vector<Polyline>> extent_r =
+      sub::ComputeExtent(sub, part.first_group);
+  if (!extent_r.ok()) return extent_r.status();
+  part.polylines = PruneExtent(extent_r.value(), style.dim, part.near_bound);
+  // An empty partition is legal: when the two groups are not even adjacent
+  // (possible for sort-based grouping of a disconnected subtree), the
+  // whole extent lies beyond the pruning line and the shortcut bounds
+  // alone decide every query that can reach this node.
+  part.num_scalar_coords = 0;
+  for (const Polyline& pl : part.polylines) {
+    part.num_scalar_coords += ScalarCoords(pl);
+  }
+  return part;
+}
+
+double InterProb(const sub::Subdivision& sub, const std::vector<int>& regions,
+                 const Partition& partition) {
+  double band_area = 0.0;
+  double total_area = 0.0;
+  for (int r : regions) {
+    const geom::Polygon poly = sub.RegionPolygon(r);
+    total_area += poly.Area();
+    if (partition.style.dim == PartitionDim::kYDim) {
+      band_area += geom::AreaInVerticalBand(poly, partition.near_bound,
+                                            partition.far_bound);
+    } else {
+      band_area += geom::AreaInHorizontalBand(poly, partition.far_bound,
+                                              partition.near_bound);
+    }
+  }
+  if (total_area <= 0.0) return 0.0;
+  return band_area / total_area;
+}
+
+Result<Partition> ChooseBestPartition(const sub::Subdivision& sub,
+                                      const std::vector<int>& regions,
+                                      bool interprob_tiebreak,
+                                      const std::vector<double>& access_weights) {
+  std::vector<Partition> candidates;
+  // Weighted splits pick their own cut, so the even/odd group-size styles
+  // collapse; enumerate as if N were even to avoid duplicate work.
+  const int style_n = access_weights.empty()
+                          ? static_cast<int>(regions.size())
+                          : 2 * static_cast<int>((regions.size() + 1) / 2);
+  for (const PartitionStyle& style : EnumerateStyles(style_n)) {
+    Result<Partition> p =
+        ComputePartition(sub, regions, style, access_weights);
+    if (!p.ok()) return p.status();
+    candidates.push_back(std::move(p).value());
+  }
+  DTREE_CHECK(!candidates.empty());
+
+  int best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].num_scalar_coords <
+        candidates[best].num_scalar_coords) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (interprob_tiebreak) {
+    double best_prob = -1.0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].num_scalar_coords !=
+          candidates[best].num_scalar_coords) {
+        continue;
+      }
+      const double prob = InterProb(sub, regions, candidates[i]);
+      if (best_prob < 0.0 || prob < best_prob) {
+        best_prob = prob;
+        best = static_cast<int>(i);
+      }
+    }
+  }
+  return std::move(candidates[best]);
+}
+
+bool PointInFirstSubspace(const Partition& partition, const geom::Point& p,
+                          bool* via_shortcut) {
+  return PointInSubspaceTest(partition.style.dim, partition.near_bound,
+                             partition.far_bound, partition.polylines, p,
+                             via_shortcut);
+}
+
+bool PointInSubspaceTest(PartitionDim dim, double near_bound,
+                         double far_bound,
+                         const std::vector<Polyline>& polylines,
+                         const geom::Point& p, bool* via_shortcut) {
+  if (via_shortcut != nullptr) *via_shortcut = true;
+  int crossings = 0;
+  if (dim == PartitionDim::kYDim) {
+    if (p.x <= near_bound) return true;   // D1: all-left
+    if (p.x >= far_bound) return false;   // D3: all-right
+    if (via_shortcut != nullptr) *via_shortcut = false;
+    for (const Polyline& pl : polylines) {
+      const size_t nseg = pl.NumSegments();
+      for (size_t i = 0; i < nseg; ++i) {
+        Point a, b;
+        pl.Segment(i, &a, &b);
+        if (geom::RayRightCrossesSegment(p, a, b)) ++crossings;
+      }
+    }
+  } else {
+    if (p.y >= near_bound) return true;   // all-upper
+    if (p.y <= far_bound) return false;   // all-lower
+    if (via_shortcut != nullptr) *via_shortcut = false;
+    for (const Polyline& pl : polylines) {
+      const size_t nseg = pl.NumSegments();
+      for (size_t i = 0; i < nseg; ++i) {
+        Point a, b;
+        pl.Segment(i, &a, &b);
+        if (geom::RayDownCrossesSegment(p, a, b)) ++crossings;
+      }
+    }
+  }
+  return (crossings % 2) == 1;
+}
+
+}  // namespace dtree::core

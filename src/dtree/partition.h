@@ -1,0 +1,114 @@
+// Space-partition computation for the D-tree (Algorithm 1 of the paper).
+//
+// A partition splits a set of data regions into two complementary groups of
+// (almost) equal cardinality and represents the division between them as a
+// set of polylines: the extent (union boundary) of the first group, pruned
+// of segments lying beyond the complementary group's extreme coordinate and
+// truncated at that line.
+//
+// Terminology mapping (see DESIGN.md §4):
+//  * kYDim — the paper's "y-dimensional" partition: an overall vertical
+//    polyline separating LEFT (first child) from RIGHT, produced by sorting
+//    regions on x-extents. `near_bound` = right_lmc (leftmost x of the
+//    right subspace), `far_bound` = left_rmc (rightmost x of the left
+//    subspace).
+//  * kXDim — "x-dimensional": horizontal polyline separating UPPER (first
+//    child) from LOWER. `near_bound` = lower_umc (uppermost y of the lower
+//    subspace), `far_bound` = upper_lwc (lowest y of the upper subspace).
+
+#ifndef DTREE_DTREE_PARTITION_H_
+#define DTREE_DTREE_PARTITION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "geom/polygon.h"
+#include "subdivision/subdivision.h"
+
+namespace dtree::core {
+
+enum class PartitionDim {
+  kYDim,  ///< vertical-ish polyline; first child = lefthand subspace
+  kXDim,  ///< horizontal-ish polyline; first child = upper subspace
+};
+
+enum class SortKey {
+  kMinCoord,  ///< leftmost x (kYDim) / lowest y (kXDim)
+  kMaxCoord,  ///< rightmost x / uppermost y
+};
+
+/// One of the 4 (even N) or 8 (odd N) candidate partition styles (§4.2).
+struct PartitionStyle {
+  PartitionDim dim = PartitionDim::kYDim;
+  SortKey key = SortKey::kMaxCoord;
+  /// When N is odd, whether the first group takes ceil(N/2) regions
+  /// (ignored for even N).
+  bool first_group_larger = false;
+};
+
+/// All candidate styles for a group of n regions.
+std::vector<PartitionStyle> EnumerateStyles(int n);
+
+/// A computed partition of a region group.
+struct Partition {
+  PartitionStyle style;
+  /// First child's regions: lefthand (kYDim) or upper (kXDim) subspace.
+  std::vector<int> first_group;
+  std::vector<int> second_group;
+  /// Pruned + truncated division polylines.
+  std::vector<geom::Polyline> polylines;
+  /// Shortcut bounds; see file comment. For kYDim: a query with
+  /// p.x <= near_bound goes to the first group, p.x >= far_bound to the
+  /// second; for kXDim: p.y >= near_bound first, p.y <= far_bound second.
+  double near_bound = 0.0;
+  double far_bound = 0.0;
+  /// Partition size counted in scalar coordinates (a vertex = 2; closed
+  /// polylines repeat their first vertex on the air).
+  int num_scalar_coords = 0;
+};
+
+/// Runs Algorithm 1 for one style over `regions` (>= 2 region ids).
+///
+/// `access_weights` (indexed by region id, empty = uniform) switches the
+/// split point from equal cardinality to equal access-probability mass —
+/// the skew-aware variant inspired by imbalanced broadcast indexing
+/// (Chen, Yu & Wu, ICDCS'97, the paper's reference [6]): frequently
+/// queried regions end up on shorter root-to-leaf paths, trading the
+/// strict height balance of §4.1 property 3 for lower expected tuning
+/// time. With weights supplied, `style.first_group_larger` is ignored
+/// (the mass split determines the cut).
+Result<Partition> ComputePartition(
+    const sub::Subdivision& sub, const std::vector<int>& regions,
+    const PartitionStyle& style,
+    const std::vector<double>& access_weights = {});
+
+/// Probability proxy that a uniform query over the group's area lands in
+/// the interlocking band D2 (used for tie-breaking, §4.2/§4.4).
+double InterProb(const sub::Subdivision& sub, const std::vector<int>& regions,
+                 const Partition& partition);
+
+/// Evaluates every style and picks the smallest partition (ties broken by
+/// inter-prob when `interprob_tiebreak`, else by enumeration order).
+Result<Partition> ChooseBestPartition(
+    const sub::Subdivision& sub, const std::vector<int>& regions,
+    bool interprob_tiebreak, const std::vector<double>& access_weights = {});
+
+/// Query-side test: does point p belong to the partition's first group's
+/// subspace? (D1/D3 shortcuts plus the D2 ray-crossing parity test of
+/// Algorithm 2.) When `via_shortcut` is non-null it is set to true when
+/// the D1/D3 coordinate comparison decided without ray casting — for
+/// multi-packet nodes that is the paper's early-termination case (§4.4):
+/// the client resolves the child pointer from the node's first packet.
+bool PointInFirstSubspace(const Partition& partition, const geom::Point& p,
+                          bool* via_shortcut = nullptr);
+
+/// Same test over raw node fields (no Partition wrapper); used by the
+/// D-tree's hot query path.
+bool PointInSubspaceTest(PartitionDim dim, double near_bound,
+                         double far_bound,
+                         const std::vector<geom::Polyline>& polylines,
+                         const geom::Point& p, bool* via_shortcut = nullptr);
+
+}  // namespace dtree::core
+
+#endif  // DTREE_DTREE_PARTITION_H_

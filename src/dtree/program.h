@@ -1,0 +1,87 @@
+// Byte-level broadcast program: one full (1, m) cycle materialized as
+// radio frames — the "air storage" of Imielinski et al. made concrete.
+//
+// Frame layout (one frame per packet slot of the cycle):
+//   u8   type        0 = index, 1 = data
+//   u32  next_index  frames from this one to the start of the next index
+//                    segment (the pointer every segment carries, §2)
+//   u8[capacity]     body: a paged index packet (from SerializeDTree) or a
+//                    slice of a 1 KB data instance
+//
+// The 5-byte frame header models link-layer overhead and deliberately sits
+// outside the packet capacity, so the index layouts paged for `capacity`
+// bytes are broadcast unchanged (Table 2 accounts payload bytes only).
+//
+// RunClient executes the full access protocol against the raw frames —
+// initial probe, byte-level index decoding, doze, data retrieval with
+// payload verification — and must agree with the analytic channel
+// simulator packet for packet (asserted in tests).
+
+#ifndef DTREE_DTREE_PROGRAM_H_
+#define DTREE_DTREE_PROGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "broadcast/channel.h"
+#include "common/status.h"
+#include "dtree/dtree.h"
+
+namespace dtree::core {
+
+class BroadcastProgram {
+ public:
+  /// Materializes the cycle for a built D-tree over `channel`'s layout.
+  /// The channel must have been created for this tree's packet count and
+  /// capacity.
+  static Result<BroadcastProgram> Materialize(
+      const DTree& tree, const bcast::BroadcastChannel& channel);
+
+  int capacity() const { return capacity_; }
+  int64_t num_frames() const { return static_cast<int64_t>(frames_.size()); }
+  const std::vector<uint8_t>& frame(int64_t i) const { return frames_[i]; }
+
+  /// Frame-header constants.
+  static constexpr size_t kHeaderSize = 5;
+  static constexpr uint8_t kIndexFrame = 0;
+  static constexpr uint8_t kDataFrame = 1;
+
+  struct SessionResult {
+    int region = -1;
+    double latency = 0.0;   ///< frames, query issue -> data complete
+    int tuning_probe = 0;
+    int tuning_index = 0;
+    int tuning_data = 0;
+    int tuning_total() const {
+      return tuning_probe + tuning_index + tuning_data;
+    }
+  };
+
+  /// Runs a complete client session from the bytes: tunes in at `arrival`
+  /// (continuous, within one cycle), reads the probe frame's next-index
+  /// pointer, decodes the D-tree from index frames, waits for the data
+  /// bucket, and verifies the payload stamp. Fails on any byte-level
+  /// inconsistency.
+  Result<SessionResult> RunClient(const geom::Point& p,
+                                  double arrival) const;
+
+ private:
+  BroadcastProgram() = default;
+
+  Status ParseHeader(int64_t frame, uint8_t* type,
+                     uint32_t* next_index) const;
+
+  int capacity_ = 0;
+  int m_ = 1;
+  int index_packets_ = 0;
+  int bucket_packets_ = 0;
+  int num_regions_ = 0;
+  bool early_termination_ = true;
+  std::vector<std::vector<uint8_t>> frames_;
+  std::vector<int64_t> segment_starts_;
+  std::vector<int64_t> bucket_starts_;  ///< region -> first data frame
+};
+
+}  // namespace dtree::core
+
+#endif  // DTREE_DTREE_PROGRAM_H_

@@ -1,0 +1,302 @@
+#include "dtree/serialize.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/check.h"
+
+namespace dtree::core {
+
+namespace {
+
+constexpr uint32_t kDataPtrBit = 0x80000000u;
+constexpr int kOffsetBits = 12;
+constexpr uint32_t kOffsetMask = (1u << kOffsetBits) - 1;
+constexpr int kMaxScalarCoords = (1 << 14) - 1;
+
+uint32_t EncodeDataPtr(int region) {
+  return kDataPtrBit | static_cast<uint32_t>(region);
+}
+
+uint32_t EncodeNodePtr(int packet, size_t offset) {
+  DTREE_CHECK(offset <= kOffsetMask);
+  DTREE_CHECK(packet < (1 << 19));
+  return (static_cast<uint32_t>(packet) << kOffsetBits) |
+         static_cast<uint32_t>(offset);
+}
+
+/// Sequential byte sink that spills across consecutive packets.
+class PacketCursor {
+ public:
+  PacketCursor(std::vector<std::vector<uint8_t>>* packets, int capacity,
+               int packet, size_t offset)
+      : packets_(packets), capacity_(capacity), packet_(packet),
+        offset_(offset) {}
+
+  void Write(const std::vector<uint8_t>& bytes) {
+    for (uint8_t b : bytes) {
+      if (offset_ == static_cast<size_t>(capacity_)) {
+        ++packet_;
+        offset_ = 0;
+      }
+      DTREE_CHECK(packet_ < static_cast<int>(packets_->size()));
+      (*packets_)[packet_][offset_++] = b;
+    }
+  }
+
+ private:
+  std::vector<std::vector<uint8_t>>* packets_;
+  int capacity_;
+  int packet_;
+  size_t offset_;
+};
+
+/// Sequential reader over consecutive packets.
+class PacketReader {
+ public:
+  PacketReader(const std::vector<std::vector<uint8_t>>& packets, int capacity,
+               int packet, size_t offset, std::vector<int>* read_log)
+      : packets_(packets), capacity_(capacity), packet_(packet),
+        offset_(offset), read_log_(read_log) {
+    Touch();
+  }
+
+  Status ReadU16(uint16_t* out) {
+    uint8_t lo, hi;
+    DTREE_RETURN_IF_ERROR(ReadByte(&lo));
+    DTREE_RETURN_IF_ERROR(ReadByte(&hi));
+    *out = static_cast<uint16_t>(lo) | static_cast<uint16_t>(hi) << 8;
+    return Status::OK();
+  }
+
+  Status ReadU32(uint32_t* out) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      uint8_t b;
+      DTREE_RETURN_IF_ERROR(ReadByte(&b));
+      v |= static_cast<uint32_t>(b) << (8 * i);
+    }
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ReadF32(float* out) {
+    uint32_t bits;
+    DTREE_RETURN_IF_ERROR(ReadU32(&bits));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::OK();
+  }
+
+ private:
+  Status ReadByte(uint8_t* out) {
+    if (offset_ == static_cast<size_t>(capacity_)) {
+      ++packet_;
+      offset_ = 0;
+      Touch();
+    }
+    if (packet_ >= static_cast<int>(packets_.size())) {
+      return Status::OutOfRange("decoder ran off the packet stream");
+    }
+    *out = packets_[packet_][offset_++];
+    return Status::OK();
+  }
+
+  void Touch() {
+    if (read_log_ == nullptr) return;
+    if (packet_ >= static_cast<int>(packets_.size())) return;
+    if (read_log_->empty() || read_log_->back() != packet_) {
+      read_log_->push_back(packet_);
+    }
+  }
+
+  const std::vector<std::vector<uint8_t>>& packets_;
+  int capacity_;
+  int packet_;
+  size_t offset_;
+  std::vector<int>* read_log_;
+};
+
+}  // namespace
+
+Result<std::vector<std::vector<uint8_t>>> SerializeDTree(const DTree& tree) {
+  const int capacity = tree.PacketCapacity();
+  std::vector<std::vector<uint8_t>> packets(
+      tree.NumIndexPackets(),
+      std::vector<uint8_t>(static_cast<size_t>(capacity), 0));
+  if (tree.root() < 0) return packets;  // single-region: empty index
+
+  for (int bfs = 0; bfs < tree.num_nodes(); ++bfs) {
+    const int id = tree.bfs_order()[bfs];
+    const DTreeNode& n = tree.node(id);
+    const bcast::NodeSpan& s = tree.span(id);
+
+    int total_coords = 0;
+    for (const geom::Polyline& pl : n.polylines) {
+      total_coords += 2 * static_cast<int>(pl.pts.size() + (pl.closed ? 1 : 0));
+    }
+    if (total_coords > kMaxScalarCoords) {
+      return Status::OutOfRange("partition too large for the header field");
+    }
+
+    ByteWriter w;
+    w.PutU16(static_cast<uint16_t>(bfs));
+    uint16_t header = 0;
+    if (n.dim == PartitionDim::kXDim) header |= 1;
+    if (n.explicit_bounds) header |= 2;
+    header |= static_cast<uint16_t>(total_coords) << 2;
+    w.PutU16(header);
+
+    auto encode_child = [&](int child_node, int child_region) {
+      if (child_node >= 0) {
+        const bcast::NodeSpan& cs = tree.span(child_node);
+        return EncodeNodePtr(cs.first_packet, cs.offset);
+      }
+      DTREE_CHECK(child_region >= 0);
+      return EncodeDataPtr(child_region);
+    };
+    w.PutU32(encode_child(n.left_node, n.left_region));
+    w.PutU32(encode_child(n.right_node, n.right_region));
+
+    if (n.explicit_bounds) {
+      w.PutF32(static_cast<float>(n.far_bound));   // RMC
+      w.PutF32(static_cast<float>(n.near_bound));  // LMC
+    }
+    for (const geom::Polyline& pl : n.polylines) {
+      const size_t points = pl.pts.size() + (pl.closed ? 1 : 0);
+      w.PutU16(static_cast<uint16_t>(points));
+      for (const geom::Point& p : pl.pts) {
+        w.PutF32(static_cast<float>(p.x));
+        w.PutF32(static_cast<float>(p.y));
+      }
+      if (pl.closed) {
+        w.PutF32(static_cast<float>(pl.pts.front().x));
+        w.PutF32(static_cast<float>(pl.pts.front().y));
+      }
+    }
+    if (w.size() != n.byte_size) {
+      return Status::Internal("serialized size " + std::to_string(w.size()) +
+                              " != accounted size " +
+                              std::to_string(n.byte_size));
+    }
+    PacketCursor cursor(&packets, capacity, s.first_packet, s.offset);
+    cursor.Write(w.bytes());
+  }
+  return packets;
+}
+
+Result<int> QueryFromPackets(const std::vector<std::vector<uint8_t>>& packets,
+                             int packet_capacity, bool early_termination,
+                             const geom::Point& p,
+                             std::vector<int>* packets_read) {
+  if (packets.empty()) return Status::InvalidArgument("no packets");
+  int packet = 0;
+  size_t offset = 0;
+  for (int hops = 0; hops < 1 << 20; ++hops) {
+    PacketReader r(packets, packet_capacity, packet, offset, packets_read);
+    uint16_t bid, header;
+    DTREE_RETURN_IF_ERROR(r.ReadU16(&bid));
+    DTREE_RETURN_IF_ERROR(r.ReadU16(&header));
+    const PartitionDim dim =
+        (header & 1) ? PartitionDim::kXDim : PartitionDim::kYDim;
+    const bool has_bounds = (header & 2) != 0;
+    const int total_coords = header >> 2;
+    uint32_t left_ptr, right_ptr;
+    DTREE_RETURN_IF_ERROR(r.ReadU32(&left_ptr));
+    DTREE_RETURN_IF_ERROR(r.ReadU32(&right_ptr));
+
+    bool go_left = false;
+    bool decided = false;
+    bool bounds_known = false;
+    float rmc = 0.0f, lmc = 0.0f;
+    if (has_bounds) {
+      DTREE_RETURN_IF_ERROR(r.ReadF32(&rmc));
+      DTREE_RETURN_IF_ERROR(r.ReadF32(&lmc));
+      bounds_known = true;
+      // Only stop reading mid-node when early termination is enabled —
+      // otherwise fall through and read the whole node like a client
+      // without the §4.4 arrangement would.
+      if (early_termination) {
+        if (dim == PartitionDim::kYDim) {
+          if (p.x <= lmc) {
+            go_left = true;
+            decided = true;
+          } else if (p.x >= rmc) {
+            go_left = false;
+            decided = true;
+          }
+        } else {
+          if (p.y >= lmc) {
+            go_left = true;
+            decided = true;
+          } else if (p.y <= rmc) {
+            go_left = false;
+            decided = true;
+          }
+        }
+      }
+    }
+    if (!decided) {
+      // Read the partition and run Algorithm 2 in full.
+      std::vector<geom::Polyline> polylines;
+      int coords = 0;
+      double min_c = 1e300, max_c = -1e300;
+      while (coords < total_coords) {
+        uint16_t count;
+        DTREE_RETURN_IF_ERROR(r.ReadU16(&count));
+        if (count < 2) return Status::Internal("polyline with < 2 points");
+        geom::Polyline pl;
+        pl.pts.reserve(count);
+        for (int i = 0; i < count; ++i) {
+          float x, y;
+          DTREE_RETURN_IF_ERROR(r.ReadF32(&x));
+          DTREE_RETURN_IF_ERROR(r.ReadF32(&y));
+          pl.pts.push_back({x, y});
+          const double c = dim == PartitionDim::kYDim ? x : y;
+          min_c = std::min(min_c, c);
+          max_c = std::max(max_c, c);
+        }
+        coords += 2 * count;
+        if (pl.pts.size() > 3 &&
+            geom::NearlyEqual(pl.pts.front(), pl.pts.back(),
+                              geom::kGeomEps)) {
+          pl.pts.pop_back();
+          pl.closed = true;
+        }
+        polylines.push_back(std::move(pl));
+      }
+      if (coords != total_coords) {
+        return Status::Internal("partition coordinate count mismatch");
+      }
+      // Shortcut bounds: explicit when the header carried them, otherwise
+      // reconstructed from the partition's extreme coordinates (valid —
+      // the encoder sets the explicit-bounds flag exactly when they would
+      // not be recoverable this way).
+      double near_b, far_b;
+      if (bounds_known) {
+        near_b = lmc;
+        far_b = rmc;
+      } else if (dim == PartitionDim::kYDim) {
+        near_b = min_c;
+        far_b = max_c;
+      } else {
+        near_b = max_c;  // lower_umc: the truncation line (max y)
+        far_b = min_c;   // upper_lwc
+      }
+      go_left = PointInSubspaceTest(dim, near_b, far_b, polylines, p);
+    }
+
+    const uint32_t ptr = go_left ? left_ptr : right_ptr;
+    if (ptr & kDataPtrBit) {
+      return static_cast<int>(ptr & ~kDataPtrBit);
+    }
+    packet = static_cast<int>(ptr >> kOffsetBits);
+    offset = ptr & kOffsetMask;
+    if (packet >= static_cast<int>(packets.size())) {
+      return Status::Internal("node pointer outside the packet stream");
+    }
+  }
+  return Status::Internal("decode descent did not terminate");
+}
+
+}  // namespace dtree::core

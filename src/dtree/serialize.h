@@ -1,0 +1,45 @@
+// Byte-level serialization of the paged D-tree into broadcast packets, and
+// a packet-side decoder that answers queries straight from the bytes —
+// exactly what a mobile client would do with the frames it receives.
+//
+// Node wire format (little-endian; sizes per Table 2):
+//   u16  bid      — node id (breadth-first position)
+//   u16  header   — bit0: partition dim (0 = y-dimensional, 1 = x-dim);
+//                   bit1: large (node spans > 1 packet);
+//                   bits2..15: partition size in scalar coordinates
+//   u32  left_ptr  \  bit31: 1 = data pointer (low bits: region id),
+//   u32  right_ptr /  0 = node pointer (bits12..30: packet, bits0..11:
+//                      byte offset within that packet)
+//   [large nodes, when early termination is enabled:]
+//   f32  RMC      — far shortcut bound (left_rmc / upper_lwc)
+//   f32  LMC      — near shortcut bound (right_lmc / lower_umc)
+//   per polyline: u16 point count, then count * (f32 x, f32 y); closed
+//   rings repeat their first point.
+
+#ifndef DTREE_DTREE_SERIALIZE_H_
+#define DTREE_DTREE_SERIALIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dtree/dtree.h"
+
+namespace dtree::core {
+
+/// One broadcast cycle's worth of index packets, each exactly
+/// `packet_capacity` bytes (zero-padded).
+Result<std::vector<std::vector<uint8_t>>> SerializeDTree(const DTree& tree);
+
+/// Client-side query over raw packets: descends from packet 0 offset 0,
+/// decoding nodes as it goes. Returns the region id and (out parameter)
+/// the ordered list of packet ids read, applying the same early-
+/// termination rule a real client would. Intended for round-trip tests.
+Result<int> QueryFromPackets(const std::vector<std::vector<uint8_t>>& packets,
+                             int packet_capacity, bool early_termination,
+                             const geom::Point& p,
+                             std::vector<int>* packets_read);
+
+}  // namespace dtree::core
+
+#endif  // DTREE_DTREE_SERIALIZE_H_

@@ -1,0 +1,141 @@
+// Basic planar types: Point and BBox.
+//
+// Coordinates are doubles in memory; they are serialized as 4-byte floats
+// only when nodes are laid out into broadcast packets (Table 2 of the
+// paper). Tolerances used across the geometry kernel are centralized here.
+
+#ifndef DTREE_GEOM_POINT_H_
+#define DTREE_GEOM_POINT_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+namespace dtree::geom {
+
+/// Predicate tolerance for near-zero tests (orientation, incidence).
+inline constexpr double kGeomEps = 1e-9;
+
+/// Vertex-identity tolerance: two vertices closer than this are considered
+/// the same point when stitching a subdivision. Chosen far above the
+/// floating-point error of the Voronoi construction (~1e-9 over a
+/// [0,1000]^2 world) and far below typical inter-vertex distances.
+inline constexpr double kMergeEps = 1e-6;
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double px, double py) : x(px), y(py) {}
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double s) const { return {x * s, y * s}; }
+
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+  bool operator!=(const Point& o) const { return !(*this == o); }
+
+  /// Lexicographic (x, then y) order; the trapezoidal map uses this as a
+  /// symbolic shear to break ties between equal x-coordinates.
+  bool LexLess(const Point& o) const {
+    return x < o.x || (x == o.x && y < o.y);
+  }
+};
+
+inline double Dot(const Point& a, const Point& b) { return a.x * b.x + a.y * b.y; }
+inline double Cross(const Point& a, const Point& b) { return a.x * b.y - a.y * b.x; }
+
+inline double DistanceSquared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(DistanceSquared(a, b));
+}
+
+/// True when the two points are within the vertex-identity tolerance.
+inline bool NearlyEqual(const Point& a, const Point& b,
+                        double eps = kMergeEps) {
+  return std::abs(a.x - b.x) <= eps && std::abs(a.y - b.y) <= eps;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+/// Axis-aligned bounding box. Default-constructed box is empty.
+struct BBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  BBox() = default;
+  BBox(double x0, double y0, double x1, double y1)
+      : min_x(x0), min_y(y0), max_x(x1), max_y(y1) {}
+
+  bool empty() const { return min_x > max_x || min_y > max_y; }
+  double width() const { return empty() ? 0.0 : max_x - min_x; }
+  double height() const { return empty() ? 0.0 : max_y - min_y; }
+  double Area() const { return width() * height(); }
+  Point Center() const {
+    return {(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+
+  void Extend(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  void Extend(const BBox& b) {
+    if (b.empty()) return;
+    min_x = std::min(min_x, b.min_x);
+    min_y = std::min(min_y, b.min_y);
+    max_x = std::max(max_x, b.max_x);
+    max_y = std::max(max_y, b.max_y);
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  bool Contains(const BBox& b) const {
+    return b.min_x >= min_x && b.max_x <= max_x && b.min_y >= min_y &&
+           b.max_y <= max_y;
+  }
+  bool Intersects(const BBox& b) const {
+    return !(b.min_x > max_x || b.max_x < min_x || b.min_y > max_y ||
+             b.max_y < min_y);
+  }
+
+  /// Area of the geometric intersection (0 when disjoint).
+  double IntersectionArea(const BBox& b) const {
+    const double w =
+        std::min(max_x, b.max_x) - std::max(min_x, b.min_x);
+    const double h =
+        std::min(max_y, b.max_y) - std::max(min_y, b.min_y);
+    if (w <= 0.0 || h <= 0.0) return 0.0;
+    return w * h;
+  }
+
+  /// Half-perimeter ("margin" in R*-tree terminology).
+  double Margin() const { return width() + height(); }
+
+  /// Smallest box covering both this box and `b`.
+  BBox Union(const BBox& b) const {
+    BBox r = *this;
+    r.Extend(b);
+    return r;
+  }
+
+  bool operator==(const BBox& o) const {
+    return min_x == o.min_x && min_y == o.min_y && max_x == o.max_x &&
+           max_y == o.max_y;
+  }
+};
+
+}  // namespace dtree::geom
+
+#endif  // DTREE_GEOM_POINT_H_

@@ -1,0 +1,116 @@
+// Simple polygons and polylines.
+//
+// A Polygon is a simple (non-self-intersecting) closed ring of vertices.
+// Data regions (Voronoi valid scopes), subdivision extents, and R*-tree
+// shape-layer objects are all built on this type. A Polyline is an open or
+// closed chain of vertices; D-tree partitions are sets of polylines.
+
+#ifndef DTREE_GEOM_POLYGON_H_
+#define DTREE_GEOM_POLYGON_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/point.h"
+
+namespace dtree::geom {
+
+/// Open or closed chain of vertices.
+///
+/// For a closed polyline the first vertex is NOT repeated at the end;
+/// `closed` records the implicit last edge back to the front.
+struct Polyline {
+  std::vector<Point> pts;
+  bool closed = false;
+
+  size_t NumVertices() const { return pts.size(); }
+  /// Number of line segments spanned by the chain.
+  size_t NumSegments() const {
+    if (pts.size() < 2) return 0;
+    return closed ? pts.size() : pts.size() - 1;
+  }
+  /// Endpoints of the i-th segment (wraps around when closed).
+  void Segment(size_t i, Point* a, Point* b) const {
+    *a = pts[i];
+    *b = pts[(i + 1) % pts.size()];
+  }
+  BBox Bounds() const {
+    BBox b;
+    for (const Point& p : pts) b.Extend(p);
+    return b;
+  }
+};
+
+/// Simple polygon stored as a vertex ring (first vertex not repeated).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> ring) : ring_(std::move(ring)) {}
+
+  const std::vector<Point>& ring() const { return ring_; }
+  std::vector<Point>& mutable_ring() { return ring_; }
+  size_t NumVertices() const { return ring_.size(); }
+  bool empty() const { return ring_.size() < 3; }
+
+  /// Endpoints of the i-th boundary edge (i in [0, NumVertices())).
+  void Edge(size_t i, Point* a, Point* b) const {
+    *a = ring_[i];
+    *b = ring_[(i + 1) % ring_.size()];
+  }
+
+  /// Signed area: positive for counter-clockwise rings.
+  double SignedArea() const;
+  double Area() const;
+  Point Centroid() const;
+  BBox Bounds() const;
+
+  bool IsCCW() const { return SignedArea() > 0.0; }
+  /// Reverses the ring if it is clockwise.
+  void EnsureCCW();
+
+  /// True when p is strictly inside or on the boundary. Uses ray crossing
+  /// with the half-open rule plus an explicit boundary check, so points on
+  /// edges are reported as contained regardless of crossing parity.
+  bool Contains(const Point& p) const;
+
+  /// True when p lies on the boundary within `eps`.
+  bool OnBoundary(const Point& p, double eps = kGeomEps) const;
+
+  /// Distance from p to the nearest boundary edge.
+  double DistanceToBoundary(const Point& p) const;
+
+  /// True when no two non-adjacent edges properly intersect and no vertex
+  /// repeats. O(n^2); intended for tests and validation, not hot paths.
+  bool IsSimple() const;
+
+  /// True when every vertex turns the same way (allows collinear runs).
+  bool IsConvex() const;
+
+  /// A point guaranteed to be strictly inside the polygon (centroid when
+  /// the polygon is convex; otherwise an interior midpoint found by
+  /// scanline sampling). Returns false for degenerate polygons.
+  bool InteriorPoint(Point* out) const;
+
+ private:
+  std::vector<Point> ring_;
+};
+
+/// Clips `poly` by the half-plane {p : a*p.x + b*p.y + c <= 0} using
+/// Sutherland-Hodgman. The input must be convex for the output to be a
+/// correct single polygon (the Voronoi builder only ever clips convex
+/// cells). Returns an empty polygon when nothing remains.
+Polygon ClipHalfPlane(const Polygon& poly, double a, double b, double c);
+
+/// Clips an arbitrary simple polygon to the vertical band lo <= x <= hi and
+/// returns the total remaining area. Non-convex inputs are handled by
+/// summing trapezoid contributions edge-by-edge (Green's theorem on the
+/// clipped edges), which is exact for band clipping.
+double AreaInVerticalBand(const Polygon& poly, double lo, double hi);
+
+/// Same for the horizontal band lo <= y <= hi.
+double AreaInHorizontalBand(const Polygon& poly, double lo, double hi);
+
+}  // namespace dtree::geom
+
+#endif  // DTREE_GEOM_POLYGON_H_

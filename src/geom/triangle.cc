@@ -1,0 +1,28 @@
+#include "geom/triangle.h"
+
+#include "geom/polygon.h"
+
+namespace dtree::geom {
+
+bool Triangle::OverlapsInterior(const Triangle& o) const {
+  if (!Bounds().Intersects(o.Bounds())) return false;
+  // Clip `o` by the three half-planes of `this` and check the remaining
+  // area. Edge/vertex adjacency leaves (near-)zero area behind.
+  Polygon clipped(std::vector<Point>{o.v[0], o.v[1], o.v[2]});
+  for (int i = 0; i < 3 && !clipped.empty(); ++i) {
+    const Point& a = v[i];
+    const Point& b = v[(i + 1) % 3];
+    // Inside (left of CCW edge a->b): cross(b-a, p-a) >= 0, i.e.
+    // -(b.y-a.y) * p.x + (b.x-a.x) * p.y + (a.x*(b.y-a.y) - a.y*(b.x-a.x))
+    // >= 0; ClipHalfPlane keeps coef <= 0, so negate.
+    const double ca = (b.y - a.y);
+    const double cb = -(b.x - a.x);
+    const double cc = -(a.x * ca + a.y * cb);
+    clipped = ClipHalfPlane(clipped, ca, cb, cc);
+  }
+  if (clipped.empty()) return false;
+  const double min_area = std::min(Area(), o.Area());
+  return clipped.Area() > 1e-9 * std::max(min_area, 1.0);
+}
+
+}  // namespace dtree::geom

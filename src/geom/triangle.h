@@ -1,0 +1,58 @@
+// Triangle primitive used by the Kirkpatrick hierarchy and the
+// triangulation routines.
+
+#ifndef DTREE_GEOM_TRIANGLE_H_
+#define DTREE_GEOM_TRIANGLE_H_
+
+#include <array>
+#include <cmath>
+
+#include "geom/point.h"
+#include "geom/predicates.h"
+
+namespace dtree::geom {
+
+struct Triangle {
+  std::array<Point, 3> v;
+
+  Triangle() = default;
+  Triangle(const Point& a, const Point& b, const Point& c) : v{a, b, c} {}
+
+  double SignedArea() const {
+    return OrientValue(v[0], v[1], v[2]) / 2.0;
+  }
+  double Area() const { return std::abs(SignedArea()); }
+
+  /// Reorders vertices so the triangle is counter-clockwise.
+  void EnsureCCW() {
+    if (SignedArea() < 0.0) std::swap(v[1], v[2]);
+  }
+
+  /// Closed containment test (boundary counts as inside). Assumes CCW.
+  bool Contains(const Point& p, double eps = kGeomEps) const {
+    const double s = std::max(Area(), 1.0);
+    const double tol = eps * s;
+    return OrientValue(v[0], v[1], p) >= -tol &&
+           OrientValue(v[1], v[2], p) >= -tol &&
+           OrientValue(v[2], v[0], p) >= -tol;
+  }
+
+  /// True when the two (CCW) triangles overlap in a region of positive
+  /// area. Adjacency along an edge or at a vertex does not count.
+  bool OverlapsInterior(const Triangle& o) const;
+
+  Point Centroid() const {
+    return {(v[0].x + v[1].x + v[2].x) / 3.0,
+            (v[0].y + v[1].y + v[2].y) / 3.0};
+  }
+
+  BBox Bounds() const {
+    BBox b;
+    for (const Point& p : v) b.Extend(p);
+    return b;
+  }
+};
+
+}  // namespace dtree::geom
+
+#endif  // DTREE_GEOM_TRIANGLE_H_

@@ -1,0 +1,89 @@
+#include "subdivision/extent.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace dtree::sub {
+
+namespace {
+
+uint64_t EdgeKey(int a, int b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+}  // namespace
+
+Result<std::vector<geom::Polyline>> ComputeExtent(
+    const Subdivision& sub, const std::vector<int>& region_ids) {
+  if (region_ids.empty()) {
+    return Status::InvalidArgument("extent of an empty region group");
+  }
+
+  // Collect directed edges; cancel pairs (a,b)/(b,a) — those are borders
+  // interior to the group.
+  std::unordered_set<uint64_t> edges;
+  for (int r : region_ids) {
+    if (r < 0 || r >= sub.NumRegions()) {
+      return Status::InvalidArgument("region id out of range");
+    }
+    const std::vector<int>& ring = sub.Ring(r);
+    for (size_t i = 0; i < ring.size(); ++i) {
+      const int a = ring[i];
+      const int b = ring[(i + 1) % ring.size()];
+      const auto rev = edges.find(EdgeKey(b, a));
+      if (rev != edges.end()) {
+        edges.erase(rev);
+      } else {
+        const bool inserted = edges.insert(EdgeKey(a, b)).second;
+        if (!inserted) {
+          return Status::Internal("duplicate directed edge in region group");
+        }
+      }
+    }
+  }
+  if (edges.empty()) {
+    return Status::Internal("region group has no boundary");
+  }
+
+  // Outgoing-edge adjacency for chaining the surviving edges into loops.
+  std::unordered_map<int, std::vector<int>> out_edges;
+  for (uint64_t k : edges) {
+    const int a = static_cast<int>(k >> 32);
+    const int b = static_cast<int>(k & 0xffffffffu);
+    out_edges[a].push_back(b);
+  }
+
+  std::vector<geom::Polyline> loops;
+  const std::vector<geom::Point>& pts = sub.vertices();
+  while (!edges.empty()) {
+    const uint64_t start_key = *edges.begin();
+    const int start = static_cast<int>(start_key >> 32);
+    int cur = start;
+    geom::Polyline loop;
+    loop.closed = true;
+    do {
+      auto it = out_edges.find(cur);
+      if (it == out_edges.end() || it->second.empty()) {
+        return Status::Internal(
+            "extent boundary is not a closed chain (dangling at vertex " +
+            std::to_string(cur) + ")");
+      }
+      const int nxt = it->second.back();
+      it->second.pop_back();
+      const size_t erased = edges.erase(EdgeKey(cur, nxt));
+      DTREE_CHECK(erased == 1);
+      loop.pts.push_back(pts[cur]);
+      cur = nxt;
+    } while (cur != start);
+    if (loop.pts.size() < 3) {
+      return Status::Internal("degenerate extent loop");
+    }
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+}  // namespace dtree::sub

@@ -1,0 +1,31 @@
+// Union-boundary ("extent") extraction for groups of regions.
+//
+// The D-tree partition algorithm (Algorithm 1 of the paper) needs the
+// extent of a subspace: the boundary of the union of its member regions,
+// possibly several closed loops (including hole loops when the group
+// surrounds a region of the complementary group).
+
+#ifndef DTREE_SUBDIVISION_EXTENT_H_
+#define DTREE_SUBDIVISION_EXTENT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "geom/polygon.h"
+#include "subdivision/subdivision.h"
+
+namespace dtree::sub {
+
+/// Computes the union boundary of `region_ids` within `sub` as a set of
+/// closed polylines.
+///
+/// Directed edges of member rings that appear with their reverse inside the
+/// group are interior and cancel; the remainder chains into closed loops.
+/// Requires the subdivision to be stitched (borders matching edge-for-edge,
+/// which Subdivision::FromPolygons guarantees).
+Result<std::vector<geom::Polyline>> ComputeExtent(
+    const Subdivision& sub, const std::vector<int>& region_ids);
+
+}  // namespace dtree::sub
+
+#endif  // DTREE_SUBDIVISION_EXTENT_H_

@@ -1,0 +1,327 @@
+#include "subdivision/subdivision.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "geom/predicates.h"
+
+namespace dtree::sub {
+
+namespace {
+
+using geom::BBox;
+using geom::kMergeEps;
+using geom::Point;
+using geom::Polygon;
+
+/// Maps points to shared vertex ids, merging points within kMergeEps via a
+/// uniform grid hash (cells 4x the tolerance wide, 3x3 neighborhood probe).
+class VertexPool {
+ public:
+  VertexPool() : cell_(kMergeEps * 4.0) {}
+
+  int Intern(const Point& p) {
+    const int64_t cx = Quantize(p.x);
+    const int64_t cy = Quantize(p.y);
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        auto it = grid_.find(Key(cx + dx, cy + dy));
+        if (it == grid_.end()) continue;
+        for (int id : it->second) {
+          if (geom::NearlyEqual(points_[id], p)) return id;
+        }
+      }
+    }
+    const int id = static_cast<int>(points_.size());
+    points_.push_back(p);
+    grid_[Key(cx, cy)].push_back(id);
+    return id;
+  }
+
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  int64_t Quantize(double v) const {
+    return static_cast<int64_t>(std::floor(v / cell_));
+  }
+  static uint64_t Key(int64_t cx, int64_t cy) {
+    return static_cast<uint64_t>(cx) * 0x9e3779b97f4a7c15ULL ^
+           static_cast<uint64_t>(cy);
+  }
+
+  double cell_;
+  std::vector<Point> points_;
+  std::unordered_map<uint64_t, std::vector<int>> grid_;
+};
+
+}  // namespace
+
+Result<Subdivision> Subdivision::FromPolygons(
+    const geom::BBox& service_area, const std::vector<Polygon>& polygons) {
+  if (polygons.empty()) {
+    return Status::InvalidArgument("subdivision needs at least one region");
+  }
+  if (service_area.empty() || service_area.Area() <= 0.0) {
+    return Status::InvalidArgument("service area must have positive area");
+  }
+
+  VertexPool pool;
+  std::vector<std::vector<int>> rings;
+  rings.reserve(polygons.size());
+  for (size_t i = 0; i < polygons.size(); ++i) {
+    Polygon poly = polygons[i];
+    if (poly.NumVertices() < 3 || poly.Area() <= 0.0) {
+      return Status::InvalidArgument("region " + std::to_string(i) +
+                                     " is degenerate");
+    }
+    poly.EnsureCCW();
+    std::vector<int> ring;
+    ring.reserve(poly.NumVertices());
+    for (const Point& p : poly.ring()) {
+      const int id = pool.Intern(p);
+      if (ring.empty() || ring.back() != id) ring.push_back(id);
+    }
+    while (ring.size() > 1 && ring.front() == ring.back()) ring.pop_back();
+    if (ring.size() < 3) {
+      return Status::InvalidArgument("region " + std::to_string(i) +
+                                     " collapsed during vertex snapping");
+    }
+    rings.push_back(std::move(ring));
+  }
+
+  // T-junction pass: split every edge at vertices that lie on its interior.
+  const std::vector<Point>& pts = pool.points();
+  // Coarse spatial grid over the vertices for T-junction candidate lookup
+  // (the snapping grid's cells are far too fine to scan per edge).
+  BBox all_box = service_area;
+  for (const Point& p : pts) all_box.Extend(p);
+  const int gdim = std::clamp(
+      static_cast<int>(std::sqrt(static_cast<double>(pts.size()))), 1, 256);
+  const double gw = std::max(all_box.width(), 1e-9) / gdim;
+  const double gh = std::max(all_box.height(), 1e-9) / gdim;
+  std::vector<std::vector<int>> coarse(static_cast<size_t>(gdim) * gdim);
+  auto cell_of = [&](double x, double y) {
+    const int cx = std::clamp(
+        static_cast<int>((x - all_box.min_x) / gw), 0, gdim - 1);
+    const int cy = std::clamp(
+        static_cast<int>((y - all_box.min_y) / gh), 0, gdim - 1);
+    return std::pair<int, int>{cx, cy};
+  };
+  for (size_t v = 0; v < pts.size(); ++v) {
+    const auto [cx, cy] = cell_of(pts[v].x, pts[v].y);
+    coarse[static_cast<size_t>(cy) * gdim + cx].push_back(
+        static_cast<int>(v));
+  }
+  auto coarse_query = [&](const BBox& box) {
+    std::vector<int> out;
+    const auto [x0, y0] = cell_of(box.min_x - kMergeEps,
+                                  box.min_y - kMergeEps);
+    const auto [x1, y1] = cell_of(box.max_x + kMergeEps,
+                                  box.max_y + kMergeEps);
+    for (int cy = y0; cy <= y1; ++cy) {
+      for (int cx = x0; cx <= x1; ++cx) {
+        const auto& cell = coarse[static_cast<size_t>(cy) * gdim + cx];
+        out.insert(out.end(), cell.begin(), cell.end());
+      }
+    }
+    return out;
+  };
+
+  for (std::vector<int>& ring : rings) {
+    std::vector<int> split;
+    split.reserve(ring.size());
+    for (size_t i = 0; i < ring.size(); ++i) {
+      const int a = ring[i];
+      const int b = ring[(i + 1) % ring.size()];
+      split.push_back(a);
+      BBox edge_box;
+      edge_box.Extend(pts[a]);
+      edge_box.Extend(pts[b]);
+      std::vector<std::pair<double, int>> on_edge;
+      for (int v : coarse_query(edge_box)) {
+        if (v == a || v == b) continue;
+        if (geom::DistanceToSegment(pts[a], pts[b], pts[v]) > kMergeEps) {
+          continue;
+        }
+        // Parameter along the edge for ordering.
+        const Point ab = pts[b] - pts[a];
+        const double t =
+            geom::Dot(pts[v] - pts[a], ab) / geom::Dot(ab, ab);
+        if (t <= 0.0 || t >= 1.0) continue;
+        on_edge.emplace_back(t, v);
+      }
+      std::sort(on_edge.begin(), on_edge.end());
+      for (const auto& [t, v] : on_edge) {
+        if (split.back() != v) split.push_back(v);
+      }
+    }
+    // Remove duplicates created by splits meeting ring vertices.
+    std::vector<int> dedup;
+    for (int v : split) {
+      if (dedup.empty() || dedup.back() != v) dedup.push_back(v);
+    }
+    while (dedup.size() > 1 && dedup.front() == dedup.back()) dedup.pop_back();
+    ring = std::move(dedup);
+  }
+
+  Subdivision out;
+  out.service_area_ = service_area;
+  out.vertices_ = pool.points();
+  out.rings_ = std::move(rings);
+  out.bounds_.reserve(out.rings_.size());
+  for (const std::vector<int>& ring : out.rings_) {
+    BBox b;
+    for (int v : ring) b.Extend(out.vertices_[v]);
+    out.bounds_.push_back(b);
+  }
+  return out;
+}
+
+Polygon Subdivision::RegionPolygon(int i) const {
+  DTREE_CHECK(i >= 0 && i < NumRegions());
+  std::vector<Point> ring;
+  ring.reserve(rings_[i].size());
+  for (int v : rings_[i]) ring.push_back(vertices_[v]);
+  return Polygon(std::move(ring));
+}
+
+Status Subdivision::Validate() const {
+  if (rings_.empty()) return Status::FailedPrecondition("no regions");
+  double area_sum = 0.0;
+  for (int i = 0; i < NumRegions(); ++i) {
+    const Polygon poly = RegionPolygon(i);
+    if (poly.NumVertices() < 3) {
+      return Status::Internal("region " + std::to_string(i) +
+                              " has fewer than 3 vertices");
+    }
+    if (poly.SignedArea() <= 0.0) {
+      return Status::Internal("region " + std::to_string(i) + " is not CCW");
+    }
+    area_sum += poly.Area();
+    const BBox b = poly.Bounds();
+    const double slack = kMergeEps * 10.0;
+    if (b.min_x < service_area_.min_x - slack ||
+        b.max_x > service_area_.max_x + slack ||
+        b.min_y < service_area_.min_y - slack ||
+        b.max_y > service_area_.max_y + slack) {
+      return Status::Internal("region " + std::to_string(i) +
+                              " escapes the service area");
+    }
+  }
+  const double expect = service_area_.Area();
+  if (std::abs(area_sum - expect) > 1e-3 * expect) {
+    return Status::Internal("region areas sum to " + std::to_string(area_sum) +
+                            ", expected " + std::to_string(expect));
+  }
+
+  // Edge matching: each directed edge's reverse must exist in some region,
+  // unless the edge lies on the service-area boundary.
+  std::unordered_map<uint64_t, int> edge_count;
+  auto key = [](int a, int b) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+           static_cast<uint32_t>(b);
+  };
+  for (const std::vector<int>& ring : rings_) {
+    for (size_t i = 0; i < ring.size(); ++i) {
+      const int a = ring[i];
+      const int b = ring[(i + 1) % ring.size()];
+      if (a == b) return Status::Internal("zero-length edge");
+      ++edge_count[key(a, b)];
+    }
+  }
+  auto on_border = [&](const Point& p) {
+    return std::abs(p.x - service_area_.min_x) <= kMergeEps ||
+           std::abs(p.x - service_area_.max_x) <= kMergeEps ||
+           std::abs(p.y - service_area_.min_y) <= kMergeEps ||
+           std::abs(p.y - service_area_.max_y) <= kMergeEps;
+  };
+  for (const auto& [k, count] : edge_count) {
+    if (count != 1) return Status::Internal("duplicate directed edge");
+    const int a = static_cast<int>(k >> 32);
+    const int b = static_cast<int>(k & 0xffffffffu);
+    if (edge_count.count(key(b, a)) > 0) continue;  // shared with neighbor
+    if (on_border(vertices_[a]) && on_border(vertices_[b])) continue;
+    return Status::Internal("unmatched interior edge between vertices " +
+                            std::to_string(a) + " and " + std::to_string(b));
+  }
+  return Status::OK();
+}
+
+double Subdivision::DistanceToNearestBorder(const geom::Point& p) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < NumRegions(); ++i) {
+    const std::vector<int>& ring = rings_[i];
+    for (size_t j = 0; j < ring.size(); ++j) {
+      const Point& a = vertices_[ring[j]];
+      const Point& b = vertices_[ring[(j + 1) % ring.size()]];
+      best = std::min(best, geom::DistanceToSegment(a, b, p));
+    }
+  }
+  return best;
+}
+
+PointLocator::PointLocator(const Subdivision& sub) : sub_(sub) {
+  const int n = sub.NumRegions();
+  polys_.reserve(n);
+  for (int i = 0; i < n; ++i) polys_.push_back(sub.RegionPolygon(i));
+  grid_dim_ = std::max(1, static_cast<int>(std::sqrt(static_cast<double>(n))));
+  const BBox& area = sub.service_area();
+  cell_w_ = area.width() / grid_dim_;
+  cell_h_ = area.height() / grid_dim_;
+  cells_.assign(static_cast<size_t>(grid_dim_) * grid_dim_, {});
+  for (int i = 0; i < n; ++i) {
+    const BBox& b = sub.RegionBounds(i);
+    const int x0 = std::clamp(
+        static_cast<int>((b.min_x - area.min_x) / cell_w_), 0, grid_dim_ - 1);
+    const int x1 = std::clamp(
+        static_cast<int>((b.max_x - area.min_x) / cell_w_), 0, grid_dim_ - 1);
+    const int y0 = std::clamp(
+        static_cast<int>((b.min_y - area.min_y) / cell_h_), 0, grid_dim_ - 1);
+    const int y1 = std::clamp(
+        static_cast<int>((b.max_y - area.min_y) / cell_h_), 0, grid_dim_ - 1);
+    for (int gx = x0; gx <= x1; ++gx) {
+      for (int gy = y0; gy <= y1; ++gy) {
+        cells_[static_cast<size_t>(gy) * grid_dim_ + gx].push_back(i);
+      }
+    }
+  }
+}
+
+int PointLocator::Locate(const geom::Point& p) const {
+  if (polys_.empty()) return -1;
+  const BBox& area = sub_.service_area();
+  const int gx = std::clamp(static_cast<int>((p.x - area.min_x) / cell_w_), 0,
+                            grid_dim_ - 1);
+  const int gy = std::clamp(static_cast<int>((p.y - area.min_y) / cell_h_), 0,
+                            grid_dim_ - 1);
+  const std::vector<int>& cands =
+      cells_[static_cast<size_t>(gy) * grid_dim_ + gx];
+  for (int i : cands) {
+    if (sub_.RegionBounds(i).Contains(p) && polys_[i].Contains(p)) return i;
+  }
+  // Numeric-gap fallback: nearest boundary among candidates, then global.
+  int best = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (int i : cands) {
+    const double d = polys_[i].DistanceToBoundary(p);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  if (best >= 0 && best_d <= kMergeEps * 100.0) return best;
+  for (size_t i = 0; i < polys_.size(); ++i) {
+    if (polys_[i].Contains(p)) return static_cast<int>(i);
+    const double d = polys_[i].DistanceToBoundary(p);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace dtree::sub

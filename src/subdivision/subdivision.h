@@ -1,0 +1,93 @@
+// Planar subdivision: a set of polygonal data regions tiling a rectangular
+// service area.
+//
+// This is the input shared by every index structure in the library. Regions
+// are stored over a shared vertex pool so that borders between adjacent
+// regions match edge-for-edge — a requirement for the D-tree's
+// union-boundary (extent) computation and for building a consistent
+// triangulation for Kirkpatrick's hierarchy.
+
+#ifndef DTREE_SUBDIVISION_SUBDIVISION_H_
+#define DTREE_SUBDIVISION_SUBDIVISION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+
+namespace dtree::sub {
+
+/// A subdivision of `service_area` into N polygonal data regions.
+///
+/// Region i corresponds to data instance i (Definition 1 of the paper:
+/// regions are disjoint and their union is the service area).
+class Subdivision {
+ public:
+  Subdivision() = default;
+
+  /// Builds a subdivision from raw polygons, snapping vertices within
+  /// geom::kMergeEps to a shared pool and splitting edges at T-junctions
+  /// so neighboring borders match exactly.
+  ///
+  /// Fails with InvalidArgument when fewer than one polygon is supplied or
+  /// a polygon is degenerate.
+  static Result<Subdivision> FromPolygons(
+      const geom::BBox& service_area,
+      const std::vector<geom::Polygon>& polygons);
+
+  int NumRegions() const { return static_cast<int>(rings_.size()); }
+  const geom::BBox& service_area() const { return service_area_; }
+  const std::vector<geom::Point>& vertices() const { return vertices_; }
+
+  /// Vertex-id ring (CCW) of region i.
+  const std::vector<int>& Ring(int i) const { return rings_[i]; }
+
+  /// Materializes region i as a Polygon (copies vertices).
+  geom::Polygon RegionPolygon(int i) const;
+
+  /// Bounding box of region i (precomputed).
+  const geom::BBox& RegionBounds(int i) const { return bounds_[i]; }
+
+  /// Structural validation: rings are CCW with >= 3 vertices, region areas
+  /// sum to the service area (within 0.1%), every region lies inside the
+  /// service area, and every edge is either shared (reversed) with exactly
+  /// one other region or lies on the service-area boundary.
+  Status Validate() const;
+
+  /// Distance from p to the nearest region border (used by tests to skip
+  /// query points whose answer is numerically ambiguous).
+  double DistanceToNearestBorder(const geom::Point& p) const;
+
+ private:
+  geom::BBox service_area_;
+  std::vector<geom::Point> vertices_;
+  std::vector<std::vector<int>> rings_;
+  std::vector<geom::BBox> bounds_;
+};
+
+/// Grid-accelerated brute-force point locator over a Subdivision. Serves as
+/// ground truth for every index structure and as the labeling oracle for
+/// trapezoids / triangles at build time.
+class PointLocator {
+ public:
+  explicit PointLocator(const Subdivision& sub);
+
+  /// Region containing p. Points outside every region (possible only
+  /// through floating-point gaps or p outside the service area) resolve to
+  /// the region with the nearest boundary. Returns -1 only for an empty
+  /// subdivision.
+  int Locate(const geom::Point& p) const;
+
+ private:
+  const Subdivision& sub_;
+  std::vector<geom::Polygon> polys_;
+  int grid_dim_ = 1;
+  double cell_w_ = 1.0, cell_h_ = 1.0;
+  std::vector<std::vector<int>> cells_;  // region ids per grid cell
+};
+
+}  // namespace dtree::sub
+
+#endif  // DTREE_SUBDIVISION_SUBDIVISION_H_

@@ -1,0 +1,193 @@
+#include "subdivision/triangulate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <list>
+
+#include "common/check.h"
+#include "geom/predicates.h"
+
+namespace dtree::sub {
+
+namespace {
+
+using geom::Point;
+using geom::Triangle;
+
+/// True when `v` prevents (prev, cur, next) from being clipped as an ear:
+/// it lies inside the closed candidate triangle, is not one of the corners,
+/// and does not sit on the two original polygon edges. A vertex exactly on
+/// the diagonal prev->next blocks — clipping would create a T-junction.
+bool BlocksEar(const Point& prev, const Point& cur, const Point& next,
+               const Point& v) {
+  constexpr double kEps = geom::kMergeEps;
+  if (geom::NearlyEqual(v, prev, kEps) || geom::NearlyEqual(v, cur, kEps) ||
+      geom::NearlyEqual(v, next, kEps)) {
+    return false;
+  }
+  Triangle t(prev, cur, next);
+  if (!t.Contains(v)) return false;
+  if (geom::DistanceToSegment(prev, cur, v) <= kEps) return false;
+  if (geom::DistanceToSegment(cur, next, v) <= kEps) return false;
+  return true;
+}
+
+}  // namespace
+
+Status EarClipTriangulate(const std::vector<Point>& ring,
+                          std::vector<Triangle>* out) {
+  const size_t n = ring.size();
+  if (n < 3) return Status::InvalidArgument("ring with fewer than 3 vertices");
+  {
+    geom::Polygon p(ring);
+    if (p.SignedArea() <= 0.0) {
+      return Status::InvalidArgument("ear clipping requires a CCW ring");
+    }
+  }
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+
+  out->reserve(out->size() + n - 2);
+  while (idx.size() > 3) {
+    bool clipped = false;
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const Point& prev = ring[idx[(k + idx.size() - 1) % idx.size()]];
+      const Point& cur = ring[idx[k]];
+      const Point& next = ring[idx[(k + 1) % idx.size()]];
+      if (geom::Orient(prev, cur, next) <= 0) continue;  // reflex/collinear
+      bool ear = true;
+      for (size_t j = 0; j < idx.size(); ++j) {
+        if (j == k || idx[j] == idx[(k + idx.size() - 1) % idx.size()] ||
+            idx[j] == idx[(k + 1) % idx.size()]) {
+          continue;
+        }
+        if (BlocksEar(prev, cur, next, ring[idx[j]])) {
+          ear = false;
+          break;
+        }
+      }
+      if (!ear) continue;
+      out->emplace_back(prev, cur, next);
+      idx.erase(idx.begin() + static_cast<std::ptrdiff_t>(k));
+      clipped = true;
+      break;
+    }
+    if (!clipped) {
+      return Status::Internal("ear clipping stalled on a degenerate ring");
+    }
+  }
+  Triangle last(ring[idx[0]], ring[idx[1]], ring[idx[2]]);
+  if (last.SignedArea() <= 0.0) {
+    return Status::Internal("final ear-clipping triangle is degenerate");
+  }
+  out->push_back(last);
+  return Status::OK();
+}
+
+Result<std::vector<Triangle>> FanTriangulate(const geom::Polygon& convex) {
+  const size_t n = convex.NumVertices();
+  if (n < 3) return Status::InvalidArgument("polygon with fewer than 3 vertices");
+  if (!convex.IsConvex() || convex.SignedArea() <= 0.0) {
+    return Status::InvalidArgument("FanTriangulate requires a convex CCW ring");
+  }
+  // Fanning is only degeneracy-free when the ring has no collinear
+  // vertices; fall back to ear clipping otherwise so no vertex is skipped.
+  const std::vector<Point>& r = convex.ring();
+  bool has_collinear = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (geom::Orient(r[i], r[(i + 1) % n], r[(i + 2) % n]) == 0) {
+      has_collinear = true;
+      break;
+    }
+  }
+  std::vector<Triangle> tris;
+  if (has_collinear) {
+    DTREE_RETURN_IF_ERROR(EarClipTriangulate(r, &tris));
+    return tris;
+  }
+  tris.reserve(n - 2);
+  for (size_t i = 1; i + 1 < n; ++i) {
+    tris.emplace_back(r[0], r[i], r[i + 1]);
+  }
+  return tris;
+}
+
+Status TriangulateRectAnnulus(const geom::BBox& outer,
+                              const geom::BBox& inner_rect,
+                              const std::vector<Point>& inner_ring,
+                              std::vector<Triangle>* out) {
+  if (!(outer.min_x < inner_rect.min_x && outer.min_y < inner_rect.min_y &&
+        outer.max_x > inner_rect.max_x && outer.max_y > inner_rect.max_y)) {
+    return Status::InvalidArgument(
+        "outer rectangle must strictly contain the inner rectangle");
+  }
+  const size_t n = inner_ring.size();
+  if (n < 4) return Status::InvalidArgument("inner ring needs >= 4 vertices");
+
+  // Inner corners in CCW order starting at (min, min).
+  const Point corners[4] = {{inner_rect.min_x, inner_rect.min_y},
+                            {inner_rect.max_x, inner_rect.min_y},
+                            {inner_rect.max_x, inner_rect.max_y},
+                            {inner_rect.min_x, inner_rect.max_y}};
+  const Point outer_corners[4] = {{outer.min_x, outer.min_y},
+                                  {outer.max_x, outer.min_y},
+                                  {outer.max_x, outer.max_y},
+                                  {outer.min_x, outer.max_y}};
+
+  size_t corner_idx[4];
+  for (int c = 0; c < 4; ++c) {
+    bool found = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (geom::NearlyEqual(inner_ring[i], corners[c])) {
+        corner_idx[c] = i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          "inner ring is missing rectangle corner " + std::to_string(c));
+    }
+  }
+  {
+    // The ring must be CCW so corners appear in cyclic order 0,1,2,3.
+    geom::Polygon p(inner_ring);
+    if (p.SignedArea() <= 0.0) {
+      return Status::InvalidArgument("inner ring must be CCW");
+    }
+  }
+
+  for (int s = 0; s < 4; ++s) {
+    const size_t from = corner_idx[s];
+    const size_t to = corner_idx[(s + 1) % 4];
+    // Chain from corner s to corner s+1 walking CCW along the ring.
+    std::vector<Point> chain;
+    for (size_t i = from;; i = (i + 1) % n) {
+      chain.push_back(inner_ring[i]);
+      if (i == to) break;
+      if (chain.size() > n) {
+        return Status::InvalidArgument("inner ring corners out of order");
+      }
+    }
+    if (chain.size() < 2) {
+      return Status::InvalidArgument("empty side chain in inner ring");
+    }
+    // Fan from the outer corner behind the side's start corner.
+    const Point& b = outer_corners[s];
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      Triangle t(b, chain[i + 1], chain[i]);
+      if (t.SignedArea() <= 0.0) {
+        return Status::Internal("non-CCW annulus fan triangle");
+      }
+      out->push_back(t);
+    }
+    // Corner triangle joining this side's fan to the next side's fan.
+    Triangle tc(outer_corners[s], outer_corners[(s + 1) % 4],
+                corners[(s + 1) % 4]);
+    DTREE_CHECK(tc.SignedArea() > 0.0);
+    out->push_back(tc);
+  }
+  return Status::OK();
+}
+
+}  // namespace dtree::sub

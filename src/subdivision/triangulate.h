@@ -1,0 +1,41 @@
+// Polygon triangulation routines — the substrate for Kirkpatrick's planar
+// point-location hierarchy (the paper's "trian-tree" baseline).
+
+#ifndef DTREE_SUBDIVISION_TRIANGULATE_H_
+#define DTREE_SUBDIVISION_TRIANGULATE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "geom/triangle.h"
+
+namespace dtree::sub {
+
+/// Triangulates a CCW simple polygon by ear clipping. Tolerates collinear
+/// vertices; emits exactly n-2 triangles whose corners are ring vertices
+/// (required for mesh consistency: no vertex is skipped). O(n^2).
+Status EarClipTriangulate(const std::vector<geom::Point>& ring,
+                          std::vector<geom::Triangle>* out);
+
+/// Fan triangulation of a convex CCW polygon. Keeps every vertex as a
+/// triangle corner (zero-area fan slivers from collinear runs are avoided
+/// by fanning from a strictly convex vertex).
+Result<std::vector<geom::Triangle>> FanTriangulate(const geom::Polygon& convex);
+
+/// Triangulates the rectangular annulus between `outer` (an axis-aligned
+/// rectangle) and the closed CCW `inner_ring` (the outer boundary of the
+/// subdivision: an axis-aligned rectangle `inner_rect` whose ring may carry
+/// many collinear vertices along its edges). Every inner-ring vertex is
+/// used as a triangle corner, so the result meshes exactly with the
+/// subdivision's own triangulation. Construction: one fan per side from an
+/// outer corner plus four corner triangles.
+Status TriangulateRectAnnulus(const geom::BBox& outer,
+                              const geom::BBox& inner_rect,
+                              const std::vector<geom::Point>& inner_ring,
+                              std::vector<geom::Triangle>* out);
+
+}  // namespace dtree::sub
+
+#endif  // DTREE_SUBDIVISION_TRIANGULATE_H_

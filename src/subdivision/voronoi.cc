@@ -1,0 +1,100 @@
+#include "subdivision/voronoi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "geom/polygon.h"
+
+namespace dtree::sub {
+
+namespace {
+
+using geom::BBox;
+using geom::Point;
+using geom::Polygon;
+
+Polygon RectPolygon(const BBox& b) {
+  return Polygon(std::vector<Point>{{b.min_x, b.min_y},
+                                    {b.max_x, b.min_y},
+                                    {b.max_x, b.max_y},
+                                    {b.min_x, b.max_y}});
+}
+
+/// Maximum distance from `site` to any vertex of `cell`. Any other site
+/// farther than twice this distance cannot cut the cell: its bisector lies
+/// entirely beyond the cell.
+double MaxVertexDistance(const Point& site, const Polygon& cell) {
+  double m = 0.0;
+  for (const Point& p : cell.ring()) {
+    m = std::max(m, geom::Distance(site, p));
+  }
+  return m;
+}
+
+}  // namespace
+
+Result<std::vector<Polygon>> VoronoiCells(const std::vector<Point>& sites,
+                                          const BBox& service_area) {
+  const size_t n = sites.size();
+  if (n == 0) return Status::InvalidArgument("no sites");
+  if (service_area.empty() || service_area.Area() <= 0.0) {
+    return Status::InvalidArgument("service area must have positive area");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!service_area.Contains(sites[i])) {
+      return Status::InvalidArgument("site " + std::to_string(i) +
+                                     " lies outside the service area");
+    }
+  }
+
+  std::vector<Polygon> cells;
+  cells.reserve(n);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point& s = sites[i];
+    // Clip against the other sites from nearest to farthest; the running
+    // distance bound prunes most of them.
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return geom::DistanceSquared(s, sites[a]) <
+             geom::DistanceSquared(s, sites[b]);
+    });
+    Polygon cell = RectPolygon(service_area);
+    double reach = MaxVertexDistance(s, cell);
+    for (size_t j : order) {
+      if (j == i) continue;
+      const Point& t = sites[j];
+      const double d = geom::Distance(s, t);
+      if (d <= geom::kMergeEps) {
+        return Status::InvalidArgument("duplicate sites " + std::to_string(i) +
+                                       " and " + std::to_string(j));
+      }
+      if (d / 2.0 > reach) break;  // bisector cannot touch the cell
+      // Keep the side closer to s: |p-s|^2 <= |p-t|^2
+      //   <=> 2(t-s).p <= |t|^2 - |s|^2.
+      const double a = 2.0 * (t.x - s.x);
+      const double b = 2.0 * (t.y - s.y);
+      const double c = (s.x * s.x + s.y * s.y) - (t.x * t.x + t.y * t.y);
+      Polygon clipped = geom::ClipHalfPlane(cell, a, b, c);
+      if (clipped.empty()) {
+        return Status::Internal("Voronoi cell of site " + std::to_string(i) +
+                                " vanished (degenerate input)");
+      }
+      cell = std::move(clipped);
+      reach = MaxVertexDistance(s, cell);
+    }
+    cell.EnsureCCW();
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+Result<Subdivision> BuildVoronoiSubdivision(const std::vector<Point>& sites,
+                                            const BBox& service_area) {
+  Result<std::vector<Polygon>> cells = VoronoiCells(sites, service_area);
+  if (!cells.ok()) return cells.status();
+  return Subdivision::FromPolygons(service_area, cells.value());
+}
+
+}  // namespace dtree::sub

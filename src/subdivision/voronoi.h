@@ -1,0 +1,34 @@
+// Voronoi-based construction of data-region valid scopes.
+//
+// The paper builds the valid scopes of its datasets "using the Voronoi
+// Diagram approach": the region of site s is the set of points closer to s
+// than to any other site, clipped to the service area. This implementation
+// clips each cell by the perpendicular-bisector half-planes of the other
+// sites, with a distance bound that skips sites provably too far away,
+// giving near-linear work per cell on realistic inputs.
+
+#ifndef DTREE_SUBDIVISION_VORONOI_H_
+#define DTREE_SUBDIVISION_VORONOI_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "geom/point.h"
+#include "subdivision/subdivision.h"
+
+namespace dtree::sub {
+
+/// Computes the Voronoi cell polygons of `sites` clipped to `service_area`.
+/// Cell i corresponds to sites[i]. Fails when sites are empty, any site is
+/// outside the service area, or two sites coincide within geom::kMergeEps.
+Result<std::vector<geom::Polygon>> VoronoiCells(
+    const std::vector<geom::Point>& sites, const geom::BBox& service_area);
+
+/// Convenience wrapper: builds the cells and stitches them into a
+/// Subdivision whose region i answers nearest-neighbor queries for site i.
+Result<Subdivision> BuildVoronoiSubdivision(
+    const std::vector<geom::Point>& sites, const geom::BBox& service_area);
+
+}  // namespace dtree::sub
+
+#endif  // DTREE_SUBDIVISION_VORONOI_H_

@@ -1,0 +1,126 @@
+#include "workload/datasets.h"
+
+#include <cmath>
+
+#include "subdivision/voronoi.h"
+
+namespace dtree::workload {
+
+namespace {
+
+using geom::BBox;
+using geom::Point;
+
+/// Rejects points closer than this to an existing point (keeps the Voronoi
+/// construction well-conditioned and matches real point data, where two
+/// facilities never share coordinates).
+constexpr double kMinSeparation = 1e-3;
+
+bool FarFromAll(const Point& p, const std::vector<Point>& pts) {
+  for (const Point& q : pts) {
+    if (geom::DistanceSquared(p, q) < kMinSeparation * kMinSeparation) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Point> UniformPoints(int n, const BBox& area, Rng* rng) {
+  std::vector<Point> pts;
+  pts.reserve(n);
+  while (static_cast<int>(pts.size()) < n) {
+    Point p{rng->Uniform(area.min_x, area.max_x),
+            rng->Uniform(area.min_y, area.max_y)};
+    if (FarFromAll(p, pts)) pts.push_back(p);
+  }
+  return pts;
+}
+
+std::vector<Point> ClusteredPoints(int n, const BBox& area, int num_clusters,
+                                   double spread_fraction, Rng* rng) {
+  // Cluster centers keep away from the border so clusters stay mostly
+  // inside (real facility clusters sit in urban cores, not at map edges).
+  std::vector<Point> centers;
+  const double margin_x = area.width() * 0.08;
+  const double margin_y = area.height() * 0.08;
+  for (int c = 0; c < num_clusters; ++c) {
+    centers.push_back({rng->Uniform(area.min_x + margin_x,
+                                    area.max_x - margin_x),
+                       rng->Uniform(area.min_y + margin_y,
+                                    area.max_y - margin_y)});
+  }
+  const double sigma = area.width() * spread_fraction;
+  std::vector<Point> pts;
+  pts.reserve(n);
+  while (static_cast<int>(pts.size()) < n) {
+    const Point& c =
+        centers[static_cast<size_t>(rng->UniformInt(0, num_clusters - 1))];
+    Point p{rng->Gaussian(c.x, sigma), rng->Gaussian(c.y, sigma)};
+    if (p.x <= area.min_x || p.x >= area.max_x || p.y <= area.min_y ||
+        p.y >= area.max_y) {
+      continue;
+    }
+    if (FarFromAll(p, pts)) pts.push_back(p);
+  }
+  return pts;
+}
+
+namespace {
+
+Result<Dataset> MakeDataset(std::string name, std::vector<Point> sites) {
+  Result<sub::Subdivision> sub_r =
+      sub::BuildVoronoiSubdivision(sites, DefaultServiceArea());
+  if (!sub_r.ok()) return sub_r.status();
+  Dataset d;
+  d.name = std::move(name);
+  d.sites = std::move(sites);
+  d.subdivision = std::move(sub_r).value();
+  return d;
+}
+
+}  // namespace
+
+Result<Dataset> MakeUniformDataset(uint64_t seed) {
+  Rng rng(seed);
+  return MakeDataset("UNIFORM", UniformPoints(1000, DefaultServiceArea(),
+                                              &rng));
+}
+
+Result<Dataset> MakeHospitalDataset(uint64_t seed) {
+  Rng rng(seed);
+  return MakeDataset(
+      "HOSPITAL",
+      ClusteredPoints(185, DefaultServiceArea(), 12, 0.035, &rng));
+}
+
+Result<Dataset> MakeParkDataset(uint64_t seed) {
+  Rng rng(seed);
+  return MakeDataset(
+      "PARK", ClusteredPoints(1102, DefaultServiceArea(), 25, 0.03, &rng));
+}
+
+std::vector<double> ZipfWeights(int n, double theta, Rng* rng) {
+  std::vector<int> rank(n);
+  for (int i = 0; i < n; ++i) rank[i] = i + 1;
+  rng->Shuffle(&rank);
+  std::vector<double> w(n);
+  for (int i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(rank[i]), theta);
+  }
+  return w;
+}
+
+Result<std::vector<Dataset>> MakePaperDatasets() {
+  std::vector<Dataset> out;
+  for (auto maker : {&MakeUniformDataset, &MakeHospitalDataset,
+                     &MakeParkDataset}) {
+    Result<Dataset> d = maker(/*seed=*/7);
+    if (!d.ok()) return d.status();
+    out.push_back(std::move(d).value());
+  }
+  return out;
+}
+
+}  // namespace dtree::workload

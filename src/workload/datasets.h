@@ -1,0 +1,64 @@
+// Dataset generators for the paper's three evaluation workloads.
+//
+// UNIFORM reproduces the paper exactly (1000 random points in a square).
+// HOSPITAL (N=185) and PARK (N=1102) were real Southern-California point
+// sets from a now-defunct archive; we substitute clustered synthetic
+// generators with matched cardinalities and a strongly clustered spatial
+// distribution, which is what the experiments actually exercise (see
+// DESIGN.md, "Substitutions").
+
+#ifndef DTREE_WORKLOAD_DATASETS_H_
+#define DTREE_WORKLOAD_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "geom/point.h"
+#include "subdivision/subdivision.h"
+
+namespace dtree::workload {
+
+/// The service area used throughout the evaluation.
+inline geom::BBox DefaultServiceArea() { return {0.0, 0.0, 1000.0, 1000.0}; }
+
+/// N points uniform in the service area (the paper's UNIFORM, N=1000).
+std::vector<geom::Point> UniformPoints(int n, const geom::BBox& area,
+                                       Rng* rng);
+
+/// N points drawn from a mixture of Gaussian clusters (stand-in for the
+/// paper's highly clustered HOSPITAL / PARK datasets). `num_clusters`
+/// cluster centers are placed uniformly; each point picks a cluster and a
+/// Gaussian offset with `spread_fraction` of the area width as sigma.
+/// Points falling outside the area are re-drawn; near-duplicate points are
+/// rejected so the Voronoi construction stays well-conditioned.
+std::vector<geom::Point> ClusteredPoints(int n, const geom::BBox& area,
+                                         int num_clusters,
+                                         double spread_fraction, Rng* rng);
+
+/// Named datasets matching the paper's Figure 9.
+struct Dataset {
+  std::string name;
+  std::vector<geom::Point> sites;
+  sub::Subdivision subdivision;  ///< Voronoi valid scopes of the sites
+};
+
+/// UNIFORM: 1000 uniform points.
+Result<Dataset> MakeUniformDataset(uint64_t seed = 7);
+/// HOSPITAL stand-in: 185 points in 12 tight clusters.
+Result<Dataset> MakeHospitalDataset(uint64_t seed = 11);
+/// PARK stand-in: 1102 points in 25 tight clusters.
+Result<Dataset> MakeParkDataset(uint64_t seed = 13);
+
+/// Convenience: all three datasets in the paper's order.
+Result<std::vector<Dataset>> MakePaperDatasets();
+
+/// Zipf access weights for n regions: weight of the region ranked r is
+/// 1 / r^theta, with ranks randomly permuted across region ids (theta = 0
+/// degenerates to uniform). Used by the skewed-access experiments.
+std::vector<double> ZipfWeights(int n, double theta, Rng* rng);
+
+}  // namespace dtree::workload
+
+#endif  // DTREE_WORKLOAD_DATASETS_H_

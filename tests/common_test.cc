@@ -1,0 +1,158 @@
+// Tests for the common substrate: Status/Result, byte serialization, RNG.
+
+#include <set>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+#include "gtest/gtest.h"
+
+namespace dtree {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s, Status::OK());
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kInternal,
+        StatusCode::kUnimplemented}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fail_through = []() -> Status {
+    DTREE_RETURN_IF_ERROR(Status::NotFound("missing"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fail_through().code(), StatusCode::kNotFound);
+  auto pass_through = []() -> Status {
+    DTREE_RETURN_IF_ERROR(Status::OK());
+    return Status::Internal("reached");
+  };
+  EXPECT_EQ(pass_through().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err(Status::OutOfRange("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(BytesTest, RoundTripAllWidths) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0xbeef);
+  w.PutU32(0xdeadbeefu);
+  w.PutF32(3.25f);
+  w.PutF32(-1e-8f);
+  EXPECT_EQ(w.size(), 1u + 2u + 4u + 4u + 4u);
+  const std::vector<uint8_t> buf = w.Release();
+  ByteReader r(buf);
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  float f1, f2;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU16(&u16).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadF32(&f1).ok());
+  ASSERT_TRUE(r.ReadF32(&f2).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u16, 0xbeef);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(f1, 3.25f);
+  EXPECT_EQ(f2, -1e-8f);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BytesTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.PutU16(0x0102);
+  w.PutU32(0x03040506u);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[0], 0x02);
+  EXPECT_EQ(b[1], 0x01);
+  EXPECT_EQ(b[2], 0x06);
+  EXPECT_EQ(b[5], 0x03);
+}
+
+TEST(BytesTest, ReadPastEndFails) {
+  ByteWriter w;
+  w.PutU16(7);
+  const std::vector<uint8_t> buf = w.bytes();
+  ByteReader r(buf);
+  uint32_t u32;
+  EXPECT_EQ(r.ReadU32(&u32).code(), StatusCode::kOutOfRange);
+  uint16_t u16;
+  // The failed read consumed nothing: the u16 is still there.
+  EXPECT_TRUE(r.ReadU16(&u16).ok());
+  EXPECT_EQ(u16, 7);
+  uint8_t u8;
+  EXPECT_EQ(r.ReadU8(&u8).code(), StatusCode::kOutOfRange);
+}
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a(9), b(9), c(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1 << 30), b.UniformInt(0, 1 << 30));
+  }
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1 << 30) != c.UniformInt(0, 1 << 30)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+    const int64_t k = rng.UniformInt(-3, 3);
+    EXPECT_GE(k, -3);
+    EXPECT_LE(k, 3);
+  }
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(12);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  EXPECT_EQ(std::set<int>(v.begin(), v.end()).size(), 50u);
+}
+
+}  // namespace
+}  // namespace dtree

@@ -1,0 +1,156 @@
+// Randomized property tests for the geometry kernel.
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/polygon.h"
+#include "geom/predicates.h"
+#include "geom/triangle.h"
+
+#include "gtest/gtest.h"
+
+namespace dtree::geom {
+namespace {
+
+/// Random convex polygon: intersection of a square with random half-planes.
+Polygon RandomConvex(Rng* rng) {
+  Polygon poly({{0, 0}, {100, 0}, {100, 100}, {0, 100}});
+  const int cuts = static_cast<int>(rng->UniformInt(0, 6));
+  for (int i = 0; i < cuts && !poly.empty(); ++i) {
+    // Half-plane through a random interior point with random direction.
+    const double cx = rng->Uniform(20, 80), cy = rng->Uniform(20, 80);
+    const double ang = rng->Uniform(0, 2 * M_PI);
+    const double a = std::cos(ang), b = std::sin(ang);
+    Polygon clipped = ClipHalfPlane(poly, a, b, -(a * cx + b * cy));
+    if (!clipped.empty()) poly = clipped;
+  }
+  return poly;
+}
+
+TEST(GeomPropertyTest, HalfPlaneClipConservesArea) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Polygon poly = RandomConvex(&rng);
+    if (poly.empty()) continue;
+    const double cx = rng.Uniform(0, 100), cy = rng.Uniform(0, 100);
+    const double ang = rng.Uniform(0, 2 * M_PI);
+    const double a = std::cos(ang), b = std::sin(ang);
+    const double c = -(a * cx + b * cy);
+    const Polygon keep = ClipHalfPlane(poly, a, b, c);
+    const Polygon complement = ClipHalfPlane(poly, -a, -b, -c);
+    EXPECT_NEAR(keep.Area() + complement.Area(), poly.Area(),
+                1e-6 * std::max(poly.Area(), 1.0))
+        << "trial " << trial;
+  }
+}
+
+TEST(GeomPropertyTest, ClipOutputStaysInHalfPlane) {
+  Rng rng(12);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Polygon poly = RandomConvex(&rng);
+    if (poly.empty()) continue;
+    const double ang = rng.Uniform(0, 2 * M_PI);
+    const double a = std::cos(ang), b = std::sin(ang);
+    const double c = -rng.Uniform(-50, 150);
+    const Polygon keep = ClipHalfPlane(poly, a, b, c);
+    for (const Point& p : keep.ring()) {
+      EXPECT_LE(a * p.x + b * p.y + c, 1e-6);
+    }
+  }
+}
+
+TEST(GeomPropertyTest, BandAreasPartitionThePolygon) {
+  Rng rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Polygon poly = RandomConvex(&rng);
+    if (poly.empty()) continue;
+    const double split = rng.Uniform(-10, 110);
+    const double left = AreaInVerticalBand(poly, -1000, split);
+    const double right = AreaInVerticalBand(poly, split, 1000);
+    EXPECT_NEAR(left + right, poly.Area(),
+                1e-6 * std::max(poly.Area(), 1.0));
+    const double lower = AreaInHorizontalBand(poly, -1000, split);
+    const double upper = AreaInHorizontalBand(poly, split, 1000);
+    EXPECT_NEAR(lower + upper, poly.Area(),
+                1e-6 * std::max(poly.Area(), 1.0));
+  }
+}
+
+TEST(GeomPropertyTest, ContainsAgreesWithSignedAreaSampling) {
+  Rng rng(14);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Polygon poly = RandomConvex(&rng);
+    if (poly.empty() || poly.Area() < 1.0) continue;
+    // For convex CCW polygons, Contains == all edges on the left side.
+    for (int q = 0; q < 50; ++q) {
+      const Point p{rng.Uniform(-10, 110), rng.Uniform(-10, 110)};
+      if (poly.DistanceToBoundary(p) < 1e-6) continue;  // ambiguous rim
+      bool left_of_all = true;
+      for (size_t i = 0; i < poly.NumVertices(); ++i) {
+        Point e0, e1;
+        poly.Edge(i, &e0, &e1);
+        if (OrientValue(e0, e1, p) < 0.0) {
+          left_of_all = false;
+          break;
+        }
+      }
+      EXPECT_EQ(poly.Contains(p), left_of_all);
+    }
+  }
+}
+
+TEST(GeomPropertyTest, CentroidInsideConvex) {
+  Rng rng(15);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Polygon poly = RandomConvex(&rng);
+    if (poly.empty() || poly.Area() < 1e-3) continue;
+    EXPECT_TRUE(poly.Contains(poly.Centroid()));
+  }
+}
+
+TEST(GeomPropertyTest, TriangleOverlapIsSymmetric) {
+  Rng rng(16);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto random_tri = [&] {
+      Triangle t({rng.Uniform(0, 100), rng.Uniform(0, 100)},
+                 {rng.Uniform(0, 100), rng.Uniform(0, 100)},
+                 {rng.Uniform(0, 100), rng.Uniform(0, 100)});
+      t.EnsureCCW();
+      return t;
+    };
+    const Triangle a = random_tri();
+    const Triangle b = random_tri();
+    if (a.Area() < 1.0 || b.Area() < 1.0) continue;
+    EXPECT_EQ(a.OverlapsInterior(b), b.OverlapsInterior(a));
+    // A triangle overlaps itself; far translates never do.
+    EXPECT_TRUE(a.OverlapsInterior(a));
+    Triangle far = a;
+    for (auto& v : far.v) v.x += 1000.0;
+    EXPECT_FALSE(a.OverlapsInterior(far));
+  }
+}
+
+TEST(GeomPropertyTest, RayParityLocatesInsideRandomConvex) {
+  Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Polygon poly = RandomConvex(&rng);
+    if (poly.empty() || poly.Area() < 1.0) continue;
+    for (int q = 0; q < 30; ++q) {
+      const Point p{rng.Uniform(-10, 110), rng.Uniform(-10, 110)};
+      if (poly.DistanceToBoundary(p) < 1e-6) continue;
+      int right = 0, down = 0;
+      for (size_t i = 0; i < poly.NumVertices(); ++i) {
+        Point a, b;
+        poly.Edge(i, &a, &b);
+        if (RayRightCrossesSegment(p, a, b)) ++right;
+        if (RayDownCrossesSegment(p, a, b)) ++down;
+      }
+      // Both ray directions must agree on parity and match Contains.
+      EXPECT_EQ(right % 2, down % 2);
+      EXPECT_EQ(right % 2 == 1, poly.Contains(p));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtree::geom

@@ -1,0 +1,240 @@
+#include <cmath>
+
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "geom/predicates.h"
+#include "geom/triangle.h"
+
+#include "gtest/gtest.h"
+
+namespace dtree::geom {
+namespace {
+
+TEST(PointTest, BasicArithmetic) {
+  Point a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ((a + b), Point(4.0, 1.0));
+  EXPECT_EQ((a - b), Point(-2.0, 3.0));
+  EXPECT_EQ((a * 2.0), Point(2.0, 4.0));
+  EXPECT_DOUBLE_EQ(Dot(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(Cross(a, b), -7.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), std::sqrt(13.0));
+}
+
+TEST(PointTest, LexOrder) {
+  EXPECT_TRUE(Point(1, 5).LexLess(Point(2, 0)));
+  EXPECT_TRUE(Point(1, 0).LexLess(Point(1, 1)));
+  EXPECT_FALSE(Point(1, 1).LexLess(Point(1, 1)));
+}
+
+TEST(BBoxTest, ExtendAndContain) {
+  BBox b;
+  EXPECT_TRUE(b.empty());
+  b.Extend(Point{1, 2});
+  b.Extend(Point{4, -1});
+  EXPECT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.Area(), 9.0);
+  EXPECT_TRUE(b.Contains(Point{2, 0}));
+  EXPECT_FALSE(b.Contains(Point{5, 0}));
+  EXPECT_TRUE(b.Contains(Point{1, 2}));  // boundary counts
+}
+
+TEST(BBoxTest, IntersectionArea) {
+  BBox a{0, 0, 10, 10}, b{5, 5, 15, 15};
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(b), 25.0);
+  BBox c{20, 20, 30, 30};
+  EXPECT_DOUBLE_EQ(a.IntersectionArea(c), 0.0);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(BBoxTest, UnionAndMargin) {
+  BBox a{0, 0, 2, 2}, b{3, 1, 5, 4};
+  BBox u = a.Union(b);
+  EXPECT_EQ(u, BBox(0, 0, 5, 4));
+  EXPECT_DOUBLE_EQ(u.Margin(), 9.0);
+}
+
+TEST(PredicatesTest, Orientation) {
+  EXPECT_EQ(Orient({0, 0}, {1, 0}, {0, 1}), 1);   // left turn
+  EXPECT_EQ(Orient({0, 0}, {1, 0}, {0, -1}), -1); // right turn
+  EXPECT_EQ(Orient({0, 0}, {1, 0}, {2, 0}), 0);   // collinear
+  EXPECT_EQ(Orient({0, 0}, {100, 100}, {200, 200.0000000001}), 0);
+}
+
+TEST(PredicatesTest, OnSegment) {
+  EXPECT_TRUE(OnSegment({0, 0}, {10, 0}, {5, 0}));
+  EXPECT_TRUE(OnSegment({0, 0}, {10, 0}, {0, 0}));
+  EXPECT_FALSE(OnSegment({0, 0}, {10, 0}, {5, 0.1}));
+  EXPECT_FALSE(OnSegment({0, 0}, {10, 0}, {11, 0}));
+}
+
+TEST(PredicatesTest, DistanceToSegment) {
+  EXPECT_DOUBLE_EQ(DistanceToSegment({0, 0}, {10, 0}, {5, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(DistanceToSegment({0, 0}, {10, 0}, {-4, 3}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceToSegment({2, 2}, {2, 2}, {5, 6}), 5.0);
+}
+
+TEST(PredicatesTest, ProperIntersection) {
+  EXPECT_TRUE(SegmentsProperlyIntersect({0, 0}, {10, 10}, {0, 10}, {10, 0}));
+  // Shared endpoint is not a proper intersection.
+  EXPECT_FALSE(SegmentsProperlyIntersect({0, 0}, {10, 10}, {0, 0}, {10, 0}));
+  // Disjoint.
+  EXPECT_FALSE(SegmentsProperlyIntersect({0, 0}, {1, 1}, {5, 5}, {6, 6}));
+  // T-touch (endpoint on interior) is not proper.
+  EXPECT_FALSE(SegmentsProperlyIntersect({0, 0}, {10, 0}, {5, 0}, {5, 5}));
+}
+
+TEST(PredicatesTest, RayRightHalfOpenRule) {
+  const Point p{0, 5};
+  // Plain crossing.
+  EXPECT_TRUE(RayRightCrossesSegment(p, {3, 0}, {3, 10}));
+  // Segment behind the point.
+  EXPECT_FALSE(RayRightCrossesSegment(p, {-3, 0}, {-3, 10}));
+  // Horizontal segment on the ray: never crossed.
+  EXPECT_FALSE(RayRightCrossesSegment(p, {1, 5}, {9, 5}));
+  // A polyline vertex exactly at ray height: the two incident segments
+  // count once in total when the polyline passes through.
+  const Point shared{4, 5};
+  int crossings = 0;
+  if (RayRightCrossesSegment(p, {4, 0}, shared)) ++crossings;
+  if (RayRightCrossesSegment(p, shared, {4, 10})) ++crossings;
+  EXPECT_EQ(crossings, 1);
+  // ...and zero or two times when it only touches and turns back.
+  crossings = 0;
+  if (RayRightCrossesSegment(p, {4, 0}, shared)) ++crossings;
+  if (RayRightCrossesSegment(p, shared, {5, 0})) ++crossings;
+  EXPECT_EQ(crossings % 2, 0);
+}
+
+TEST(PredicatesTest, RayDownHalfOpenRule) {
+  const Point p{5, 10};
+  EXPECT_TRUE(RayDownCrossesSegment(p, {0, 3}, {10, 3}));
+  EXPECT_FALSE(RayDownCrossesSegment(p, {0, 12}, {10, 12}));
+  // Vertical segment aligned with the ray: never crossed.
+  EXPECT_FALSE(RayDownCrossesSegment(p, {5, 0}, {5, 8}));
+  const Point shared{5, 4};
+  int crossings = 0;
+  if (RayDownCrossesSegment(p, {0, 4}, shared)) ++crossings;
+  if (RayDownCrossesSegment(p, shared, {10, 4})) ++crossings;
+  EXPECT_EQ(crossings, 1);
+}
+
+Polygon UnitSquare() {
+  return Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+}
+
+TEST(PolygonTest, AreaAndOrientation) {
+  Polygon sq = UnitSquare();
+  EXPECT_DOUBLE_EQ(sq.SignedArea(), 1.0);
+  EXPECT_TRUE(sq.IsCCW());
+  Polygon cw({{0, 0}, {0, 1}, {1, 1}, {1, 0}});
+  EXPECT_DOUBLE_EQ(cw.SignedArea(), -1.0);
+  cw.EnsureCCW();
+  EXPECT_TRUE(cw.IsCCW());
+  EXPECT_DOUBLE_EQ(cw.Area(), 1.0);
+}
+
+TEST(PolygonTest, Centroid) {
+  const Point c = UnitSquare().Centroid();
+  EXPECT_NEAR(c.x, 0.5, 1e-12);
+  EXPECT_NEAR(c.y, 0.5, 1e-12);
+}
+
+TEST(PolygonTest, Contains) {
+  Polygon sq = UnitSquare();
+  EXPECT_TRUE(sq.Contains({0.5, 0.5}));
+  EXPECT_FALSE(sq.Contains({1.5, 0.5}));
+  EXPECT_TRUE(sq.Contains({0.0, 0.5}));   // boundary
+  EXPECT_TRUE(sq.Contains({1.0, 1.0}));   // corner
+  EXPECT_FALSE(sq.Contains({-1e-6, 0.5}));
+}
+
+TEST(PolygonTest, ContainsNonConvex) {
+  // L-shape.
+  Polygon l({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  EXPECT_TRUE(l.Contains({0.5, 1.5}));
+  EXPECT_TRUE(l.Contains({1.5, 0.5}));
+  EXPECT_FALSE(l.Contains({1.5, 1.5}));
+  EXPECT_TRUE(l.IsSimple());
+  EXPECT_FALSE(l.IsConvex());
+}
+
+TEST(PolygonTest, SimpleAndConvex) {
+  EXPECT_TRUE(UnitSquare().IsSimple());
+  EXPECT_TRUE(UnitSquare().IsConvex());
+  // Bowtie: not simple.
+  Polygon bow({{0, 0}, {1, 1}, {1, 0}, {0, 1}});
+  EXPECT_FALSE(bow.IsSimple());
+}
+
+TEST(PolygonTest, InteriorPoint) {
+  Point p;
+  ASSERT_TRUE(UnitSquare().InteriorPoint(&p));
+  EXPECT_TRUE(UnitSquare().Contains(p));
+  Polygon l({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  ASSERT_TRUE(l.InteriorPoint(&p));
+  EXPECT_TRUE(l.Contains(p));
+  EXPECT_GT(l.DistanceToBoundary(p), 0.0);
+}
+
+TEST(PolygonTest, ClipHalfPlane) {
+  // Keep x <= 0.5: a*x + b*y + c <= 0 with a=1, b=0, c=-0.5.
+  Polygon clipped = ClipHalfPlane(UnitSquare(), 1.0, 0.0, -0.5);
+  EXPECT_NEAR(clipped.Area(), 0.5, 1e-9);
+  for (const Point& p : clipped.ring()) EXPECT_LE(p.x, 0.5 + 1e-9);
+  // Clip away everything.
+  Polygon gone = ClipHalfPlane(UnitSquare(), 1.0, 0.0, 5.0);
+  EXPECT_TRUE(gone.empty());
+  // Clip away nothing.
+  Polygon all = ClipHalfPlane(UnitSquare(), 1.0, 0.0, -5.0);
+  EXPECT_NEAR(all.Area(), 1.0, 1e-9);
+}
+
+TEST(PolygonTest, ClipHalfPlaneDiagonal) {
+  // Keep the region below the main diagonal: y <= x.
+  Polygon clipped = ClipHalfPlane(UnitSquare(), -1.0, 1.0, 0.0);
+  EXPECT_NEAR(clipped.Area(), 0.5, 1e-9);
+}
+
+TEST(PolygonTest, BandAreas) {
+  EXPECT_NEAR(AreaInVerticalBand(UnitSquare(), 0.25, 0.75), 0.5, 1e-9);
+  EXPECT_NEAR(AreaInVerticalBand(UnitSquare(), -1.0, 2.0), 1.0, 1e-9);
+  EXPECT_NEAR(AreaInVerticalBand(UnitSquare(), 2.0, 3.0), 0.0, 1e-9);
+  EXPECT_NEAR(AreaInVerticalBand(UnitSquare(), 0.75, 0.25), 0.0, 1e-9);
+  EXPECT_NEAR(AreaInHorizontalBand(UnitSquare(), 0.0, 0.1), 0.1, 1e-9);
+  // Non-convex: the L-shape, band over its notch.
+  Polygon l({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  EXPECT_NEAR(AreaInVerticalBand(l, 1.0, 2.0), 1.0, 1e-9);
+  EXPECT_NEAR(AreaInHorizontalBand(l, 1.0, 2.0), 1.0, 1e-9);
+}
+
+TEST(TriangleTest, ContainsAndArea) {
+  Triangle t({0, 0}, {4, 0}, {0, 4});
+  EXPECT_DOUBLE_EQ(t.Area(), 8.0);
+  EXPECT_TRUE(t.Contains({1, 1}));
+  EXPECT_TRUE(t.Contains({0, 0}));   // vertex
+  EXPECT_TRUE(t.Contains({2, 2}));   // hypotenuse
+  EXPECT_FALSE(t.Contains({3, 3}));
+}
+
+TEST(TriangleTest, EnsureCCW) {
+  Triangle t({0, 0}, {0, 4}, {4, 0});
+  EXPECT_LT(t.SignedArea(), 0.0);
+  t.EnsureCCW();
+  EXPECT_GT(t.SignedArea(), 0.0);
+}
+
+TEST(TriangleTest, OverlapInterior) {
+  Triangle a({0, 0}, {4, 0}, {0, 4});
+  Triangle b({1, 1}, {5, 1}, {1, 5});
+  EXPECT_TRUE(a.OverlapsInterior(b));
+  // Edge-adjacent triangles do not overlap in the interior.
+  Triangle c({4, 0}, {4, 4}, {0, 4});
+  EXPECT_FALSE(a.OverlapsInterior(c));
+  // Disjoint.
+  Triangle d({10, 10}, {11, 10}, {10, 11});
+  EXPECT_FALSE(a.OverlapsInterior(d));
+}
+
+}  // namespace
+}  // namespace dtree::geom

@@ -1,0 +1,139 @@
+// Property tests for the packet pager: random tree shapes and node sizes,
+// across capacities, must always produce structurally sound layouts.
+
+#include <map>
+
+#include "broadcast/pager.h"
+#include "common/rng.h"
+
+#include "gtest/gtest.h"
+
+namespace dtree::bcast {
+namespace {
+
+/// Random tree in BFS order (parents precede children) with node sizes in
+/// [6, 3*capacity/2] so some nodes straddle packets.
+PagingInput RandomTree(int n, int capacity, Rng* rng) {
+  PagingInput input;
+  input.sizes.reserve(n);
+  input.parent.reserve(n);
+  std::vector<int> children_count(n, 0);
+  for (int i = 0; i < n; ++i) {
+    input.sizes.push_back(static_cast<size_t>(
+        rng->UniformInt(6, std::max(7, capacity * 3 / 2))));
+    input.parent.push_back(i == 0 ? -1
+                                  : static_cast<int>(rng->UniformInt(
+                                        std::max(0, i - 8), i - 1)));
+    if (i > 0) ++children_count[input.parent[i]];
+  }
+  input.is_leaf.resize(n);
+  for (int i = 0; i < n; ++i) input.is_leaf[i] = children_count[i] == 0;
+  return input;
+}
+
+/// Validates a paging result against its input.
+void CheckPaging(const PagingInput& input, int capacity,
+                 const PagingResult& result) {
+  const size_t n = input.sizes.size();
+  ASSERT_EQ(result.spans.size(), n);
+  // Reconstruct per-packet byte intervals and verify no overlap and no
+  // capacity violation.
+  std::map<int, std::vector<std::pair<size_t, size_t>>> intervals;
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const NodeSpan& s = result.spans[i];
+    ASSERT_GE(s.first_packet, 0);
+    ASSERT_LT(s.last_packet(), result.num_packets);
+    ASSERT_GE(s.num_packets, 1);
+    total += input.sizes[i];
+    // Walk the node's bytes across its span.
+    size_t remaining = input.sizes[i];
+    size_t offset = s.offset;
+    for (int p = s.first_packet; p <= s.last_packet(); ++p) {
+      const size_t here =
+          std::min(remaining, static_cast<size_t>(capacity) - offset);
+      ASSERT_GT(here, 0u);
+      intervals[p].emplace_back(offset, offset + here);
+      remaining -= here;
+      offset = 0;
+    }
+    ASSERT_EQ(remaining, 0u);
+    // Forward-only: the node's span never starts before its parent's
+    // last packet.
+    if (input.parent[i] >= 0) {
+      EXPECT_GE(s.first_packet,
+                result.spans[input.parent[i]].last_packet());
+    }
+  }
+  EXPECT_EQ(result.used_bytes, total);
+  for (auto& [packet, list] : intervals) {
+    std::sort(list.begin(), list.end());
+    for (size_t j = 0; j + 1 < list.size(); ++j) {
+      EXPECT_LE(list[j].second, list[j + 1].first)
+          << "overlap in packet " << packet;
+    }
+    EXPECT_LE(list.back().second, static_cast<size_t>(capacity));
+  }
+}
+
+class PagerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(PagerPropertyTest, RandomTreesStaySound) {
+  const auto [n, capacity, merge] = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 131 + capacity + (merge ? 7 : 0));
+  for (int trial = 0; trial < 20; ++trial) {
+    const PagingInput input = RandomTree(n, capacity, &rng);
+    auto result = TopDownPage(input, capacity, merge);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    CheckPaging(input, capacity, result.value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PagerPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 17, 100, 400),
+                       ::testing::Values(64, 256, 2048),
+                       ::testing::Bool()));
+
+TEST(PagerPropertyTest, MergeNeverGrowsPacketCount) {
+  Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(2, 200));
+    const int capacity = static_cast<int>(rng.UniformInt(32, 512));
+    const PagingInput input = RandomTree(n, capacity, &rng);
+    auto merged = TopDownPage(input, capacity, true);
+    auto plain = TopDownPage(input, capacity, false);
+    ASSERT_TRUE(merged.ok());
+    ASSERT_TRUE(plain.ok());
+    EXPECT_LE(merged.value().num_packets, plain.value().num_packets);
+  }
+}
+
+TEST(GreedyPagePropertyTest, RandomSizesStaySound) {
+  Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int capacity = static_cast<int>(rng.UniformInt(32, 512));
+    std::vector<size_t> sizes;
+    const int n = static_cast<int>(rng.UniformInt(1, 300));
+    for (int i = 0; i < n; ++i) {
+      sizes.push_back(
+          static_cast<size_t>(rng.UniformInt(1, capacity * 2)));
+    }
+    auto result = GreedyPage(sizes, capacity);
+    ASSERT_TRUE(result.ok());
+    PagingInput fake;
+    fake.sizes = sizes;
+    fake.parent.assign(sizes.size(), -1);
+    fake.is_leaf.assign(sizes.size(), true);
+    CheckPaging(fake, capacity, result.value());
+    // Greedy is order-preserving: spans start in non-decreasing packets.
+    for (size_t i = 1; i < result.value().spans.size(); ++i) {
+      EXPECT_GE(result.value().spans[i].first_packet,
+                result.value().spans[i - 1].first_packet);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtree::bcast

@@ -1,0 +1,187 @@
+#include <set>
+
+#include "dtree/partition.h"
+#include "subdivision/voronoi.h"
+#include "test_util.h"
+
+#include "gtest/gtest.h"
+
+namespace dtree::core {
+namespace {
+
+using geom::BBox;
+using geom::Point;
+using geom::Polygon;
+
+sub::Subdivision QuadGrid() {
+  std::vector<Polygon> cells;
+  for (int gx = 0; gx < 2; ++gx) {
+    for (int gy = 0; gy < 2; ++gy) {
+      const double x = gx, y = gy;
+      cells.push_back(Polygon(
+          {{x, y}, {x + 1, y}, {x + 1, y + 1}, {x, y + 1}}));
+    }
+  }
+  auto r = sub::Subdivision::FromPolygons(BBox{0, 0, 2, 2}, cells);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(PartitionStyleTest, EnumerationCounts) {
+  EXPECT_EQ(EnumerateStyles(4).size(), 4u);
+  EXPECT_EQ(EnumerateStyles(5).size(), 8u);
+  EXPECT_EQ(EnumerateStyles(2).size(), 4u);
+}
+
+TEST(PartitionTest, GridVerticalSplit) {
+  const sub::Subdivision sub = QuadGrid();
+  // Regions 0,1 are the left column; 2,3 the right.
+  PartitionStyle style{PartitionDim::kYDim, SortKey::kMaxCoord, false};
+  auto part_r = ComputePartition(sub, {0, 1, 2, 3}, style);
+  ASSERT_TRUE(part_r.ok()) << part_r.status().ToString();
+  const Partition& part = part_r.value();
+  EXPECT_EQ(std::set<int>(part.first_group.begin(), part.first_group.end()),
+            (std::set<int>{0, 1}));
+  EXPECT_EQ(std::set<int>(part.second_group.begin(),
+                          part.second_group.end()),
+            (std::set<int>{2, 3}));
+  // A clean straight division: both shortcut bounds at x = 1.
+  EXPECT_DOUBLE_EQ(part.near_bound, 1.0);
+  EXPECT_DOUBLE_EQ(part.far_bound, 1.0);
+  // Query tests: no ray casting needed anywhere.
+  bool shortcut = false;
+  EXPECT_TRUE(PointInFirstSubspace(part, {0.5, 0.5}, &shortcut));
+  EXPECT_TRUE(shortcut);
+  EXPECT_FALSE(PointInFirstSubspace(part, {1.5, 1.5}, &shortcut));
+  EXPECT_TRUE(shortcut);
+}
+
+TEST(PartitionTest, GridHorizontalSplit) {
+  const sub::Subdivision sub = QuadGrid();
+  PartitionStyle style{PartitionDim::kXDim, SortKey::kMaxCoord, false};
+  auto part_r = ComputePartition(sub, {0, 1, 2, 3}, style);
+  ASSERT_TRUE(part_r.ok()) << part_r.status().ToString();
+  const Partition& part = part_r.value();
+  // First (left-child) group is the UPPER subspace: regions 1 and 3.
+  EXPECT_EQ(std::set<int>(part.first_group.begin(), part.first_group.end()),
+            (std::set<int>{1, 3}));
+  EXPECT_TRUE(PointInFirstSubspace(part, {0.5, 1.5}));
+  EXPECT_FALSE(PointInFirstSubspace(part, {0.5, 0.5}));
+}
+
+TEST(PartitionTest, InterlockingPartitionUsesParity) {
+  // Two L-shaped regions interlocking in the middle band.
+  //  A: left column plus the lower middle; B: right column plus the upper
+  //  middle.
+  std::vector<Polygon> cells;
+  cells.push_back(Polygon(
+      {{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}}));  // A (lower-left L)
+  cells.push_back(Polygon(
+      {{2, 0}, {3, 0}, {3, 2}, {1, 2}, {1, 1}, {2, 1}}));  // B
+  auto sub_r = sub::Subdivision::FromPolygons(BBox{0, 0, 3, 2}, cells);
+  ASSERT_TRUE(sub_r.ok()) << sub_r.status().ToString();
+  ASSERT_OK(sub_r.value().Validate());
+  PartitionStyle style{PartitionDim::kYDim, SortKey::kMaxCoord, false};
+  auto part_r = ComputePartition(sub_r.value(), {0, 1}, style);
+  ASSERT_TRUE(part_r.ok());
+  const Partition& part = part_r.value();
+  EXPECT_EQ(part.first_group, (std::vector<int>{0}));
+  // A's rightmost x is 2, B's leftmost x is 1: interlocking band [1,2].
+  EXPECT_DOUBLE_EQ(part.near_bound, 1.0);
+  EXPECT_DOUBLE_EQ(part.far_bound, 2.0);
+  // Points inside the band on each side of the division.
+  bool shortcut = true;
+  EXPECT_TRUE(PointInFirstSubspace(part, {1.5, 0.5}, &shortcut));  // in A
+  EXPECT_FALSE(shortcut);
+  EXPECT_FALSE(PointInFirstSubspace(part, {1.5, 1.5}, &shortcut));  // in B
+  EXPECT_FALSE(shortcut);
+  // Shortcut zones.
+  EXPECT_TRUE(PointInFirstSubspace(part, {0.5, 1.0}, &shortcut));
+  EXPECT_TRUE(shortcut);
+  EXPECT_FALSE(PointInFirstSubspace(part, {2.5, 1.0}, &shortcut));
+  EXPECT_TRUE(shortcut);
+}
+
+TEST(PartitionTest, PartitionSizeCountsScalars) {
+  const sub::Subdivision sub = QuadGrid();
+  PartitionStyle style{PartitionDim::kYDim, SortKey::kMaxCoord, false};
+  auto part_r = ComputePartition(sub, {0, 1, 2, 3}, style);
+  ASSERT_TRUE(part_r.ok());
+  int scalar = 0;
+  for (const auto& pl : part_r.value().polylines) {
+    scalar += 2 * static_cast<int>(pl.pts.size() + (pl.closed ? 1 : 0));
+  }
+  EXPECT_EQ(part_r.value().num_scalar_coords, scalar);
+  // The straight division x=1 from (1,0) to (1,2) via (1,1): 3 vertices,
+  // 6 scalars.
+  EXPECT_EQ(part_r.value().num_scalar_coords, 6);
+}
+
+TEST(PartitionTest, RejectsTooFewRegions) {
+  const sub::Subdivision sub = QuadGrid();
+  PartitionStyle style{PartitionDim::kYDim, SortKey::kMaxCoord, false};
+  EXPECT_FALSE(ComputePartition(sub, {0}, style).ok());
+}
+
+TEST(PartitionTest, InterProbOfStraightSplitIsZero) {
+  const sub::Subdivision sub = QuadGrid();
+  PartitionStyle style{PartitionDim::kYDim, SortKey::kMaxCoord, false};
+  auto part_r = ComputePartition(sub, {0, 1, 2, 3}, style);
+  ASSERT_TRUE(part_r.ok());
+  EXPECT_NEAR(InterProb(sub, {0, 1, 2, 3}, part_r.value()), 0.0, 1e-12);
+}
+
+TEST(PartitionTest, ChooseBestPicksSmallest) {
+  // 1x4 row of cells: the vertical split between cells 1|2 is a single
+  // segment and must win over any horizontal split (which would be the
+  // whole long boundary).
+  std::vector<Polygon> cells;
+  for (int gx = 0; gx < 4; ++gx) {
+    const double x = gx;
+    cells.push_back(Polygon({{x, 0}, {x + 1, 0}, {x + 1, 1}, {x, 1}}));
+  }
+  auto sub_r = sub::Subdivision::FromPolygons(BBox{0, 0, 4, 1}, cells);
+  ASSERT_TRUE(sub_r.ok());
+  auto best_r = ChooseBestPartition(sub_r.value(), {0, 1, 2, 3}, true);
+  ASSERT_TRUE(best_r.ok());
+  EXPECT_EQ(best_r.value().style.dim, PartitionDim::kYDim);
+  EXPECT_EQ(best_r.value().num_scalar_coords, 4);  // one segment
+}
+
+/// Property: for every style, every region's interior stays on the side
+/// the grouping assigned it to.
+class PartitionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionPropertyTest, GroupsMatchGeometry) {
+  const int n = GetParam();
+  const sub::Subdivision sub = test::RandomVoronoi(n, 77 + n);
+  std::vector<int> all(sub.NumRegions());
+  for (int i = 0; i < sub.NumRegions(); ++i) all[i] = i;
+  Rng rng(n);
+  for (const PartitionStyle& style : EnumerateStyles(n)) {
+    auto part_r = ComputePartition(sub, all, style);
+    ASSERT_TRUE(part_r.ok()) << part_r.status().ToString();
+    const Partition& part = part_r.value();
+    ASSERT_EQ(part.first_group.size() + part.second_group.size(),
+              all.size());
+    const std::set<int> first(part.first_group.begin(),
+                              part.first_group.end());
+    for (int r = 0; r < sub.NumRegions(); ++r) {
+      // Sample interior points of the region and check the query test
+      // sends them to the region's own group.
+      const Polygon poly = sub.RegionPolygon(r);
+      Point probe;
+      ASSERT_TRUE(poly.InteriorPoint(&probe));
+      if (poly.DistanceToBoundary(probe) < 1e-6) continue;
+      EXPECT_EQ(PointInFirstSubspace(part, probe), first.count(r) > 0)
+          << "region " << r << " style dim="
+          << static_cast<int>(style.dim);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PartitionPropertyTest,
+                         ::testing::Values(2, 3, 5, 8, 16, 33, 64));
+
+}  // namespace
+}  // namespace dtree::core

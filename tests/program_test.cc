@@ -1,0 +1,133 @@
+// Tests for the byte-level broadcast program: the materialized cycle must
+// be structurally sound, and a client session over raw frames must agree
+// with the analytic channel simulator packet for packet.
+
+#include "broadcast/channel.h"
+#include "dtree/dtree.h"
+#include "dtree/program.h"
+#include "test_util.h"
+
+#include "gtest/gtest.h"
+
+namespace dtree::core {
+namespace {
+
+using geom::Point;
+
+struct Rig {
+  sub::Subdivision sub;
+  DTree tree;
+  bcast::BroadcastChannel channel;
+  BroadcastProgram program;
+};
+
+Rig MakeRig(int n, int capacity, uint64_t seed, int m = 0) {
+  sub::Subdivision s = test::RandomVoronoi(n, seed);
+  DTree::Options o;
+  o.packet_capacity = capacity;
+  DTree t = DTree::Build(s, o).value();
+  bcast::ChannelOptions copt;
+  copt.packet_capacity = capacity;
+  copt.m = m;
+  bcast::BroadcastChannel ch =
+      bcast::BroadcastChannel::Create(t.NumIndexPackets(), s.NumRegions(),
+                                      copt)
+          .value();
+  BroadcastProgram prog = BroadcastProgram::Materialize(t, ch).value();
+  return Rig{std::move(s), std::move(t), std::move(ch), std::move(prog)};
+}
+
+TEST(BroadcastProgramTest, FrameStructure) {
+  Rig su = MakeRig(30, 128, 61);
+  EXPECT_EQ(su.program.num_frames(), su.channel.cycle_packets());
+  int index_frames = 0, data_frames = 0;
+  for (int64_t i = 0; i < su.program.num_frames(); ++i) {
+    const auto& f = su.program.frame(i);
+    ASSERT_EQ(f.size(),
+              BroadcastProgram::kHeaderSize + static_cast<size_t>(128));
+    if (f[0] == BroadcastProgram::kIndexFrame) {
+      ++index_frames;
+    } else {
+      ASSERT_EQ(f[0], BroadcastProgram::kDataFrame);
+      ++data_frames;
+    }
+  }
+  EXPECT_EQ(index_frames, su.channel.m() * su.channel.index_packets());
+  EXPECT_EQ(data_frames, su.channel.data_packets());
+}
+
+TEST(BroadcastProgramTest, NextIndexPointersLandOnSegments) {
+  Rig su = MakeRig(30, 128, 62);
+  const int64_t cycle = su.program.num_frames();
+  for (int64_t i = 0; i < cycle; ++i) {
+    const auto& f = su.program.frame(i);
+    uint32_t delta = 0;
+    for (int b = 0; b < 4; ++b) {
+      delta |= static_cast<uint32_t>(f[1 + b]) << (8 * b);
+    }
+    ASSERT_GT(delta, 0u);
+    const int64_t target = (i + delta) % cycle;
+    // The target must be the first frame of some index segment.
+    bool is_segment_start = false;
+    for (int j = 0; j < su.channel.m(); ++j) {
+      if (su.channel.IndexSegmentStart(j) == target) is_segment_start = true;
+    }
+    EXPECT_TRUE(is_segment_start) << "frame " << i;
+    // And it must be the *next* one: no segment start in between.
+    for (int64_t k = i + 1; k < i + delta; ++k) {
+      for (int j = 0; j < su.channel.m(); ++j) {
+        EXPECT_NE(su.channel.IndexSegmentStart(j), k % cycle)
+            << "frame " << i << " skipped a segment";
+      }
+    }
+  }
+}
+
+TEST(BroadcastProgramTest, RejectsMismatchedChannel) {
+  Rig su = MakeRig(30, 128, 63);
+  bcast::ChannelOptions copt;
+  copt.packet_capacity = 128;
+  auto wrong = bcast::BroadcastChannel::Create(
+      su.tree.NumIndexPackets() + 3, su.sub.NumRegions(), copt);
+  ASSERT_TRUE(wrong.ok());
+  EXPECT_FALSE(BroadcastProgram::Materialize(su.tree, wrong.value()).ok());
+}
+
+class ProgramAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ProgramAgreementTest, ByteClientMatchesAnalyticSimulator) {
+  const auto [n, capacity, m] = GetParam();
+  Rig su = MakeRig(n, capacity, 1234 + n + capacity, m);
+  Rng rng(64);
+  for (int q = 0; q < 250; ++q) {
+    const Point p = test::UnambiguousQueryPoint(su.sub, &rng, 1e-3);
+    const double arrival = rng.Uniform(
+        0.0, static_cast<double>(su.channel.cycle_packets()));
+
+    auto session_r = su.program.RunClient(p, arrival);
+    ASSERT_TRUE(session_r.ok()) << session_r.status().ToString();
+    const auto& session = session_r.value();
+
+    auto trace_r = su.tree.Probe(p);
+    ASSERT_TRUE(trace_r.ok());
+    auto outcome_r = su.channel.Simulate(trace_r.value(), arrival);
+    ASSERT_TRUE(outcome_r.ok());
+    const auto& outcome = outcome_r.value();
+
+    EXPECT_EQ(session.region, trace_r.value().region);
+    EXPECT_DOUBLE_EQ(session.latency, outcome.latency);
+    EXPECT_EQ(session.tuning_index, outcome.tuning_index);
+    EXPECT_EQ(session.tuning_data, outcome.tuning_data);
+    EXPECT_EQ(session.tuning_total(), outcome.tuning_total());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ProgramAgreementTest,
+    ::testing::Combine(::testing::Values(10, 45, 90),
+                       ::testing::Values(64, 256),
+                       ::testing::Values(0, 1, 3)));
+
+}  // namespace
+}  // namespace dtree::core

@@ -1,0 +1,344 @@
+#include <algorithm>
+#include <set>
+
+#include "subdivision/extent.h"
+#include "subdivision/subdivision.h"
+#include "subdivision/triangulate.h"
+#include "subdivision/voronoi.h"
+#include "test_util.h"
+
+#include "gtest/gtest.h"
+
+namespace dtree::sub {
+namespace {
+
+using geom::BBox;
+using geom::Point;
+using geom::Polygon;
+
+/// 2x2 grid of unit squares over [0,2]^2.
+std::vector<Polygon> GridCells() {
+  std::vector<Polygon> cells;
+  for (int gx = 0; gx < 2; ++gx) {
+    for (int gy = 0; gy < 2; ++gy) {
+      const double x = gx, y = gy;
+      cells.push_back(Polygon(
+          {{x, y}, {x + 1, y}, {x + 1, y + 1}, {x, y + 1}}));
+    }
+  }
+  return cells;
+}
+
+TEST(SubdivisionTest, FromPolygonsGrid) {
+  auto sub_r = Subdivision::FromPolygons(BBox{0, 0, 2, 2}, GridCells());
+  ASSERT_TRUE(sub_r.ok()) << sub_r.status().ToString();
+  const Subdivision& sub = sub_r.value();
+  EXPECT_EQ(sub.NumRegions(), 4);
+  // Shared corners snap to one vertex: 3x3 grid of vertices.
+  EXPECT_EQ(sub.vertices().size(), 9u);
+  EXPECT_OK(sub.Validate());
+}
+
+TEST(SubdivisionTest, RejectsEmptyAndDegenerate) {
+  EXPECT_FALSE(Subdivision::FromPolygons(BBox{0, 0, 1, 1}, {}).ok());
+  std::vector<Polygon> degenerate{Polygon({{0, 0}, {1, 0}})};
+  EXPECT_FALSE(
+      Subdivision::FromPolygons(BBox{0, 0, 1, 1}, degenerate).ok());
+  // Zero-area service area.
+  EXPECT_FALSE(Subdivision::FromPolygons(BBox{0, 0, 0, 1}, GridCells()).ok());
+}
+
+TEST(SubdivisionTest, SnapsNearbyVertices) {
+  // Two half-squares whose shared edge endpoints differ by 1e-8.
+  std::vector<Polygon> cells;
+  cells.push_back(Polygon({{0, 0}, {1.00000001, 0}, {1, 1}, {0, 1}}));
+  cells.push_back(Polygon({{1, 0}, {2, 0}, {2, 1}, {1.00000001, 1}}));
+  auto sub_r = Subdivision::FromPolygons(BBox{0, 0, 2, 1}, cells);
+  ASSERT_TRUE(sub_r.ok()) << sub_r.status().ToString();
+  EXPECT_OK(sub_r.value().Validate());
+  EXPECT_EQ(sub_r.value().vertices().size(), 6u);
+}
+
+TEST(SubdivisionTest, SplitsTJunction) {
+  // Left cell is the full-height rectangle; the right side is split into
+  // two cells whose shared vertex lies mid-edge on the left cell's border.
+  std::vector<Polygon> cells;
+  cells.push_back(Polygon({{0, 0}, {1, 0}, {1, 2}, {0, 2}}));
+  cells.push_back(Polygon({{1, 0}, {2, 0}, {2, 1}, {1, 1}}));
+  cells.push_back(Polygon({{1, 1}, {2, 1}, {2, 2}, {1, 2}}));
+  auto sub_r = Subdivision::FromPolygons(BBox{0, 0, 2, 2}, cells);
+  ASSERT_TRUE(sub_r.ok()) << sub_r.status().ToString();
+  const Subdivision& sub = sub_r.value();
+  EXPECT_OK(sub.Validate());
+  // The left cell's right edge must have been split at (1,1): 5 vertices.
+  EXPECT_EQ(sub.Ring(0).size(), 5u);
+}
+
+TEST(SubdivisionTest, ValidateDetectsOverlap) {
+  // Two unit squares overlapping by half: the area sum exceeds the
+  // service area and the shared border never matches.
+  std::vector<Polygon> cells;
+  cells.push_back(Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}}));
+  cells.push_back(Polygon({{0.5, 0}, {1.5, 0}, {1.5, 1}, {0.5, 1}}));
+  auto sub_r = Subdivision::FromPolygons(BBox{0, 0, 1.5, 1}, cells);
+  ASSERT_TRUE(sub_r.ok());  // construction is lenient...
+  EXPECT_FALSE(sub_r.value().Validate().ok());  // ...validation is not
+}
+
+TEST(SubdivisionTest, ValidateDetectsGap) {
+  // Two squares covering only 2/3 of the declared service area.
+  std::vector<Polygon> cells;
+  cells.push_back(Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}}));
+  cells.push_back(Polygon({{1, 0}, {2, 0}, {2, 1}, {1, 1}}));
+  auto sub_r = Subdivision::FromPolygons(BBox{0, 0, 3, 1}, cells);
+  ASSERT_TRUE(sub_r.ok());
+  EXPECT_FALSE(sub_r.value().Validate().ok());
+}
+
+TEST(SubdivisionTest, ValidateDetectsEscape) {
+  // A region poking outside the service area.
+  std::vector<Polygon> cells;
+  cells.push_back(Polygon({{0, 0}, {2, 0}, {2, 1}, {0, 1}}));
+  auto sub_r = Subdivision::FromPolygons(BBox{0, 0, 1, 1}, cells);
+  ASSERT_TRUE(sub_r.ok());
+  EXPECT_FALSE(sub_r.value().Validate().ok());
+}
+
+TEST(PointLocatorTest, GridLookup) {
+  auto sub_r = Subdivision::FromPolygons(BBox{0, 0, 2, 2}, GridCells());
+  ASSERT_TRUE(sub_r.ok());
+  const Subdivision& sub = sub_r.value();
+  PointLocator loc(sub);
+  EXPECT_EQ(loc.Locate({0.5, 0.5}), 0);  // (gx=0, gy=0)
+  EXPECT_EQ(loc.Locate({0.5, 1.5}), 1);
+  EXPECT_EQ(loc.Locate({1.5, 0.5}), 2);
+  EXPECT_EQ(loc.Locate({1.5, 1.5}), 3);
+  // Outside the area resolves to the nearest region, not -1.
+  EXPECT_EQ(loc.Locate({-1.0, 0.5}), 0);
+}
+
+TEST(VoronoiTest, TwoSites) {
+  auto cells_r = VoronoiCells({{250, 500}, {750, 500}}, BBox{0, 0, 1000, 1000});
+  ASSERT_TRUE(cells_r.ok()) << cells_r.status().ToString();
+  const auto& cells = cells_r.value();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_NEAR(cells[0].Area(), 500000.0, 1.0);
+  EXPECT_NEAR(cells[1].Area(), 500000.0, 1.0);
+  EXPECT_TRUE(cells[0].Contains({100, 500}));
+  EXPECT_FALSE(cells[0].Contains({900, 500}));
+}
+
+TEST(VoronoiTest, RejectsBadInput) {
+  const BBox area{0, 0, 10, 10};
+  EXPECT_FALSE(VoronoiCells({}, area).ok());
+  EXPECT_FALSE(VoronoiCells({{5, 5}, {50, 5}}, area).ok());  // outside
+  EXPECT_FALSE(VoronoiCells({{5, 5}, {5, 5}}, area).ok());   // duplicate
+}
+
+TEST(VoronoiTest, CellsContainTheirSites) {
+  Rng rng(3);
+  const BBox area = workload::DefaultServiceArea();
+  auto pts = workload::UniformPoints(64, area, &rng);
+  auto cells_r = VoronoiCells(pts, area);
+  ASSERT_TRUE(cells_r.ok());
+  const auto& cells = cells_r.value();
+  double total = 0.0;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_TRUE(cells[i].Contains(pts[i])) << "site " << i;
+    EXPECT_TRUE(cells[i].IsConvex()) << "site " << i;
+    total += cells[i].Area();
+  }
+  EXPECT_NEAR(total, area.Area(), area.Area() * 1e-6);
+}
+
+TEST(VoronoiTest, NearestNeighborSemantics) {
+  Rng rng(17);
+  const BBox area = workload::DefaultServiceArea();
+  auto pts = workload::UniformPoints(40, area, &rng);
+  auto sub_r = BuildVoronoiSubdivision(pts, area);
+  ASSERT_TRUE(sub_r.ok());
+  const Subdivision& sub = sub_r.value();
+  EXPECT_OK(sub.Validate());
+  PointLocator loc(sub);
+  for (int q = 0; q < 500; ++q) {
+    const Point p = test::UnambiguousQueryPoint(sub, &rng);
+    // Region id must be the nearest site's id.
+    int nearest = 0;
+    for (size_t i = 1; i < pts.size(); ++i) {
+      if (geom::DistanceSquared(p, pts[i]) <
+          geom::DistanceSquared(p, pts[nearest])) {
+        nearest = static_cast<int>(i);
+      }
+    }
+    EXPECT_EQ(loc.Locate(p), nearest);
+  }
+}
+
+TEST(VoronoiTest, ValidatesOnPaperScaleDatasets) {
+  for (int n : {185, 500}) {
+    const Subdivision sub = test::ClusteredVoronoi(n, 1000 + n);
+    EXPECT_EQ(sub.NumRegions(), n);
+    EXPECT_OK(sub.Validate());
+  }
+}
+
+TEST(ExtentTest, SingleRegionIsItsRing) {
+  auto sub_r = Subdivision::FromPolygons(BBox{0, 0, 2, 2}, GridCells());
+  ASSERT_TRUE(sub_r.ok());
+  auto loops_r = ComputeExtent(sub_r.value(), {0});
+  ASSERT_TRUE(loops_r.ok());
+  ASSERT_EQ(loops_r.value().size(), 1u);
+  EXPECT_TRUE(loops_r.value()[0].closed);
+  EXPECT_EQ(loops_r.value()[0].pts.size(), 4u);
+}
+
+TEST(ExtentTest, UnionDropsInteriorBorder) {
+  auto sub_r = Subdivision::FromPolygons(BBox{0, 0, 2, 2}, GridCells());
+  ASSERT_TRUE(sub_r.ok());
+  // Cells 0 (lower-left) and 1 (upper-left) form the left half.
+  auto loops_r = ComputeExtent(sub_r.value(), {0, 1});
+  ASSERT_TRUE(loops_r.ok());
+  ASSERT_EQ(loops_r.value().size(), 1u);
+  const geom::Polyline& loop = loops_r.value()[0];
+  EXPECT_TRUE(loop.closed);
+  // 1x2 rectangle with mid-edge vertices on both long sides: 6 vertices.
+  EXPECT_EQ(loop.pts.size(), 6u);
+  geom::Polygon poly(loop.pts);
+  EXPECT_NEAR(poly.Area(), 2.0, 1e-12);
+}
+
+TEST(ExtentTest, HoleLoopAppears) {
+  // 3x3 grid; extent of the 8 outer cells must contain a hole loop around
+  // the center cell.
+  std::vector<Polygon> cells;
+  int center = -1;
+  for (int gx = 0; gx < 3; ++gx) {
+    for (int gy = 0; gy < 3; ++gy) {
+      if (gx == 1 && gy == 1) center = static_cast<int>(cells.size());
+      const double x = gx, y = gy;
+      cells.push_back(Polygon(
+          {{x, y}, {x + 1, y}, {x + 1, y + 1}, {x, y + 1}}));
+    }
+  }
+  auto sub_r = Subdivision::FromPolygons(BBox{0, 0, 3, 3}, cells);
+  ASSERT_TRUE(sub_r.ok());
+  std::vector<int> outer;
+  for (int i = 0; i < 9; ++i) {
+    if (i != center) outer.push_back(i);
+  }
+  auto loops_r = ComputeExtent(sub_r.value(), outer);
+  ASSERT_TRUE(loops_r.ok());
+  EXPECT_EQ(loops_r.value().size(), 2u);  // outer boundary + hole
+}
+
+TEST(ExtentTest, AllRegionsGiveServiceBoundary) {
+  const Subdivision sub = test::RandomVoronoi(50, 5);
+  std::vector<int> all(sub.NumRegions());
+  for (int i = 0; i < sub.NumRegions(); ++i) all[i] = i;
+  auto loops_r = ComputeExtent(sub, all);
+  ASSERT_TRUE(loops_r.ok());
+  ASSERT_EQ(loops_r.value().size(), 1u);
+  geom::Polygon boundary(loops_r.value()[0].pts);
+  EXPECT_NEAR(boundary.Area(), sub.service_area().Area(),
+              sub.service_area().Area() * 1e-9);
+}
+
+TEST(ExtentTest, RejectsEmptyGroup) {
+  const Subdivision sub = test::RandomVoronoi(10, 6);
+  EXPECT_FALSE(ComputeExtent(sub, {}).ok());
+  EXPECT_FALSE(ComputeExtent(sub, {999}).ok());
+}
+
+double TotalArea(const std::vector<geom::Triangle>& tris) {
+  double a = 0.0;
+  for (const auto& t : tris) a += t.Area();
+  return a;
+}
+
+TEST(TriangulateTest, EarClipSquare) {
+  std::vector<geom::Triangle> tris;
+  ASSERT_OK(EarClipTriangulate({{0, 0}, {1, 0}, {1, 1}, {0, 1}}, &tris));
+  EXPECT_EQ(tris.size(), 2u);
+  EXPECT_NEAR(TotalArea(tris), 1.0, 1e-12);
+}
+
+TEST(TriangulateTest, EarClipNonConvex) {
+  std::vector<geom::Triangle> tris;
+  ASSERT_OK(EarClipTriangulate(
+      {{0, 0}, {4, 0}, {4, 4}, {2, 1}, {0, 4}}, &tris));
+  EXPECT_EQ(tris.size(), 3u);
+  EXPECT_NEAR(TotalArea(tris), 10.0, 1e-9);  // shoelace area of the ring
+}
+
+TEST(TriangulateTest, EarClipCollinearVertices) {
+  // Square with a redundant vertex mid-edge; every vertex must appear as a
+  // triangle corner so the mesh stays consistent.
+  std::vector<geom::Triangle> tris;
+  ASSERT_OK(EarClipTriangulate(
+      {{0, 0}, {0.5, 0}, {1, 0}, {1, 1}, {0, 1}}, &tris));
+  EXPECT_EQ(tris.size(), 3u);
+  EXPECT_NEAR(TotalArea(tris), 1.0, 1e-12);
+  std::set<std::pair<double, double>> used;
+  for (const auto& t : tris) {
+    for (const auto& v : t.v) used.insert({v.x, v.y});
+  }
+  EXPECT_EQ(used.size(), 5u);
+}
+
+TEST(TriangulateTest, EarClipRejectsBadInput) {
+  std::vector<geom::Triangle> tris;
+  EXPECT_FALSE(EarClipTriangulate({{0, 0}, {1, 0}}, &tris).ok());
+  // Clockwise ring.
+  EXPECT_FALSE(
+      EarClipTriangulate({{0, 0}, {0, 1}, {1, 1}, {1, 0}}, &tris).ok());
+}
+
+TEST(TriangulateTest, FanConvex) {
+  auto tris_r = FanTriangulate(Polygon({{0, 0}, {2, 0}, {2, 2}, {0, 2}}));
+  ASSERT_TRUE(tris_r.ok());
+  EXPECT_EQ(tris_r.value().size(), 2u);
+  EXPECT_NEAR(TotalArea(tris_r.value()), 4.0, 1e-12);
+  // Convex with a collinear vertex falls back to ear clipping.
+  auto tris2_r =
+      FanTriangulate(Polygon({{0, 0}, {1, 0}, {2, 0}, {2, 2}, {0, 2}}));
+  ASSERT_TRUE(tris2_r.ok());
+  EXPECT_EQ(tris2_r.value().size(), 3u);
+  EXPECT_FALSE(FanTriangulate(Polygon(
+                   {{0, 0}, {4, 0}, {4, 4}, {2, 1}, {0, 4}}))
+                   .ok());  // non-convex
+}
+
+TEST(TriangulateTest, RectAnnulus) {
+  // Inner unit square ring with an extra vertex on the bottom edge.
+  std::vector<Point> inner_ring{{0, 0}, {0.5, 0}, {1, 0}, {1, 1}, {0, 1}};
+  std::vector<geom::Triangle> tris;
+  ASSERT_OK(TriangulateRectAnnulus(BBox{-1, -1, 2, 2}, BBox{0, 0, 1, 1},
+                                   inner_ring, &tris));
+  // Annulus area = 9 - 1 = 8.
+  EXPECT_NEAR(TotalArea(tris), 8.0, 1e-9);
+  for (const auto& t : tris) EXPECT_GT(t.SignedArea(), 0.0);
+  // The mid-edge vertex must be used.
+  bool found = false;
+  for (const auto& t : tris) {
+    for (const auto& v : t.v) {
+      if (geom::NearlyEqual(v, Point{0.5, 0})) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TriangulateTest, RectAnnulusRejectsBadInput) {
+  std::vector<geom::Triangle> tris;
+  // Outer does not contain inner.
+  EXPECT_FALSE(TriangulateRectAnnulus(BBox{0, 0, 1, 1}, BBox{0, 0, 1, 1},
+                                      {{0, 0}, {1, 0}, {1, 1}, {0, 1}},
+                                      &tris)
+                   .ok());
+  // Ring missing a corner.
+  EXPECT_FALSE(TriangulateRectAnnulus(BBox{-1, -1, 2, 2}, BBox{0, 0, 1, 1},
+                                      {{0, 0}, {1, 0}, {1, 1}}, &tris)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace dtree::sub

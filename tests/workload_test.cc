@@ -1,0 +1,93 @@
+// Tests for the dataset generators.
+
+#include <set>
+
+#include "workload/datasets.h"
+
+#include "gtest/gtest.h"
+
+namespace dtree::workload {
+namespace {
+
+TEST(UniformPointsTest, CountBoundsAndDeterminism) {
+  const geom::BBox area = DefaultServiceArea();
+  Rng a(1), b(1), c(2);
+  const auto p1 = UniformPoints(200, area, &a);
+  const auto p2 = UniformPoints(200, area, &b);
+  const auto p3 = UniformPoints(200, area, &c);
+  EXPECT_EQ(p1.size(), 200u);
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_TRUE(area.Contains(p1[i]));
+    EXPECT_EQ(p1[i], p2[i]);  // same seed, same stream
+  }
+  EXPECT_NE(p1, p3);
+}
+
+TEST(UniformPointsTest, MinimumSeparationHolds) {
+  const geom::BBox area = DefaultServiceArea();
+  Rng rng(3);
+  const auto pts = UniformPoints(400, area, &rng);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t j = i + 1; j < pts.size(); ++j) {
+      EXPECT_GE(geom::Distance(pts[i], pts[j]), 1e-3);
+    }
+  }
+}
+
+TEST(ClusteredPointsTest, StaysInsideAndClusters) {
+  const geom::BBox area = DefaultServiceArea();
+  Rng rng(4);
+  const auto pts = ClusteredPoints(300, area, 8, 0.03, &rng);
+  EXPECT_EQ(pts.size(), 300u);
+  geom::Point mean{0, 0};
+  for (const auto& p : pts) {
+    EXPECT_TRUE(area.Contains(p));
+    mean = mean + p;
+  }
+  mean = mean * (1.0 / 300.0);
+  // Clustering: the mean nearest-neighbor distance must be far below the
+  // uniform expectation (~0.5/sqrt(n/area) ~ 29 for n=300 on 1000^2).
+  double nn_sum = 0.0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    double best = 1e18;
+    for (size_t j = 0; j < pts.size(); ++j) {
+      if (i == j) continue;
+      best = std::min(best, geom::Distance(pts[i], pts[j]));
+    }
+    nn_sum += best;
+  }
+  EXPECT_LT(nn_sum / 300.0, 15.0);
+}
+
+TEST(DatasetTest, PaperCardinalitiesAndValidity) {
+  auto uniform = MakeUniformDataset();
+  ASSERT_TRUE(uniform.ok()) << uniform.status().ToString();
+  EXPECT_EQ(uniform.value().subdivision.NumRegions(), 1000);
+  EXPECT_TRUE(uniform.value().subdivision.Validate().ok());
+
+  auto hospital = MakeHospitalDataset();
+  ASSERT_TRUE(hospital.ok()) << hospital.status().ToString();
+  EXPECT_EQ(hospital.value().subdivision.NumRegions(), 185);
+  EXPECT_TRUE(hospital.value().subdivision.Validate().ok());
+
+  auto park = MakeParkDataset();
+  ASSERT_TRUE(park.ok()) << park.status().ToString();
+  EXPECT_EQ(park.value().subdivision.NumRegions(), 1102);
+  EXPECT_TRUE(park.value().subdivision.Validate().ok());
+}
+
+TEST(DatasetTest, NamesMatchThePaper) {
+  auto all = MakePaperDatasets();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.value().size(), 3u);
+  EXPECT_EQ(all.value()[0].name, "UNIFORM");
+  EXPECT_EQ(all.value()[1].name, "HOSPITAL");
+  EXPECT_EQ(all.value()[2].name, "PARK");
+  for (const auto& ds : all.value()) {
+    EXPECT_EQ(ds.sites.size(),
+              static_cast<size_t>(ds.subdivision.NumRegions()));
+  }
+}
+
+}  // namespace
+}  // namespace dtree::workload
