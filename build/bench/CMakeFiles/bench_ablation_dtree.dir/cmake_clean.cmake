@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dtree.dir/bench_ablation_dtree.cc.o"
+  "CMakeFiles/bench_ablation_dtree.dir/bench_ablation_dtree.cc.o.d"
+  "bench_ablation_dtree"
+  "bench_ablation_dtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

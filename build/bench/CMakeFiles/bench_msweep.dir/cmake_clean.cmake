@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msweep.dir/bench_msweep.cc.o"
+  "CMakeFiles/bench_msweep.dir/bench_msweep.cc.o.d"
+  "bench_msweep"
+  "bench_msweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

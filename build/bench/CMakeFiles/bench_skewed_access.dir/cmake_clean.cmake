@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skewed_access.dir/bench_skewed_access.cc.o"
+  "CMakeFiles/bench_skewed_access.dir/bench_skewed_access.cc.o.d"
+  "bench_skewed_access"
+  "bench_skewed_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skewed_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

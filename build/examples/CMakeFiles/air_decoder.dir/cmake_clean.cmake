@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_decoder.dir/air_decoder.cpp.o"
+  "CMakeFiles/air_decoder.dir/air_decoder.cpp.o.d"
+  "air_decoder"
+  "air_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for air_decoder.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_shootout.dir/index_shootout.cpp.o"
+  "CMakeFiles/index_shootout.dir/index_shootout.cpp.o.d"
+  "index_shootout"
+  "index_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skewed_hotspots.dir/skewed_hotspots.cpp.o"
+  "CMakeFiles/skewed_hotspots.dir/skewed_hotspots.cpp.o.d"
+  "skewed_hotspots"
+  "skewed_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skewed_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

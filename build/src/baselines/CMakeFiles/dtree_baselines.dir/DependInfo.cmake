@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/kirkpatrick/kirkpatrick.cc" "src/baselines/CMakeFiles/dtree_baselines.dir/kirkpatrick/kirkpatrick.cc.o" "gcc" "src/baselines/CMakeFiles/dtree_baselines.dir/kirkpatrick/kirkpatrick.cc.o.d"
+  "/root/repo/src/baselines/rstar/rstar.cc" "src/baselines/CMakeFiles/dtree_baselines.dir/rstar/rstar.cc.o" "gcc" "src/baselines/CMakeFiles/dtree_baselines.dir/rstar/rstar.cc.o.d"
+  "/root/repo/src/baselines/trapmap/trapmap.cc" "src/baselines/CMakeFiles/dtree_baselines.dir/trapmap/trapmap.cc.o" "gcc" "src/baselines/CMakeFiles/dtree_baselines.dir/trapmap/trapmap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/broadcast/CMakeFiles/dtree_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/subdivision/CMakeFiles/dtree_subdivision.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dtree_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dtree_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtree_baselines.dir/kirkpatrick/kirkpatrick.cc.o"
+  "CMakeFiles/dtree_baselines.dir/kirkpatrick/kirkpatrick.cc.o.d"
+  "CMakeFiles/dtree_baselines.dir/rstar/rstar.cc.o"
+  "CMakeFiles/dtree_baselines.dir/rstar/rstar.cc.o.d"
+  "CMakeFiles/dtree_baselines.dir/trapmap/trapmap.cc.o"
+  "CMakeFiles/dtree_baselines.dir/trapmap/trapmap.cc.o.d"
+  "libdtree_baselines.a"
+  "libdtree_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtree_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

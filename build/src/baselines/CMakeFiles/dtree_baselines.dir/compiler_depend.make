@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dtree_baselines.
+# This may be replaced when dependencies are built.

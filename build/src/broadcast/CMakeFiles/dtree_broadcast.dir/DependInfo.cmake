@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broadcast/air_index.cc" "src/broadcast/CMakeFiles/dtree_broadcast.dir/air_index.cc.o" "gcc" "src/broadcast/CMakeFiles/dtree_broadcast.dir/air_index.cc.o.d"
+  "/root/repo/src/broadcast/channel.cc" "src/broadcast/CMakeFiles/dtree_broadcast.dir/channel.cc.o" "gcc" "src/broadcast/CMakeFiles/dtree_broadcast.dir/channel.cc.o.d"
+  "/root/repo/src/broadcast/experiment.cc" "src/broadcast/CMakeFiles/dtree_broadcast.dir/experiment.cc.o" "gcc" "src/broadcast/CMakeFiles/dtree_broadcast.dir/experiment.cc.o.d"
+  "/root/repo/src/broadcast/pager.cc" "src/broadcast/CMakeFiles/dtree_broadcast.dir/pager.cc.o" "gcc" "src/broadcast/CMakeFiles/dtree_broadcast.dir/pager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/subdivision/CMakeFiles/dtree_subdivision.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dtree_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dtree_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtree_broadcast.dir/air_index.cc.o"
+  "CMakeFiles/dtree_broadcast.dir/air_index.cc.o.d"
+  "CMakeFiles/dtree_broadcast.dir/channel.cc.o"
+  "CMakeFiles/dtree_broadcast.dir/channel.cc.o.d"
+  "CMakeFiles/dtree_broadcast.dir/experiment.cc.o"
+  "CMakeFiles/dtree_broadcast.dir/experiment.cc.o.d"
+  "CMakeFiles/dtree_broadcast.dir/pager.cc.o"
+  "CMakeFiles/dtree_broadcast.dir/pager.cc.o.d"
+  "libdtree_broadcast.a"
+  "libdtree_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtree_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

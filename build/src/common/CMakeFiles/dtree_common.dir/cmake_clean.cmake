@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtree_common.dir/status.cc.o"
+  "CMakeFiles/dtree_common.dir/status.cc.o.d"
+  "libdtree_common.a"
+  "libdtree_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtree_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtree_core.dir/dtree.cc.o"
+  "CMakeFiles/dtree_core.dir/dtree.cc.o.d"
+  "CMakeFiles/dtree_core.dir/partition.cc.o"
+  "CMakeFiles/dtree_core.dir/partition.cc.o.d"
+  "CMakeFiles/dtree_core.dir/program.cc.o"
+  "CMakeFiles/dtree_core.dir/program.cc.o.d"
+  "CMakeFiles/dtree_core.dir/serialize.cc.o"
+  "CMakeFiles/dtree_core.dir/serialize.cc.o.d"
+  "libdtree_core.a"
+  "libdtree_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtree_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtree_core.a"
+)

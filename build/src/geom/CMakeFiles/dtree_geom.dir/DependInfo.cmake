@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/polygon.cc" "src/geom/CMakeFiles/dtree_geom.dir/polygon.cc.o" "gcc" "src/geom/CMakeFiles/dtree_geom.dir/polygon.cc.o.d"
+  "/root/repo/src/geom/predicates.cc" "src/geom/CMakeFiles/dtree_geom.dir/predicates.cc.o" "gcc" "src/geom/CMakeFiles/dtree_geom.dir/predicates.cc.o.d"
+  "/root/repo/src/geom/triangle.cc" "src/geom/CMakeFiles/dtree_geom.dir/triangle.cc.o" "gcc" "src/geom/CMakeFiles/dtree_geom.dir/triangle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dtree_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

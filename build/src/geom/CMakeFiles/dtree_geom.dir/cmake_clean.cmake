@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtree_geom.dir/polygon.cc.o"
+  "CMakeFiles/dtree_geom.dir/polygon.cc.o.d"
+  "CMakeFiles/dtree_geom.dir/predicates.cc.o"
+  "CMakeFiles/dtree_geom.dir/predicates.cc.o.d"
+  "CMakeFiles/dtree_geom.dir/triangle.cc.o"
+  "CMakeFiles/dtree_geom.dir/triangle.cc.o.d"
+  "libdtree_geom.a"
+  "libdtree_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtree_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/subdivision/extent.cc" "src/subdivision/CMakeFiles/dtree_subdivision.dir/extent.cc.o" "gcc" "src/subdivision/CMakeFiles/dtree_subdivision.dir/extent.cc.o.d"
+  "/root/repo/src/subdivision/subdivision.cc" "src/subdivision/CMakeFiles/dtree_subdivision.dir/subdivision.cc.o" "gcc" "src/subdivision/CMakeFiles/dtree_subdivision.dir/subdivision.cc.o.d"
+  "/root/repo/src/subdivision/triangulate.cc" "src/subdivision/CMakeFiles/dtree_subdivision.dir/triangulate.cc.o" "gcc" "src/subdivision/CMakeFiles/dtree_subdivision.dir/triangulate.cc.o.d"
+  "/root/repo/src/subdivision/voronoi.cc" "src/subdivision/CMakeFiles/dtree_subdivision.dir/voronoi.cc.o" "gcc" "src/subdivision/CMakeFiles/dtree_subdivision.dir/voronoi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/dtree_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dtree_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

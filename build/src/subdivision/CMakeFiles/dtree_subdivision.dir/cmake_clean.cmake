@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtree_subdivision.dir/extent.cc.o"
+  "CMakeFiles/dtree_subdivision.dir/extent.cc.o.d"
+  "CMakeFiles/dtree_subdivision.dir/subdivision.cc.o"
+  "CMakeFiles/dtree_subdivision.dir/subdivision.cc.o.d"
+  "CMakeFiles/dtree_subdivision.dir/triangulate.cc.o"
+  "CMakeFiles/dtree_subdivision.dir/triangulate.cc.o.d"
+  "CMakeFiles/dtree_subdivision.dir/voronoi.cc.o"
+  "CMakeFiles/dtree_subdivision.dir/voronoi.cc.o.d"
+  "libdtree_subdivision.a"
+  "libdtree_subdivision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtree_subdivision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

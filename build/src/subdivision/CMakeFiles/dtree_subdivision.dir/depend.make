@@ -1,0 +1,2 @@
+# Empty dependencies file for dtree_subdivision.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtree_workload.dir/datasets.cc.o"
+  "CMakeFiles/dtree_workload.dir/datasets.cc.o.d"
+  "libdtree_workload.a"
+  "libdtree_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtree_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

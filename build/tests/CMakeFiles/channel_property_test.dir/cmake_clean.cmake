@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_property_test.dir/channel_property_test.cc.o"
+  "CMakeFiles/channel_property_test.dir/channel_property_test.cc.o.d"
+  "channel_property_test"
+  "channel_property_test.pdb"
+  "channel_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtree_test.dir/dtree_test.cc.o"
+  "CMakeFiles/dtree_test.dir/dtree_test.cc.o.d"
+  "dtree_test"
+  "dtree_test.pdb"
+  "dtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

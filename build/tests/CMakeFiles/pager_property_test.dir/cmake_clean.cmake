@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pager_property_test.dir/pager_property_test.cc.o"
+  "CMakeFiles/pager_property_test.dir/pager_property_test.cc.o.d"
+  "pager_property_test"
+  "pager_property_test.pdb"
+  "pager_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pager_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

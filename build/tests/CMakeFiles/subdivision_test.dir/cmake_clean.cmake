@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdivision_test.dir/subdivision_test.cc.o"
+  "CMakeFiles/subdivision_test.dir/subdivision_test.cc.o.d"
+  "subdivision_test"
+  "subdivision_test.pdb"
+  "subdivision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdivision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

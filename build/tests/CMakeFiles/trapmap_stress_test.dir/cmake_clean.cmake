@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trapmap_stress_test.dir/trapmap_stress_test.cc.o"
+  "CMakeFiles/trapmap_stress_test.dir/trapmap_stress_test.cc.o.d"
+  "trapmap_stress_test"
+  "trapmap_stress_test.pdb"
+  "trapmap_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trapmap_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

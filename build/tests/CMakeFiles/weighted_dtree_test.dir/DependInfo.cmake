@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/weighted_dtree_test.cc" "tests/CMakeFiles/weighted_dtree_test.dir/weighted_dtree_test.cc.o" "gcc" "tests/CMakeFiles/weighted_dtree_test.dir/weighted_dtree_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dtree/CMakeFiles/dtree_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dtree_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/dtree_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/subdivision/CMakeFiles/dtree_subdivision.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dtree_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dtree_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dtree_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_dtree_test.dir/weighted_dtree_test.cc.o"
+  "CMakeFiles/weighted_dtree_test.dir/weighted_dtree_test.cc.o.d"
+  "weighted_dtree_test"
+  "weighted_dtree_test.pdb"
+  "weighted_dtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_dtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

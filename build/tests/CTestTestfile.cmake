@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/subdivision_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/dtree_test[1]_include.cmake")
+include("/root/repo/build/tests/broadcast_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/weighted_dtree_test[1]_include.cmake")
+include("/root/repo/build/tests/pager_property_test[1]_include.cmake")
+include("/root/repo/build/tests/channel_property_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/trapmap_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/program_test[1]_include.cmake")
