@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
               "index packets) ==\n");
   std::printf("queries per cell: %d, seed %llu\n", flags.queries,
               static_cast<unsigned long long>(flags.seed));
+  BenchRecorder recorder("bench_ablation_dtree", flags);
   for (const auto& ds : datasets.value()) {
     std::printf("\ndataset %s (N=%d)\n", ds.name.c_str(),
                 ds.subdivision.NumRegions());
@@ -62,16 +63,24 @@ int main(int argc, char** argv) {
         opt.packet_capacity = capacity;
         opt.num_queries = flags.queries;
         opt.seed = flags.seed;
+        opt.num_threads = flags.threads;
+        const auto t0 = std::chrono::steady_clock::now();
         auto res = RunExperiment(tree.value(), ds.subdivision, nullptr, opt);
+        const double wall_s = SecondsSince(t0);
         if (!res.ok()) {
           std::printf("    %-12s ERR: %s\n", v.name,
                       res.status().ToString().c_str());
           continue;
         }
+        const double qps = flags.queries / std::max(wall_s, 1e-12);
+        recorder.Record(ds.name + "/" + v.name + "/cap" +
+                            std::to_string(capacity),
+                        wall_s, qps);
         const ExperimentResult& r = res.value();
-        std::printf("    %-12s tuning %7.3f  latency %6.3f  packets %5d\n",
+        std::printf("    %-12s tuning %7.3f  latency %6.3f  packets %5d"
+                    "  (%.3fs, %.1f kqps)\n",
                     v.name, r.mean_tuning_index, r.normalized_latency,
-                    r.index_packets);
+                    r.index_packets, wall_s, qps / 1000.0);
       }
     }
   }

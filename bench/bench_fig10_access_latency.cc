@@ -20,8 +20,10 @@ int main(int argc, char** argv) {
               "optimal = half a pure-data cycle) ==\n");
   std::printf("queries per cell: %d, seed %llu\n", flags.queries,
               static_cast<unsigned long long>(flags.seed));
+  BenchRecorder recorder("bench_fig10_access_latency", flags);
   for (const auto& ds : datasets.value()) {
     PrintFigureTable("Fig.10 normalized access latency", ds, flags,
+                     &recorder,
                      [](const dtree::bcast::ExperimentResult& r) {
                        return r.normalized_latency;
                      });

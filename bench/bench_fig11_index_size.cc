@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("== Figure 11: index size normalized to database size ==\n");
+  // No query load here, so the recorded cells time index construction
+  // (qps field holds regions indexed per second).
+  BenchRecorder recorder("bench_fig11_index_size", flags);
   for (const auto& ds : datasets.value()) {
     std::printf("\nFig.11 normalized index size — dataset %s (N=%d)\n",
                 ds.name.c_str(), ds.subdivision.NumRegions());
@@ -35,7 +38,13 @@ int main(int argc, char** argv) {
       std::printf("%-10d", capacity);
       int dtree_packets = 0;
       for (IndexKind k : kAllKinds) {
+        const auto t0 = std::chrono::steady_clock::now();
         auto index = BuildIndex(k, ds.subdivision, capacity);
+        const double wall_s = SecondsSince(t0);
+        recorder.Record("build:" + ds.name + "/" + KindName(k) + "/cap" +
+                            std::to_string(capacity),
+                        wall_s,
+                        ds.subdivision.NumRegions() / std::max(wall_s, 1e-12));
         if (!index.ok()) {
           std::printf(" %12s", "ERR");
           continue;

@@ -19,8 +19,9 @@ int main(int argc, char** argv) {
               "(packets) ==\n");
   std::printf("queries per cell: %d, seed %llu\n", flags.queries,
               static_cast<unsigned long long>(flags.seed));
+  BenchRecorder recorder("bench_fig12_tuning_time", flags);
   for (const auto& ds : datasets.value()) {
-    PrintFigureTable("Fig.12 tuning time (packets)", ds, flags,
+    PrintFigureTable("Fig.12 tuning time (packets)", ds, flags, &recorder,
                      [](const dtree::bcast::ExperimentResult& r) {
                        return r.mean_tuning_index;
                      });

@@ -19,8 +19,9 @@ int main(int argc, char** argv) {
               "(latency overhead) ==\n");
   std::printf("queries per cell: %d, seed %llu\n", flags.queries,
               static_cast<unsigned long long>(flags.seed));
+  BenchRecorder recorder("bench_fig13_indexing_efficiency", flags);
   for (const auto& ds : datasets.value()) {
-    PrintFigureTable("Fig.13 indexing efficiency", ds, flags,
+    PrintFigureTable("Fig.13 indexing efficiency", ds, flags, &recorder,
                      [](const dtree::bcast::ExperimentResult& r) {
                        return r.indexing_efficiency;
                      });

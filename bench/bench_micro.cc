@@ -8,7 +8,9 @@
 #include "baselines/kirkpatrick/kirkpatrick.h"
 #include "baselines/rstar/rstar.h"
 #include "baselines/trapmap/trapmap.h"
+#include "broadcast/experiment.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "dtree/dtree.h"
 #include "subdivision/voronoi.h"
 #include "workload/datasets.h"
@@ -149,6 +151,40 @@ void BM_TrianTreeQuery(benchmark::State& state) {
   QueryLoop(state, tree.value(), sub);
 }
 BENCHMARK(BM_TrianTreeQuery)->Arg(100)->Arg(1000);
+
+// Sharded experiment driver end to end; Arg = thread count. Compares the
+// pool dispatch overhead and scaling of the full query loop (sample ->
+// probe -> channel simulation) at a fixed 500-region workload.
+void BM_RunExperimentThreads(benchmark::State& state) {
+  const sub::Subdivision& sub = SharedSubdivision(500);
+  core::DTree::Options o;
+  o.packet_capacity = 256;
+  auto tree = core::DTree::Build(sub, o);
+  bcast::ExperimentOptions opt;
+  opt.packet_capacity = 256;
+  opt.num_queries = 20000;
+  opt.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto res = bcast::RunExperiment(tree.value(), sub, nullptr, opt);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetItemsProcessed(state.iterations() * opt.num_queries);
+}
+BENCHMARK(BM_RunExperimentThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Raw pool dispatch cost: trivial tasks, so the time is all handoff.
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  std::atomic<int64_t> sink{0};
+  for (auto _ : state) {
+    pool.ParallelFor(64, [&](int i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

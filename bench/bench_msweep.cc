@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("== (1, m) sweep: D-tree normalized latency vs m ==\n");
+  BenchRecorder recorder("bench_msweep", flags);
   for (const auto& ds : datasets.value()) {
     for (int capacity : flags.capacities) {
       dtree::core::DTree::Options o;
@@ -31,7 +32,8 @@ int main(int argc, char** argv) {
       std::printf("\n%s, packet %d (index %d packets, m* = %d):\n",
                   ds.name.c_str(), capacity, tree.value().NumIndexPackets(),
                   m_star);
-      std::printf("  %-6s %-10s %-10s\n", "m", "latency", "tuning");
+      std::printf("  %-6s %-10s %-10s %-9s %-9s\n", "m", "latency",
+                  "tuning", "wall(s)", "kqps");
       for (int m : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32}) {
         if (m > ds.subdivision.NumRegions()) break;
         dtree::bcast::ExperimentOptions opt;
@@ -39,12 +41,19 @@ int main(int argc, char** argv) {
         opt.num_queries = flags.queries;
         opt.seed = flags.seed;
         opt.m = m;
+        opt.num_threads = flags.threads;
+        const auto t0 = std::chrono::steady_clock::now();
         auto res = dtree::bcast::RunExperiment(tree.value(), ds.subdivision,
                                                nullptr, opt);
+        const double wall_s = SecondsSince(t0);
         if (!res.ok()) continue;
-        std::printf("  %-6d %-10.3f %-10.3f%s\n", m,
+        const double qps = flags.queries / std::max(wall_s, 1e-12);
+        recorder.Record(ds.name + "/d-tree/cap" + std::to_string(capacity) +
+                            "/m" + std::to_string(m),
+                        wall_s, qps);
+        std::printf("  %-6d %-10.3f %-10.3f %-9.3f %-9.1f%s\n", m,
                     res.value().normalized_latency,
-                    res.value().mean_tuning_index,
+                    res.value().mean_tuning_index, wall_s, qps / 1000.0,
                     m == m_star ? "   <- m*" : "");
       }
     }

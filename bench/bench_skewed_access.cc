@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   std::printf("== Skewed access: count-balanced vs weight-balanced D-tree "
               "==\nqueries per cell: %d, seed %llu\n",
               flags.queries, static_cast<unsigned long long>(flags.seed));
+  BenchRecorder recorder("bench_skewed_access", flags);
   const double thetas[] = {0.0, 0.5, 0.8, 1.1};
   for (const auto& ds : datasets.value()) {
     std::printf("\ndataset %s (N=%d)\n", ds.name.c_str(),
@@ -44,11 +45,13 @@ int main(int argc, char** argv) {
         opt.seed = flags.seed;
         opt.distribution = dtree::bcast::QueryDistribution::kWeightedRegion;
         opt.region_weights = weights;
+        opt.num_threads = flags.threads;
 
         double tuning[2] = {0.0, 0.0};
         bool ok = true;
         const dtree::core::DTree::Options* variants[2] = {&balanced,
                                                           &weighted};
+        const char* variant_name[2] = {"balanced", "weighted"};
         for (int v = 0; v < 2 && ok; ++v) {
           auto tree = dtree::core::DTree::Build(ds.subdivision, *variants[v]);
           if (!tree.ok()) {
@@ -57,15 +60,22 @@ int main(int argc, char** argv) {
             ok = false;
             break;
           }
+          const auto t0 = std::chrono::steady_clock::now();
           auto res = dtree::bcast::RunExperiment(tree.value(),
                                                  ds.subdivision, nullptr,
                                                  opt);
+          const double wall_s = SecondsSince(t0);
           if (!res.ok()) {
             std::printf("    run error: %s\n",
                         res.status().ToString().c_str());
             ok = false;
             break;
           }
+          char theta_s[16];
+          std::snprintf(theta_s, sizeof(theta_s), "%.2f", theta);
+          recorder.Record(ds.name + "/" + variant_name[v] + "/cap" +
+                              std::to_string(capacity) + "/theta" + theta_s,
+                          wall_s, flags.queries / std::max(wall_s, 1e-12));
           tuning[v] = res.value().mean_tuning_index;
         }
         if (!ok) continue;

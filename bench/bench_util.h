@@ -2,15 +2,21 @@
 //
 // Every figure binary sweeps (dataset x index x packet capacity) cells,
 // runs the broadcast-channel experiment, and prints the series the paper
-// plots. Flags:
+// plots. Each experiment cell is wall-clock timed and appended to a
+// machine-readable JSON file so the perf trajectory is tracked across
+// PRs. Flags:
 //   --queries=N        queries per cell (default 20000; paper used 1e6)
 //   --seed=S           RNG seed (default 42)
 //   --datasets=a,b     subset of UNIFORM,HOSPITAL,PARK
 //   --capacities=...   subset of 64,128,256,512,1024,2048
+//   --threads=T        experiment threads (0 = hardware concurrency)
+//   --bench-json=PATH  timing output (default BENCH_experiment.json;
+//                      empty disables)
 
 #ifndef DTREE_BENCH_BENCH_UTIL_H_
 #define DTREE_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +29,7 @@
 #include "baselines/trapmap/trapmap.h"
 #include "broadcast/experiment.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "dtree/dtree.h"
 #include "workload/datasets.h"
 
@@ -92,7 +99,81 @@ struct BenchFlags {
   uint64_t seed = 42;
   std::vector<std::string> datasets{"UNIFORM", "HOSPITAL", "PARK"};
   std::vector<int> capacities{64, 128, 256, 512, 1024, 2048};
+  int threads = 0;  ///< experiment threads; 0 = hardware concurrency
+  std::string bench_json = "BENCH_experiment.json";
 };
+
+/// Collects per-cell wall-clock timings and writes them as JSON on
+/// Flush()/destruction:
+///   {"bench": ..., "threads": T, "cells":
+///    [{"cell": id, "wall_s": s, "qps": q, "threads": T}, ...]}
+class BenchRecorder {
+ public:
+  BenchRecorder(std::string bench_name, const BenchFlags& flags)
+      : bench_name_(std::move(bench_name)), path_(flags.bench_json),
+        threads_(flags.threads > 0 ? flags.threads
+                                   : ThreadPool::DefaultThreads()),
+        queries_(flags.queries), seed_(flags.seed) {}
+
+  ~BenchRecorder() { Flush(); }
+
+  /// `cell_threads` overrides the flag-derived thread count for benches
+  /// that vary it per cell (the scaling bench); <= 0 keeps the default.
+  void Record(const std::string& cell, double wall_s, double qps,
+              int cell_threads = 0) {
+    cells_.push_back(
+        {cell, wall_s, qps, cell_threads > 0 ? cell_threads : threads_});
+  }
+
+  void Flush() {
+    if (path_.empty() || flushed_) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"%s\",\n  \"threads\": %d,\n"
+                 "  \"queries_per_cell\": %d,\n  \"seed\": %llu,\n"
+                 "  \"cells\": [",
+                 bench_name_.c_str(), threads_, queries_,
+                 static_cast<unsigned long long>(seed_));
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      std::fprintf(f,
+                   "%s\n    {\"cell\": \"%s\", \"wall_s\": %.6f, "
+                   "\"qps\": %.1f, \"threads\": %d}",
+                   i == 0 ? "" : ",", cells_[i].cell.c_str(),
+                   cells_[i].wall_s, cells_[i].qps, cells_[i].threads);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    flushed_ = true;
+    std::fprintf(stderr, "cell timings written to %s (%zu cells)\n",
+                 path_.c_str(), cells_.size());
+  }
+
+ private:
+  struct Cell {
+    std::string cell;
+    double wall_s;
+    double qps;
+    int threads;
+  };
+
+  std::string bench_name_;
+  std::string path_;
+  int threads_;
+  int queries_;
+  uint64_t seed_;
+  std::vector<Cell> cells_;
+  bool flushed_ = false;
+};
+
+/// Wall-clock seconds elapsed since `t0`.
+inline double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 inline std::vector<std::string> SplitCsv(const char* s) {
   std::vector<std::string> out;
@@ -124,10 +205,14 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
       for (const std::string& c : SplitCsv(arg + 13)) {
         flags.capacities.push_back(std::atoi(c.c_str()));
       }
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      flags.threads = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--bench-json=", 13) == 0) {
+      flags.bench_json = arg + 13;
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (supported: --queries= --seed= "
-                   "--datasets= --capacities=)\n",
+                   "--datasets= --capacities= --threads= --bench-json=)\n",
                    arg);
       std::exit(2);
     }
@@ -151,10 +236,13 @@ inline Result<std::vector<workload::Dataset>> LoadDatasets(
   return out;
 }
 
-/// Runs one (dataset, kind, capacity) cell end to end.
+/// Runs one (dataset, kind, capacity) cell end to end. The experiment's
+/// wall-clock time and throughput are recorded under the cell id
+/// "<dataset>/<index>/cap<capacity>" when `recorder` is non-null.
 inline Result<bcast::ExperimentResult> RunCell(const workload::Dataset& ds,
                                                IndexKind kind, int capacity,
-                                               const BenchFlags& flags) {
+                                               const BenchFlags& flags,
+                                               BenchRecorder* recorder) {
   Result<std::unique_ptr<bcast::AirIndex>> index =
       BuildIndex(kind, ds.subdivision, capacity);
   if (!index.ok()) return index.status();
@@ -162,28 +250,46 @@ inline Result<bcast::ExperimentResult> RunCell(const workload::Dataset& ds,
   opt.packet_capacity = capacity;
   opt.num_queries = flags.queries;
   opt.seed = flags.seed;
+  opt.num_threads = flags.threads;
+  const auto t0 = std::chrono::steady_clock::now();
   Result<bcast::ExperimentResult> res =
       bcast::RunExperiment(*index.value(), ds.subdivision, nullptr, opt);
+  const double wall_s = SecondsSince(t0);
   if (!res.ok()) return res.status();
+  if (recorder != nullptr) {
+    recorder->Record(ds.name + "/" + KindName(kind) + "/cap" +
+                         std::to_string(capacity),
+                     wall_s, flags.queries / std::max(wall_s, 1e-12));
+  }
   bcast::ExperimentResult r = std::move(res).value();
   r.index_name = KindName(kind);
   return r;
 }
 
 /// Prints one figure's table: rows = packet capacity, one column per
-/// index; `value` selects the metric.
+/// index; `value` selects the metric. A second table reports the measured
+/// per-cell query throughput (thousand queries / second) and the total
+/// wall-clock time for the sweep.
 template <typename ValueFn>
 void PrintFigureTable(const char* title, const workload::Dataset& ds,
-                      const BenchFlags& flags, ValueFn value) {
+                      const BenchFlags& flags, BenchRecorder* recorder,
+                      ValueFn value) {
   std::printf("\n%s — dataset %s (N=%d)\n", title, ds.name.c_str(),
               ds.subdivision.NumRegions());
   std::printf("%-10s", "packet");
   for (IndexKind k : kAllKinds) std::printf(" %12s", KindName(k));
   std::printf("\n");
+  std::vector<std::vector<double>> kqps_rows;
+  const auto sweep_t0 = std::chrono::steady_clock::now();
   for (int capacity : flags.capacities) {
     std::printf("%-10d", capacity);
+    std::vector<double> kqps_row;
     for (IndexKind k : kAllKinds) {
-      Result<bcast::ExperimentResult> res = RunCell(ds, k, capacity, flags);
+      const auto t0 = std::chrono::steady_clock::now();
+      Result<bcast::ExperimentResult> res =
+          RunCell(ds, k, capacity, flags, recorder);
+      kqps_row.push_back(flags.queries /
+                         std::max(SecondsSince(t0), 1e-12) / 1000.0);
       if (!res.ok()) {
         std::printf(" %12s", "ERR");
         std::fprintf(stderr, "cell %s/%s/%d failed: %s\n", ds.name.c_str(),
@@ -192,6 +298,17 @@ void PrintFigureTable(const char* title, const workload::Dataset& ds,
       }
       std::printf(" %12.3f", value(res.value()));
     }
+    std::printf("\n");
+    kqps_rows.push_back(std::move(kqps_row));
+  }
+  const double sweep_s = SecondsSince(sweep_t0);
+  std::printf("timing — kqueries/sec per cell (threads=%d, wall %.2fs "
+              "total, incl. index build)\n",
+              flags.threads > 0 ? flags.threads : ThreadPool::DefaultThreads(),
+              sweep_s);
+  for (size_t row = 0; row < kqps_rows.size(); ++row) {
+    std::printf("%-10d", flags.capacities[row]);
+    for (double kqps : kqps_rows[row]) std::printf(" %12.1f", kqps);
     std::printf("\n");
   }
 }

@@ -47,6 +47,15 @@ class AirIndex {
   virtual int PacketCapacity() const = 0;
 
   /// Simulates the client's index search for query point p.
+  ///
+  /// Concurrency contract: Probe must be safe to call from multiple
+  /// threads at once on the same (fully built) index. Implementations may
+  /// not mutate shared state — no lazy construction, no internal caches,
+  /// no `mutable` members touched on the probe path. The parallel
+  /// experiment driver (bcast::RunExperiment) shards its query stream
+  /// across a thread pool and relies on this; all four structures in this
+  /// repository (D-tree, R*-tree, trap-tree, trian-tree) satisfy it by
+  /// being immutable after Build().
   virtual Result<ProbeTrace> Probe(const geom::Point& p) const = 0;
 };
 

@@ -4,9 +4,31 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "geom/polygon.h"
 
 namespace dtree::bcast {
+
+namespace {
+
+/// Fixed shard count for the parallel query loop. Chosen once, never
+/// derived from thread count: shard s always covers the same query indices
+/// and always draws from RNG stream s, so the merged result is identical
+/// whether shards run on 1 thread or 16. Small enough that per-shard
+/// bookkeeping is negligible, large enough to load-balance a pool of any
+/// realistic size.
+constexpr int kQueryShards = 64;
+
+/// Per-shard private accumulator; merged in shard order.
+struct ShardSums {
+  double latency = 0.0;
+  double tuning_index = 0.0;
+  double tuning_total = 0.0;
+  double tuning_noindex = 0.0;
+  Status error = Status::OK();
+};
+
+}  // namespace
 
 Result<QuerySampler> QuerySampler::Create(const sub::Subdivision& subdivision,
                                           QueryDistribution distribution,
@@ -30,12 +52,20 @@ Result<QuerySampler> QuerySampler::Create(const sub::Subdivision& subdivision,
       return Status::InvalidArgument("weights sum to zero");
     }
   }
-  return QuerySampler(subdivision, distribution, std::move(cumulative));
+  std::vector<geom::Polygon> polygons;
+  if (distribution != QueryDistribution::kUniformArea) {
+    polygons.reserve(subdivision.NumRegions());
+    for (int i = 0; i < subdivision.NumRegions(); ++i) {
+      polygons.push_back(subdivision.RegionPolygon(i));
+    }
+  }
+  return QuerySampler(subdivision, distribution, std::move(cumulative),
+                      std::move(polygons));
 }
 
 geom::Point QuerySampler::DrawInRegion(int region, Rng* rng) const {
   const geom::BBox& b = sub_.RegionBounds(region);
-  const geom::Polygon poly = sub_.RegionPolygon(region);
+  const geom::Polygon& poly = polygons_[region];
   for (int attempt = 0; attempt < 4096; ++attempt) {
     geom::Point p{rng->Uniform(b.min_x, b.max_x),
                   rng->Uniform(b.min_y, b.max_y)};
@@ -74,13 +104,6 @@ geom::Point QuerySampler::Draw(Rng* rng) const {
   return {};
 }
 
-geom::Point DrawQueryPoint(const sub::Subdivision& subdivision,
-                           QueryDistribution distribution, Rng* rng) {
-  Result<QuerySampler> s = QuerySampler::Create(subdivision, distribution, {});
-  DTREE_CHECK(s.ok());
-  return s.value().Draw(rng);
-}
-
 Result<ExperimentResult> RunExperiment(const AirIndex& index,
                                        const sub::Subdivision& subdivision,
                                        const sub::PointLocator* oracle,
@@ -102,40 +125,72 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
   if (!sampler_r.ok()) return sampler_r.status();
   const QuerySampler& sampler = sampler_r.value();
 
-  Rng rng(options.seed);
+  // Shard layout: fixed count, queries split as evenly as possible, shard
+  // s always owning the same contiguous slice regardless of threads.
+  const int num_shards = std::min(kQueryShards, options.num_queries);
+  const int per_shard = options.num_queries / num_shards;
+  const int remainder = options.num_queries % num_shards;
+
+  std::vector<ShardSums> shards(num_shards);
+  auto run_shard = [&](int s) {
+    ShardSums& sums = shards[s];
+    const int shard_queries = per_shard + (s < remainder ? 1 : 0);
+    Rng rng = Rng::ForStream(options.seed, static_cast<uint64_t>(s));
+    for (int q = 0; q < shard_queries; ++q) {
+      const geom::Point p = sampler.Draw(&rng);
+      Result<ProbeTrace> trace_r = index.Probe(p);
+      if (!trace_r.ok()) {
+        sums.error = trace_r.status();
+        return;
+      }
+      const ProbeTrace& trace = trace_r.value();
+
+      if (oracle != nullptr) {
+        const int expect = oracle->Locate(p);
+        if (expect != trace.region &&
+            subdivision.DistanceToNearestBorder(p) > geom::kMergeEps * 100.0) {
+          sums.error = Status::Internal(
+              index.name() + " located region " +
+              std::to_string(trace.region) + " but oracle says " +
+              std::to_string(expect));
+          return;
+        }
+      }
+
+      const double arrival =
+          rng.Uniform(0.0, static_cast<double>(ch.cycle_packets()));
+      Result<BroadcastChannel::QueryOutcome> out_r =
+          ch.Simulate(trace, arrival);
+      if (!out_r.ok()) {
+        sums.error = out_r.status();
+        return;
+      }
+      const auto& out = out_r.value();
+      sums.latency += out.latency;
+      sums.tuning_index += out.tuning_index;
+      sums.tuning_total += out.tuning_total();
+
+      const auto base = ch.SimulateNoIndex(trace.region, arrival);
+      sums.tuning_noindex += base.tuning_total();
+    }
+  };
+
+  ThreadPool pool(options.num_threads);
+  pool.ParallelFor(num_shards, run_shard);
+
+  // Merge in shard order: floating-point summation order is fixed, so the
+  // result is bit-identical for every thread count. The first failing
+  // shard (by id) wins, matching what a serial run would have reported.
   double sum_latency = 0.0;
   double sum_tuning_index = 0.0;
   double sum_tuning_total = 0.0;
   double sum_tuning_noindex = 0.0;
-
-  for (int q = 0; q < options.num_queries; ++q) {
-    const geom::Point p = sampler.Draw(&rng);
-    Result<ProbeTrace> trace_r = index.Probe(p);
-    if (!trace_r.ok()) return trace_r.status();
-    const ProbeTrace& trace = trace_r.value();
-
-    if (oracle != nullptr) {
-      const int expect = oracle->Locate(p);
-      if (expect != trace.region &&
-          subdivision.DistanceToNearestBorder(p) > geom::kMergeEps * 100.0) {
-        return Status::Internal(
-            index.name() + " located region " + std::to_string(trace.region) +
-            " but oracle says " + std::to_string(expect));
-      }
-    }
-
-    const double arrival =
-        rng.Uniform(0.0, static_cast<double>(ch.cycle_packets()));
-    Result<BroadcastChannel::QueryOutcome> out_r =
-        ch.Simulate(trace, arrival);
-    if (!out_r.ok()) return out_r.status();
-    const auto& out = out_r.value();
-    sum_latency += out.latency;
-    sum_tuning_index += out.tuning_index;
-    sum_tuning_total += out.tuning_total();
-
-    const auto base = ch.SimulateNoIndex(trace.region, arrival);
-    sum_tuning_noindex += base.tuning_total();
+  for (const ShardSums& sums : shards) {
+    if (!sums.error.ok()) return sums.error;
+    sum_latency += sums.latency;
+    sum_tuning_index += sums.tuning_index;
+    sum_tuning_total += sums.tuning_total;
+    sum_tuning_noindex += sums.tuning_noindex;
   }
 
   const double n = static_cast<double>(options.num_queries);

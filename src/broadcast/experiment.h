@@ -1,5 +1,12 @@
 // Experiment driver: runs a query load against an air index over a
 // (1, m) broadcast channel and aggregates the paper's three metrics.
+//
+// The driver is parallel but deterministic: the query stream is split into
+// a fixed number of shards (independent of thread count), each shard draws
+// from its own RNG stream (Rng::ForStream(seed, shard)) and accumulates
+// partial sums privately, and partials are merged in shard order. The same
+// (seed, num_queries) therefore produces bit-identical ExperimentResults
+// for any ExperimentOptions::num_threads.
 
 #ifndef DTREE_BROADCAST_EXPERIMENT_H_
 #define DTREE_BROADCAST_EXPERIMENT_H_
@@ -38,10 +45,16 @@ struct ExperimentOptions {
   std::vector<double> region_weights;
   size_t data_instance_size = kDataInstanceSize;
   int m = 0;  ///< 0 = optimal
+  /// Threads to run query shards on; 0 = hardware concurrency. Results do
+  /// not depend on this value — only wall-clock time does.
+  int num_threads = 0;
 };
 
 /// Draws query points for a distribution; precomputes the cumulative
-/// weight table once so skewed loads sample in O(log N).
+/// weight table once so skewed loads sample in O(log N), and materializes
+/// every region polygon once so the per-draw rejection loop never copies
+/// vertices. Draw() is const and safe to call concurrently with distinct
+/// Rngs.
 class QuerySampler {
  public:
   /// Fails when kWeightedRegion is requested with a missing or malformed
@@ -54,15 +67,17 @@ class QuerySampler {
 
  private:
   QuerySampler(const sub::Subdivision& subdivision,
-               QueryDistribution distribution, std::vector<double> cumulative)
+               QueryDistribution distribution, std::vector<double> cumulative,
+               std::vector<geom::Polygon> polygons)
       : sub_(subdivision), distribution_(distribution),
-        cumulative_(std::move(cumulative)) {}
+        cumulative_(std::move(cumulative)), polygons_(std::move(polygons)) {}
 
   geom::Point DrawInRegion(int region, Rng* rng) const;
 
   const sub::Subdivision& sub_;
   QueryDistribution distribution_;
-  std::vector<double> cumulative_;  ///< kWeightedRegion only
+  std::vector<double> cumulative_;       ///< kWeightedRegion only
+  std::vector<geom::Polygon> polygons_;  ///< cached; empty for kUniformArea
 };
 
 /// Aggregated results of one (index, dataset, packet-capacity) cell.
@@ -92,14 +107,14 @@ struct ExperimentResult {
 /// brute-force locator when `oracle` is non-null (mismatches fail the run,
 /// except for points within geom::kMergeEps*100 of a region border where
 /// the answer is numerically ambiguous).
+///
+/// Queries run on options.num_threads threads; `index` must honor the
+/// AirIndex::Probe concurrency contract (all four structures in this
+/// repository do).
 Result<ExperimentResult> RunExperiment(const AirIndex& index,
                                        const sub::Subdivision& subdivision,
                                        const sub::PointLocator* oracle,
                                        const ExperimentOptions& options);
-
-/// Draws a query point according to the distribution.
-geom::Point DrawQueryPoint(const sub::Subdivision& subdivision,
-                           QueryDistribution distribution, Rng* rng);
 
 }  // namespace dtree::bcast
 

@@ -20,6 +20,14 @@ class Rng {
  public:
   explicit Rng(uint64_t seed) : engine_(seed) {}
 
+  /// Independent stream derived from (seed, stream) with a SplitMix64
+  /// finalizer, so sharded consumers (e.g. the parallel experiment driver)
+  /// get decorrelated generators whose sequences depend only on the seed
+  /// and the stream id — never on thread count or scheduling.
+  static Rng ForStream(uint64_t seed, uint64_t stream) {
+    return Rng(SplitMix64(seed ^ SplitMix64(stream)));
+  }
+
   /// Uniform double in [lo, hi).
   double Uniform(double lo, double hi) {
     std::uniform_real_distribution<double> d(lo, hi);
@@ -51,6 +59,15 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  /// SplitMix64 finalizer (Steele et al.); bijective, avalanche-quality
+  /// mixing even for adjacent inputs like stream ids 0, 1, 2, ...
+  static uint64_t SplitMix64(uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
   std::mt19937_64 engine_;
 };
 

@@ -177,7 +177,66 @@ Result<Subdivision> Subdivision::FromPolygons(
     for (int v : ring) b.Extend(out.vertices_[v]);
     out.bounds_.push_back(b);
   }
+  out.BuildBorderGrid();
   return out;
+}
+
+void Subdivision::BuildBorderGrid() {
+  // Unique undirected edges: a shared border appears in both neighboring
+  // rings (reversed) but only needs one distance check.
+  std::unordered_map<uint64_t, std::pair<int, int>> unique_edges;
+  for (const std::vector<int>& ring : rings_) {
+    for (size_t i = 0; i < ring.size(); ++i) {
+      const int a = ring[i];
+      const int b = ring[(i + 1) % ring.size()];
+      const int lo = std::min(a, b), hi = std::max(a, b);
+      const uint64_t key =
+          (static_cast<uint64_t>(static_cast<uint32_t>(lo)) << 32) |
+          static_cast<uint32_t>(hi);
+      unique_edges.emplace(key, std::make_pair(a, b));
+    }
+  }
+  border_edges_.clear();
+  border_edges_.reserve(unique_edges.size());
+  for (const auto& [key, e] : unique_edges) border_edges_.push_back(e);
+  if (border_edges_.empty()) {
+    border_grid_dim_ = 0;
+    return;
+  }
+
+  border_grid_box_ = service_area_;
+  for (const Point& p : vertices_) border_grid_box_.Extend(p);
+  border_grid_dim_ = std::clamp(
+      static_cast<int>(std::sqrt(static_cast<double>(border_edges_.size()))),
+      1, 256);
+  border_cell_w_ =
+      std::max(border_grid_box_.width(), 1e-9) / border_grid_dim_;
+  border_cell_h_ =
+      std::max(border_grid_box_.height(), 1e-9) / border_grid_dim_;
+  border_cells_.assign(
+      static_cast<size_t>(border_grid_dim_) * border_grid_dim_, {});
+  auto cell_index = [&](double v, double lo, double step) {
+    return std::clamp(static_cast<int>((v - lo) / step), 0,
+                      border_grid_dim_ - 1);
+  };
+  for (size_t e = 0; e < border_edges_.size(); ++e) {
+    const Point& a = vertices_[border_edges_[e].first];
+    const Point& b = vertices_[border_edges_[e].second];
+    const int x0 = cell_index(std::min(a.x, b.x), border_grid_box_.min_x,
+                              border_cell_w_);
+    const int x1 = cell_index(std::max(a.x, b.x), border_grid_box_.min_x,
+                              border_cell_w_);
+    const int y0 = cell_index(std::min(a.y, b.y), border_grid_box_.min_y,
+                              border_cell_h_);
+    const int y1 = cell_index(std::max(a.y, b.y), border_grid_box_.min_y,
+                              border_cell_h_);
+    for (int gy = y0; gy <= y1; ++gy) {
+      for (int gx = x0; gx <= x1; ++gx) {
+        border_cells_[static_cast<size_t>(gy) * border_grid_dim_ + gx]
+            .push_back(static_cast<int>(e));
+      }
+    }
+  }
 }
 
 Polygon Subdivision::RegionPolygon(int i) const {
@@ -250,7 +309,7 @@ Status Subdivision::Validate() const {
   return Status::OK();
 }
 
-double Subdivision::DistanceToNearestBorder(const geom::Point& p) const {
+double Subdivision::BorderDistanceFullScan(const geom::Point& p) const {
   double best = std::numeric_limits<double>::infinity();
   for (int i = 0; i < NumRegions(); ++i) {
     const std::vector<int>& ring = rings_[i];
@@ -260,6 +319,53 @@ double Subdivision::DistanceToNearestBorder(const geom::Point& p) const {
       best = std::min(best, geom::DistanceToSegment(a, b, p));
     }
   }
+  return best;
+}
+
+double Subdivision::DistanceToNearestBorder(const geom::Point& p) const {
+  if (border_grid_dim_ == 0) return BorderDistanceFullScan(p);
+  // The expanding-ring bound below assumes p lies inside its own grid
+  // cell; outside the grid extent, fall back to the full scan.
+  if (!border_grid_box_.Contains(p)) return BorderDistanceFullScan(p);
+
+  const int cx = std::clamp(
+      static_cast<int>((p.x - border_grid_box_.min_x) / border_cell_w_), 0,
+      border_grid_dim_ - 1);
+  const int cy = std::clamp(
+      static_cast<int>((p.y - border_grid_box_.min_y) / border_cell_h_), 0,
+      border_grid_dim_ - 1);
+  const double min_cell = std::min(border_cell_w_, border_cell_h_);
+
+  double best = std::numeric_limits<double>::infinity();
+  auto scan_cell = [&](int gx, int gy) {
+    if (gx < 0 || gy < 0 || gx >= border_grid_dim_ || gy >= border_grid_dim_)
+      return;
+    for (int e :
+         border_cells_[static_cast<size_t>(gy) * border_grid_dim_ + gx]) {
+      const Point& a = vertices_[border_edges_[e].first];
+      const Point& b = vertices_[border_edges_[e].second];
+      best = std::min(best, geom::DistanceToSegment(a, b, p));
+    }
+  };
+  for (int ring = 0; ring < border_grid_dim_; ++ring) {
+    if (ring == 0) {
+      scan_cell(cx, cy);
+    } else {
+      for (int gx = cx - ring; gx <= cx + ring; ++gx) {
+        scan_cell(gx, cy - ring);
+        scan_cell(gx, cy + ring);
+      }
+      for (int gy = cy - ring + 1; gy <= cy + ring - 1; ++gy) {
+        scan_cell(cx - ring, gy);
+        scan_cell(cx + ring, gy);
+      }
+    }
+    // Every cell at Chebyshev ring r+1 is at least r*min_cell away from p
+    // (p is inside cell (cx, cy)), so once best is within that bound no
+    // farther ring can improve it.
+    if (best <= static_cast<double>(ring) * min_cell) break;
+  }
+  DTREE_DCHECK(std::isfinite(best));
   return best;
 }
 

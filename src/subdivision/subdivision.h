@@ -57,14 +57,35 @@ class Subdivision {
   Status Validate() const;
 
   /// Distance from p to the nearest region border (used by tests to skip
-  /// query points whose answer is numerically ambiguous).
+  /// query points whose answer is numerically ambiguous, and by the
+  /// experiment oracle on every mismatching query). Grid-accelerated:
+  /// border edges are bucketed into a uniform grid at construction and
+  /// looked up by expanding rings around p's cell; points outside the
+  /// grid's extent fall back to the full edge scan.
   double DistanceToNearestBorder(const geom::Point& p) const;
 
  private:
+  /// Collects unique undirected border edges and buckets them into the
+  /// uniform grid used by DistanceToNearestBorder.
+  void BuildBorderGrid();
+
+  /// Brute-force fallback: every edge of every region.
+  double BorderDistanceFullScan(const geom::Point& p) const;
+
   geom::BBox service_area_;
   std::vector<geom::Point> vertices_;
   std::vector<std::vector<int>> rings_;
   std::vector<geom::BBox> bounds_;
+
+  /// Border-distance acceleration: unique undirected edges (vertex-id
+  /// pairs) bucketed into a uniform grid over `border_grid_box_`. Built by
+  /// FromPolygons; a default-constructed Subdivision has no grid
+  /// (border_grid_dim_ == 0) and uses the full scan.
+  std::vector<std::pair<int, int>> border_edges_;
+  geom::BBox border_grid_box_;
+  int border_grid_dim_ = 0;
+  double border_cell_w_ = 1.0, border_cell_h_ = 1.0;
+  std::vector<std::vector<int>> border_cells_;  ///< edge ids per grid cell
 };
 
 /// Grid-accelerated brute-force point locator over a Subdivision. Serves as

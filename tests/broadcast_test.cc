@@ -238,10 +238,12 @@ TEST(ExperimentTest, QueryDistributionCoversRegions) {
   const sub::Subdivision sub = test::ClusteredVoronoi(40, 29);
   Rng rng(1);
   const sub::PointLocator oracle(sub);
+  auto sampler_r =
+      QuerySampler::Create(sub, QueryDistribution::kUniformRegion, {});
+  ASSERT_TRUE(sampler_r.ok());
   std::set<int> hit;
   for (int i = 0; i < 2000; ++i) {
-    const geom::Point p =
-        DrawQueryPoint(sub, QueryDistribution::kUniformRegion, &rng);
+    const geom::Point p = sampler_r.value().Draw(&rng);
     EXPECT_TRUE(sub.service_area().Contains(p));
     hit.insert(oracle.Locate(p));
   }

@@ -1,0 +1,200 @@
+// Determinism and sampler-edge-case coverage for the parallel experiment
+// driver: the sharded, stream-seeded query loop must return bit-identical
+// metrics for every thread count, and QuerySampler must handle degenerate
+// weight vectors exactly as documented.
+
+#include <limits>
+#include <set>
+
+#include "broadcast/experiment.h"
+#include "common/rng.h"
+#include "dtree/dtree.h"
+#include "test_util.h"
+
+#include "gtest/gtest.h"
+
+namespace dtree::bcast {
+namespace {
+
+void ExpectIdentical(const ExperimentResult& a, const ExperimentResult& b) {
+  // Bit-identical, not approximately equal: shard merge order is fixed.
+  EXPECT_EQ(a.mean_latency, b.mean_latency);
+  EXPECT_EQ(a.normalized_latency, b.normalized_latency);
+  EXPECT_EQ(a.mean_tuning_index, b.mean_tuning_index);
+  EXPECT_EQ(a.mean_tuning_total, b.mean_tuning_total);
+  EXPECT_EQ(a.mean_tuning_noindex, b.mean_tuning_noindex);
+  EXPECT_EQ(a.indexing_efficiency, b.indexing_efficiency);
+  EXPECT_EQ(a.m, b.m);
+  EXPECT_EQ(a.index_packets, b.index_packets);
+  EXPECT_EQ(a.cycle_packets, b.cycle_packets);
+}
+
+TEST(ParallelExperimentTest, ThreadCountDoesNotChangeResults) {
+  const sub::Subdivision sub = test::RandomVoronoi(80, 404);
+  core::DTree::Options topt;
+  topt.packet_capacity = 256;
+  auto tree = core::DTree::Build(sub, topt);
+  ASSERT_TRUE(tree.ok());
+
+  ExperimentOptions opt;
+  opt.packet_capacity = 256;
+  opt.num_queries = 20000;
+  opt.seed = 7;
+  opt.num_threads = 1;
+  auto serial = RunExperiment(tree.value(), sub, nullptr, opt);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  for (int threads : {4, 8}) {
+    opt.num_threads = threads;
+    auto parallel = RunExperiment(tree.value(), sub, nullptr, opt);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectIdentical(serial.value(), parallel.value());
+  }
+}
+
+TEST(ParallelExperimentTest, DeterministicWithOracleAndWeights) {
+  const sub::Subdivision sub = test::ClusteredVoronoi(50, 505);
+  const sub::PointLocator oracle(sub);
+  core::DTree::Options topt;
+  topt.packet_capacity = 128;
+  auto tree = core::DTree::Build(sub, topt);
+  ASSERT_TRUE(tree.ok());
+
+  std::vector<double> weights(sub.NumRegions(), 1.0);
+  for (size_t i = 0; i < weights.size(); i += 3) weights[i] = 5.0;
+
+  ExperimentOptions opt;
+  opt.packet_capacity = 128;
+  opt.num_queries = 6000;
+  opt.seed = 11;
+  opt.distribution = QueryDistribution::kWeightedRegion;
+  opt.region_weights = weights;
+  opt.num_threads = 1;
+  auto serial = RunExperiment(tree.value(), sub, &oracle, opt);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  opt.num_threads = 8;
+  auto parallel = RunExperiment(tree.value(), sub, &oracle, opt);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ExpectIdentical(serial.value(), parallel.value());
+}
+
+TEST(ParallelExperimentTest, SeedStillMatters) {
+  const sub::Subdivision sub = test::RandomVoronoi(40, 606);
+  core::DTree::Options topt;
+  topt.packet_capacity = 256;
+  auto tree = core::DTree::Build(sub, topt);
+  ASSERT_TRUE(tree.ok());
+  ExperimentOptions opt;
+  opt.packet_capacity = 256;
+  opt.num_queries = 5000;
+  opt.num_threads = 4;
+  opt.seed = 1;
+  auto a = RunExperiment(tree.value(), sub, nullptr, opt);
+  opt.seed = 2;
+  auto b = RunExperiment(tree.value(), sub, nullptr, opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().mean_latency, b.value().mean_latency);
+}
+
+TEST(ParallelExperimentTest, FewerQueriesThanShardsStillDeterministic) {
+  // num_queries below the internal shard count exercises the shard-count
+  // clamp; results must still be thread-count independent.
+  const sub::Subdivision sub = test::RandomVoronoi(20, 707);
+  core::DTree::Options topt;
+  topt.packet_capacity = 256;
+  auto tree = core::DTree::Build(sub, topt);
+  ASSERT_TRUE(tree.ok());
+  ExperimentOptions opt;
+  opt.packet_capacity = 256;
+  opt.num_queries = 13;
+  opt.seed = 3;
+  opt.num_threads = 1;
+  auto serial = RunExperiment(tree.value(), sub, nullptr, opt);
+  ASSERT_TRUE(serial.ok());
+  opt.num_threads = 8;
+  auto parallel = RunExperiment(tree.value(), sub, nullptr, opt);
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdentical(serial.value(), parallel.value());
+}
+
+TEST(RngStreamTest, StreamsAreDecorrelatedAndReproducible) {
+  Rng a = Rng::ForStream(42, 0);
+  Rng a2 = Rng::ForStream(42, 0);
+  Rng b = Rng::ForStream(42, 1);
+  Rng c = Rng::ForStream(43, 0);
+  const double va = a.Uniform(0.0, 1.0);
+  EXPECT_EQ(va, a2.Uniform(0.0, 1.0));  // same (seed, stream) -> same draw
+  EXPECT_NE(va, b.Uniform(0.0, 1.0));   // adjacent stream differs
+  EXPECT_NE(va, c.Uniform(0.0, 1.0));   // adjacent seed differs
+}
+
+TEST(QuerySamplerTest, WeightVectorSizeMismatchFails) {
+  const sub::Subdivision sub = test::RandomVoronoi(10, 808);
+  auto r = QuerySampler::Create(sub, QueryDistribution::kWeightedRegion,
+                                std::vector<double>(3, 1.0));
+  EXPECT_FALSE(r.ok());
+  auto empty = QuerySampler::Create(sub, QueryDistribution::kWeightedRegion,
+                                    {});
+  EXPECT_FALSE(empty.ok());
+}
+
+TEST(QuerySamplerTest, RejectsNegativeNonFiniteAndAllZeroWeights) {
+  const sub::Subdivision sub = test::RandomVoronoi(5, 809);
+  std::vector<double> w(5, 1.0);
+  w[2] = -0.5;
+  EXPECT_FALSE(
+      QuerySampler::Create(sub, QueryDistribution::kWeightedRegion, w).ok());
+  w[2] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(
+      QuerySampler::Create(sub, QueryDistribution::kWeightedRegion, w).ok());
+  EXPECT_FALSE(QuerySampler::Create(sub, QueryDistribution::kWeightedRegion,
+                                    std::vector<double>(5, 0.0))
+                   .ok());
+}
+
+TEST(QuerySamplerTest, ZeroWeightRegionsAreNeverDrawn) {
+  const sub::Subdivision sub = test::RandomVoronoi(12, 810);
+  const sub::PointLocator oracle(sub);
+  // Only regions 0 and 7 carry mass.
+  std::vector<double> w(12, 0.0);
+  w[0] = 1.0;
+  w[7] = 3.0;
+  auto sampler =
+      QuerySampler::Create(sub, QueryDistribution::kWeightedRegion, w);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(17);
+  std::set<int> hit;
+  for (int i = 0; i < 4000; ++i) {
+    hit.insert(oracle.Locate(sampler.value().Draw(&rng)));
+  }
+  EXPECT_TRUE(hit.count(0) == 1);
+  EXPECT_TRUE(hit.count(7) == 1);
+  EXPECT_LE(hit.size(), 2u);
+}
+
+TEST(QuerySamplerTest, SingleRegionSubdivision) {
+  // One region tiling the whole service area: both region-based
+  // distributions must draw inside it.
+  const geom::BBox area{0.0, 0.0, 10.0, 10.0};
+  geom::Polygon square(
+      {{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}, {0.0, 10.0}});
+  auto sub_r = sub::Subdivision::FromPolygons(area, {square});
+  ASSERT_TRUE(sub_r.ok());
+  const sub::Subdivision& sub = sub_r.value();
+  Rng rng(23);
+  for (QueryDistribution d : {QueryDistribution::kUniformRegion,
+                              QueryDistribution::kWeightedRegion}) {
+    auto sampler = QuerySampler::Create(
+        sub, d,
+        d == QueryDistribution::kWeightedRegion ? std::vector<double>{2.5}
+                                                : std::vector<double>{});
+    ASSERT_TRUE(sampler.ok());
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(area.Contains(sampler.value().Draw(&rng)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtree::bcast

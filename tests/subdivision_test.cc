@@ -1,6 +1,8 @@
 #include <algorithm>
+#include <limits>
 #include <set>
 
+#include "geom/predicates.h"
 #include "subdivision/extent.h"
 #include "subdivision/subdivision.h"
 #include "subdivision/triangulate.h"
@@ -325,6 +327,40 @@ TEST(TriangulateTest, RectAnnulus) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+TEST(BorderDistanceTest, GridMatchesBruteForce) {
+  // The grid-accelerated DistanceToNearestBorder must agree with an
+  // explicit scan over every region edge, for points inside and outside
+  // the service area.
+  const Subdivision sub = test::RandomVoronoi(120, 3131);
+  auto brute = [&](const Point& p) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < sub.NumRegions(); ++i) {
+      const std::vector<int>& ring = sub.Ring(i);
+      for (size_t j = 0; j < ring.size(); ++j) {
+        const Point& a = sub.vertices()[ring[j]];
+        const Point& b = sub.vertices()[ring[(j + 1) % ring.size()]];
+        best = std::min(best, geom::DistanceToSegment(a, b, p));
+      }
+    }
+    return best;
+  };
+  Rng rng(99);
+  const BBox& area = sub.service_area();
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.Uniform(area.min_x, area.max_x),
+                  rng.Uniform(area.min_y, area.max_y)};
+    EXPECT_NEAR(sub.DistanceToNearestBorder(p), brute(p), 1e-12);
+  }
+  // Outside the grid extent: full-scan fallback.
+  for (const Point p : {Point{area.min_x - 3.0, area.min_y - 2.0},
+                        Point{area.max_x + 5.0, area.Center().y},
+                        Point{area.Center().x, area.max_y + 0.5}}) {
+    EXPECT_NEAR(sub.DistanceToNearestBorder(p), brute(p), 1e-12);
+  }
+  // On a region vertex the distance is exactly zero.
+  EXPECT_EQ(sub.DistanceToNearestBorder(sub.vertices()[0]), 0.0);
 }
 
 TEST(TriangulateTest, RectAnnulusRejectsBadInput) {
