@@ -18,8 +18,10 @@ Result<BroadcastChannel> BroadcastChannel::Create(
   if (index_packets < 0) {
     return Status::InvalidArgument("negative index size");
   }
+  DTREE_RETURN_IF_ERROR(ValidateLossOptions(options.loss));
 
   BroadcastChannel ch;
+  ch.loss_ = options.loss;
   ch.packet_capacity_ = options.packet_capacity;
   ch.index_packets_ = index_packets;
   ch.num_regions_ = num_regions;
@@ -76,7 +78,7 @@ int64_t BroadcastChannel::BucketStart(int r) const {
 }
 
 Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
-    const ProbeTrace& trace, double arrival) const {
+    const ProbeTrace& trace, double arrival, uint64_t loss_stream) const {
   if (arrival < 0.0 || arrival >= static_cast<double>(cycle_packets_)) {
     return Status::InvalidArgument("arrival outside the broadcast cycle");
   }
@@ -85,14 +87,38 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
                                       /*require_forward=*/false));
 
   QueryOutcome out;
-  // --- Initial probe: wait for the next packet boundary, read one packet
-  // to learn where the next index segment starts.
-  const int64_t probe_packet = static_cast<int64_t>(std::ceil(arrival));
+  LossProcess loss(loss_, loss_stream);
+
+  // --- Initial probe: wait for the next packet *start*, read one packet
+  // to learn where the next index segment starts. A packet whose
+  // transmission began exactly at `arrival` is already in flight and
+  // cannot be synchronized to, so the probe is floor(arrival) + 1 — for
+  // non-integer arrivals this equals ceil(arrival), for exact packet
+  // boundaries it is the next packet (the old ceil() read a packet that
+  // had already started).
+  int64_t probe_packet = static_cast<int64_t>(std::floor(arrival)) + 1;
   out.tuning_probe = 1;
+  // A lost probe costs one packet of listening and one of waiting; the
+  // client simply reads the following packet (every packet carries the
+  // next-index pointer). Bounded by the same retry budget as re-tunes.
+  while (loss.enabled() && loss.NextLost()) {
+    ++out.lost_packets;
+    if (out.tuning_probe > loss_.max_retries) {
+      out.unrecoverable = true;
+      out.latency = static_cast<double>(probe_packet + 1) - arrival;
+      return out;
+    }
+    ++out.tuning_probe;
+    ++probe_packet;
+  }
   int64_t pos = probe_packet + 1;  // finished reading the probe packet
 
-  // Smallest absolute index-segment start >= t.
+  // Smallest absolute index-segment start >= t. t is always positive here
+  // (audited below at the backward-pointer call site); a negative t would
+  // truncate t / cycle_packets_ toward zero and return a segment in
+  // cycle 0 that may lie in the past.
   auto next_segment_start = [&](int64_t t) {
+    DTREE_CHECK(t >= 0);
     const int64_t base = (t / cycle_packets_) * cycle_packets_;
     const int64_t in_cycle = t - base;
     for (int j = 0; j < m_; ++j) {
@@ -101,45 +127,89 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
     return base + cycle_packets_ + segment_start_[0];
   };
 
-  // --- Index search: jump to the first index segment at or after pos.
-  int64_t seg_start = next_segment_start(pos);
-  DTREE_CHECK(seg_start >= pos);
+  // --- Access attempts. Attempt 0 is the normal protocol; when a read is
+  // lost the client re-tunes to the next index repetition after the
+  // failure and restarts the index search there (the (1, m) recovery of
+  // Imielinski et al.), up to max_retries re-tunes. On a lossless channel
+  // the loop body runs exactly once and no loss draws are made, so the
+  // outcome is bit-identical to the pre-loss-model simulator.
+  const int max_attempts = loss.enabled() ? loss_.max_retries + 1 : 1;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) ++out.retries;
+    loss.StartStream(LossProcess::AttemptStream(attempt));
+    bool lost = false;
 
-  for (int packet_id : trace.packets) {
-    int64_t at = seg_start + packet_id;
-    if (at < pos) {
-      // The referenced packet already went by (a backward pointer in a
-      // DAG-shaped index): wait for the next repetition of the index that
-      // still has this packet ahead of us.
-      seg_start = next_segment_start(pos - packet_id);
-      at = seg_start + packet_id;
-      DTREE_CHECK(at >= pos);
+    // --- Index search: jump to the first index segment at or after pos.
+    int64_t p = pos;
+    int64_t seg_start = next_segment_start(p);
+    DTREE_CHECK(seg_start >= p);
+
+    for (int packet_id : trace.packets) {
+      int64_t at = seg_start + packet_id;
+      if (at < p) {
+        // The referenced packet already went by (a backward pointer in a
+        // DAG-shaped index): wait for the next repetition of the index
+        // that still has this packet ahead of us.
+        //
+        // p - packet_id is provably positive: a backward jump can only
+        // happen after a previous read, so p = seg_start' + prev_id + 1
+        // for some seg_start' >= 0, and at < p forces
+        // packet_id <= prev_id, hence p - packet_id >= seg_start' + 1.
+        // The DTREE_CHECK in next_segment_start guards the invariant.
+        seg_start = next_segment_start(p - packet_id);
+        at = seg_start + packet_id;
+        DTREE_CHECK(at >= p);
+      }
+      p = at + 1;
+      ++out.tuning_index;
+      if (loss.enabled() && loss.NextLost()) {
+        ++out.lost_packets;
+        lost = true;
+        break;
+      }
     }
-    pos = at + 1;
-    ++out.tuning_index;
-  }
-  if (trace.packets.empty()) {
-    pos = std::max(pos, seg_start);  // degenerate: empty index
-  }
+    if (!lost) {
+      if (trace.packets.empty()) {
+        p = std::max(p, seg_start);  // degenerate: empty index
+      }
 
-  // --- Data retrieval: next occurrence of the bucket at or after pos.
-  const int64_t bucket_in_cycle = BucketStart(trace.region);
-  int64_t cycle_base = (pos / cycle_packets_) * cycle_packets_;
-  int64_t data_at = cycle_base + bucket_in_cycle;
-  if (data_at < pos) data_at += cycle_packets_;
-  out.tuning_data = bucket_packets_;
-  const int64_t done = data_at + bucket_packets_;
-  out.latency = static_cast<double>(done) - arrival;
+      // --- Data retrieval: next occurrence of the bucket at or after p.
+      const int64_t bucket_in_cycle = BucketStart(trace.region);
+      const int64_t cycle_base = (p / cycle_packets_) * cycle_packets_;
+      int64_t data_at = cycle_base + bucket_in_cycle;
+      if (data_at < p) data_at += cycle_packets_;
+      for (int b = 0; b < bucket_packets_; ++b) {
+        ++out.tuning_data;
+        if (loss.enabled() && loss.NextLost()) {
+          ++out.lost_packets;
+          lost = true;
+          p = data_at + b + 1;  // loss detected at the end of this packet
+          break;
+        }
+      }
+      if (!lost) {
+        const int64_t done = data_at + bucket_packets_;
+        out.latency = static_cast<double>(done) - arrival;
+        return out;
+      }
+    }
+    pos = p;  // re-tune: the next attempt starts after the failed read
+  }
+  out.unrecoverable = true;
+  out.latency = static_cast<double>(pos) - arrival;
   return out;
 }
 
 BroadcastChannel::QueryOutcome BroadcastChannel::SimulateNoIndex(
     int region, double arrival) const {
   DTREE_CHECK(region >= 0 && region < num_regions_);
-  // Pure-data cycle: buckets back to back, no index segments.
+  // Pure-data cycle: buckets back to back, no index segments. Same packet
+  // boundary rule as Simulate: a packet that started exactly at the
+  // arrival instant is already in flight, so listening begins at the next
+  // packet start, floor(a) + 1.
   const int64_t cycle = data_packets_;
   const double a = std::fmod(arrival, static_cast<double>(cycle));
-  const int64_t start_listen = static_cast<int64_t>(std::ceil(a));
+  const int64_t start_listen = static_cast<int64_t>(std::floor(a)) + 1;
   const int64_t bucket_at = static_cast<int64_t>(region) * bucket_packets_;
   int64_t data_at = bucket_at;
   if (data_at < start_listen) data_at += cycle;

@@ -8,7 +8,12 @@
 //
 // Positions and latencies are measured in packets; query arrival times are
 // continuous (a client may tune in mid-packet and must wait for the next
-// packet boundary to synchronize).
+// packet start to synchronize — a packet whose transmission began exactly
+// at the arrival instant is already in flight and cannot be read).
+//
+// ChannelOptions::loss selects an optional packet-loss model (loss.h);
+// Simulate then plays the client's re-tune recovery protocol and reports
+// retries and unrecoverable failures in the QueryOutcome.
 
 #ifndef DTREE_BROADCAST_CHANNEL_H_
 #define DTREE_BROADCAST_CHANNEL_H_
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "broadcast/air_index.h"
+#include "broadcast/loss.h"
 #include "broadcast/params.h"
 #include "common/status.h"
 
@@ -28,6 +34,8 @@ struct ChannelOptions {
   /// Index repetitions per cycle; 0 selects the optimal
   /// m* = round(sqrt(data_packets / index_packets)) per Imielinski et al.
   int m = 0;
+  /// Packet-loss model; kNone reproduces the paper's reliable medium.
+  LossOptions loss;
 };
 
 /// Immutable per-cycle layout for one index structure.
@@ -58,10 +66,19 @@ class BroadcastChannel {
 
   struct QueryOutcome {
     double latency = 0.0;        ///< packets, query issue -> data complete
-    int tuning_probe = 0;        ///< initial-probe packets (always 1)
-    int tuning_index = 0;        ///< index-search packets (the paper's
+                                 ///< (or -> giving up when unrecoverable)
+    int tuning_probe = 0;        ///< initial-probe packets (1 on a clean
+                                 ///< channel; +1 per lost probe)
+    int tuning_index = 0;        ///< index-search packets, including
+                                 ///< re-reads after a re-tune (the paper's
                                  ///< tuning-time measure)
-    int tuning_data = 0;         ///< data-retrieval packets
+    int tuning_data = 0;         ///< data-retrieval packets, including
+                                 ///< partial buckets cut short by a loss
+    int retries = 0;             ///< failed attempts that forced a re-tune
+                                 ///< to a later index repetition
+    int lost_packets = 0;        ///< reads that arrived lost/corrupted
+    bool unrecoverable = false;  ///< retry budget exhausted; latency then
+                                 ///< measures time until giving up
     int tuning_total() const {
       return tuning_probe + tuning_index + tuning_data;
     }
@@ -69,12 +86,29 @@ class BroadcastChannel {
 
   /// Simulates the full access protocol for a client arriving at continuous
   /// time `arrival` in [0, cycle) whose index search produced `trace`.
+  ///
+  /// When ChannelOptions::loss is enabled, each packet read may be lost;
+  /// the client then recovers per the (1, m) protocol: it re-tunes to the
+  /// next index repetition and restarts the index search there, charging
+  /// the extra wait to latency and the re-read packets to tuning time,
+  /// for at most loss.max_retries re-tunes. `loss_stream` keys the
+  /// query's private loss sub-streams (pass the query's global index);
+  /// the outcome is a pure function of (channel, trace, arrival,
+  /// loss_stream).
+  Result<QueryOutcome> Simulate(const ProbeTrace& trace, double arrival,
+                                uint64_t loss_stream) const;
+
+  /// Convenience overload: loss stream 0.
   Result<QueryOutcome> Simulate(const ProbeTrace& trace,
-                                double arrival) const;
+                                double arrival) const {
+    return Simulate(trace, arrival, 0);
+  }
 
   /// Baseline without any index: the client listens from arrival until its
   /// bucket has gone by, on a pure-data cycle of the same database.
   QueryOutcome SimulateNoIndex(int region, double arrival) const;
+
+  const LossOptions& loss_options() const { return loss_; }
 
  private:
   BroadcastChannel() = default;
@@ -91,6 +125,7 @@ class BroadcastChannel {
   std::vector<int> chunk_first_;
   /// Precomputed segment start positions (size m).
   std::vector<int64_t> segment_start_;
+  LossOptions loss_;
 };
 
 }  // namespace dtree::bcast

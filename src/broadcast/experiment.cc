@@ -25,6 +25,9 @@ struct ShardSums {
   double tuning_index = 0.0;
   double tuning_total = 0.0;
   double tuning_noindex = 0.0;
+  int64_t retries = 0;
+  int64_t lost_packets = 0;
+  int64_t unrecoverable = 0;
   Status error = Status::OK();
 };
 
@@ -115,6 +118,7 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
   copt.packet_capacity = options.packet_capacity;
   copt.data_instance_size = options.data_instance_size;
   copt.m = options.m;
+  copt.loss = options.loss;
   Result<BroadcastChannel> channel_r = BroadcastChannel::Create(
       index.NumIndexPackets(), subdivision.NumRegions(), copt);
   if (!channel_r.ok()) return channel_r.status();
@@ -135,6 +139,10 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
   auto run_shard = [&](int s) {
     ShardSums& sums = shards[s];
     const int shard_queries = per_shard + (s < remainder ? 1 : 0);
+    // Global index of this shard's first query — shard-local arithmetic,
+    // identical for every thread count. Keys each query's loss process.
+    const int64_t shard_first =
+        static_cast<int64_t>(s) * per_shard + std::min(s, remainder);
     Rng rng = Rng::ForStream(options.seed, static_cast<uint64_t>(s));
     for (int q = 0; q < shard_queries; ++q) {
       const geom::Point p = sampler.Draw(&rng);
@@ -159,8 +167,8 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
 
       const double arrival =
           rng.Uniform(0.0, static_cast<double>(ch.cycle_packets()));
-      Result<BroadcastChannel::QueryOutcome> out_r =
-          ch.Simulate(trace, arrival);
+      Result<BroadcastChannel::QueryOutcome> out_r = ch.Simulate(
+          trace, arrival, static_cast<uint64_t>(shard_first + q));
       if (!out_r.ok()) {
         sums.error = out_r.status();
         return;
@@ -169,6 +177,9 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
       sums.latency += out.latency;
       sums.tuning_index += out.tuning_index;
       sums.tuning_total += out.tuning_total();
+      sums.retries += out.retries;
+      sums.lost_packets += out.lost_packets;
+      if (out.unrecoverable) ++sums.unrecoverable;
 
       const auto base = ch.SimulateNoIndex(trace.region, arrival);
       sums.tuning_noindex += base.tuning_total();
@@ -185,12 +196,18 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
   double sum_tuning_index = 0.0;
   double sum_tuning_total = 0.0;
   double sum_tuning_noindex = 0.0;
+  int64_t sum_retries = 0;
+  int64_t sum_lost = 0;
+  int64_t sum_unrecoverable = 0;
   for (const ShardSums& sums : shards) {
     if (!sums.error.ok()) return sums.error;
     sum_latency += sums.latency;
     sum_tuning_index += sums.tuning_index;
     sum_tuning_total += sums.tuning_total;
     sum_tuning_noindex += sums.tuning_noindex;
+    sum_retries += sums.retries;
+    sum_lost += sums.lost_packets;
+    sum_unrecoverable += sums.unrecoverable;
   }
 
   const double n = static_cast<double>(options.num_queries);
@@ -215,6 +232,10 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
       static_cast<double>(subdivision.NumRegions()) *
       static_cast<double>(options.data_instance_size);
   res.normalized_index_size = static_cast<double>(res.index_bytes) / db_bytes;
+  res.total_retries = sum_retries;
+  res.unrecoverable_queries = sum_unrecoverable;
+  res.mean_retries = static_cast<double>(sum_retries) / n;
+  res.mean_lost_packets = static_cast<double>(sum_lost) / n;
   return res;
 }
 

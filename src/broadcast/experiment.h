@@ -48,6 +48,12 @@ struct ExperimentOptions {
   /// Threads to run query shards on; 0 = hardware concurrency. Results do
   /// not depend on this value — only wall-clock time does.
   int num_threads = 0;
+  /// Channel fault injection. Each query's loss process is keyed by its
+  /// global index (loss.seed, query i), which the owning shard computes
+  /// locally, so lossy results stay bit-identical across thread counts;
+  /// with the model disabled (or loss rate 0) every QueryOutcome matches
+  /// the lossless path bit-for-bit.
+  LossOptions loss;
 };
 
 /// Draws query points for a distribution; precomputes the cumulative
@@ -100,6 +106,14 @@ struct ExperimentResult {
   double indexing_efficiency = 0.0;
   /// Index size / database size (Fig. 11).
   double normalized_index_size = 0.0;
+
+  // Lossy-channel statistics; all zero when ExperimentOptions::loss is
+  // disabled (or never fires). Unrecoverable queries stay included in the
+  // mean latency/tuning (their latency measures time until giving up).
+  double mean_retries = 0.0;            ///< re-tunes per query
+  double mean_lost_packets = 0.0;       ///< lost/corrupted reads per query
+  int64_t total_retries = 0;
+  int64_t unrecoverable_queries = 0;
 };
 
 /// Runs the experiment. Every query is answered through the index's Probe

@@ -1,0 +1,78 @@
+#include "broadcast/loss.h"
+
+#include <cmath>
+#include <string>
+
+namespace dtree::bcast {
+
+namespace {
+
+Status CheckProbability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {  // negated to also catch NaN
+    return Status::InvalidArgument(std::string(what) + " = " +
+                                   std::to_string(p) +
+                                   " is not a probability in [0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateLossOptions(const LossOptions& options) {
+  if (options.max_retries < 0) {
+    return Status::InvalidArgument("max_retries must be non-negative");
+  }
+  switch (options.model) {
+    case LossModel::kNone:
+      return Status::OK();
+    case LossModel::kIid:
+      return CheckProbability(options.loss_rate, "loss_rate");
+    case LossModel::kGilbertElliott:
+      DTREE_RETURN_IF_ERROR(
+          CheckProbability(options.p_good_to_bad, "p_good_to_bad"));
+      DTREE_RETURN_IF_ERROR(
+          CheckProbability(options.p_bad_to_good, "p_bad_to_good"));
+      DTREE_RETURN_IF_ERROR(CheckProbability(options.loss_good, "loss_good"));
+      DTREE_RETURN_IF_ERROR(CheckProbability(options.loss_bad, "loss_bad"));
+      if (options.p_good_to_bad == 0.0 && options.p_bad_to_good == 0.0) {
+        return Status::InvalidArgument(
+            "Gilbert-Elliott chain needs a nonzero transition probability");
+      }
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown loss model");
+}
+
+void LossProcess::StartStream(uint64_t stream) {
+  if (!enabled()) return;
+  rng_ = Rng(Rng::MixStream(query_key_, stream));
+  if (options_.model == LossModel::kGilbertElliott) {
+    // Stationary state occupancy: P(bad) = g2b / (g2b + b2g).
+    const double denom = options_.p_good_to_bad + options_.p_bad_to_good;
+    const double stationary_bad =
+        denom > 0.0 ? options_.p_good_to_bad / denom : 0.0;
+    bad_ = rng_.Uniform(0.0, 1.0) < stationary_bad;
+  }
+}
+
+bool LossProcess::NextLost() {
+  switch (options_.model) {
+    case LossModel::kNone:
+      return false;
+    case LossModel::kIid:
+      // Uniform() is in [0, 1): rate 0 never loses (and the draw keeps the
+      // stream aligned with nonzero rates), rate 1 always loses.
+      return rng_.Uniform(0.0, 1.0) < options_.loss_rate;
+    case LossModel::kGilbertElliott: {
+      const double p = bad_ ? options_.loss_bad : options_.loss_good;
+      const bool lost = rng_.Uniform(0.0, 1.0) < p;
+      const double flip =
+          bad_ ? options_.p_bad_to_good : options_.p_good_to_bad;
+      if (rng_.Uniform(0.0, 1.0) < flip) bad_ = !bad_;
+      return lost;
+    }
+  }
+  return false;
+}
+
+}  // namespace dtree::bcast

@@ -1,0 +1,103 @@
+// Deterministic packet-loss models for the broadcast channel.
+//
+// Real wireless broadcast media drop and corrupt frames; the (1, m)
+// interleaving scheme exists precisely so a client can recover by waiting
+// for the next index repetition. LossOptions selects a model:
+//
+//  * kNone            — the paper's perfectly reliable medium (default).
+//  * kIid             — every packet read is lost independently with
+//                       probability `loss_rate`.
+//  * kGilbertElliott  — two-state Markov fading: a Good state with loss
+//                       probability `loss_good` and a Bad state with
+//                       `loss_bad`, switching with `p_good_to_bad` /
+//                       `p_bad_to_good` per packet. Models burst loss.
+//
+// Determinism contract: every draw is keyed by (loss seed, query stream,
+// read stream) through Rng::MixStream, so outcomes depend only on the
+// seed and the query's global index — never on thread count or on what
+// other queries did. Each *attempt* of a query's access protocol draws
+// from its own sub-stream; because an attempt reads a fixed number of
+// packets (trace length + bucket packets) regardless of where earlier
+// attempts failed, the set of loss rates at which attempt k succeeds is
+// downward-closed — which makes a query's retry count monotone
+// non-decreasing in the i.i.d. loss rate for a fixed seed (property-tested
+// in tests/lossy_channel_test.cc).
+
+#ifndef DTREE_BROADCAST_LOSS_H_
+#define DTREE_BROADCAST_LOSS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dtree::bcast {
+
+enum class LossModel {
+  kNone,
+  kIid,
+  kGilbertElliott,
+};
+
+struct LossOptions {
+  LossModel model = LossModel::kNone;
+  /// kIid: per-packet loss probability in [0, 1].
+  double loss_rate = 0.0;
+  /// kGilbertElliott parameters; probabilities in [0, 1] and the two
+  /// transition probabilities must not both be zero.
+  double p_good_to_bad = 0.05;
+  double p_bad_to_good = 0.5;
+  double loss_good = 0.0;
+  double loss_bad = 0.75;
+  /// Loss-process seed, independent of the query-stream seed so the same
+  /// query load can be replayed under different channel conditions.
+  uint64_t seed = 0;
+  /// Failed attempts a client tolerates before giving up; the protocol
+  /// runs at most max_retries + 1 attempts. Must be >= 0.
+  int max_retries = 16;
+
+  bool enabled() const { return model != LossModel::kNone; }
+};
+
+/// Validates ranges; called by BroadcastChannel::Create.
+Status ValidateLossOptions(const LossOptions& options);
+
+/// Per-query loss process. Construct with the query's stream id, call
+/// StartStream at each protocol phase (kProbeStream for the initial probe,
+/// AttemptStream(k) for attempt k), then NextLost() once per packet read.
+class LossProcess {
+ public:
+  static constexpr uint64_t kProbeStream = 0;
+  static constexpr uint64_t AttemptStream(int attempt) {
+    return static_cast<uint64_t>(attempt) + 1;
+  }
+
+  LossProcess(const LossOptions& options, uint64_t query_stream)
+      : options_(options),
+        query_key_(Rng::MixStream(options.seed, query_stream)),
+        rng_(0) {
+    StartStream(kProbeStream);
+  }
+
+  bool enabled() const { return options_.enabled(); }
+
+  /// Re-keys the process onto an independent sub-stream. For
+  /// kGilbertElliott the channel state is redrawn from the stationary
+  /// distribution (the time between attempts dwarfs the fade coherence
+  /// time, so attempts see independent channel states).
+  void StartStream(uint64_t stream);
+
+  /// Whether the next packet read is lost/corrupted. Never true when the
+  /// model is kNone; draws nothing when disabled.
+  bool NextLost();
+
+ private:
+  LossOptions options_;
+  uint64_t query_key_;
+  Rng rng_;
+  bool bad_ = false;  ///< kGilbertElliott channel state
+};
+
+}  // namespace dtree::bcast
+
+#endif  // DTREE_BROADCAST_LOSS_H_

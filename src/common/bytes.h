@@ -26,6 +26,21 @@ class ByteWriter {
     buf_.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
   }
 
+  /// Range-checked narrowing write: InvalidArgument when v does not fit a
+  /// u16 (nothing is written). Serializers use this for counts that come
+  /// from in-memory structures whose size is not bounded by the wire
+  /// format — a bare static_cast would silently truncate and round-trip
+  /// to a different structure.
+  Status PutU16Checked(uint64_t v, const char* what) {
+    if (v > 0xffffu) {
+      return Status::InvalidArgument(std::string(what) + " " +
+                                     std::to_string(v) +
+                                     " exceeds the u16 wire field");
+    }
+    PutU16(static_cast<uint16_t>(v));
+    return Status::OK();
+  }
+
   void PutU32(uint32_t v) {
     for (int i = 0; i < 4; ++i) {
       buf_.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));

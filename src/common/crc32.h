@@ -1,0 +1,28 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) over byte spans.
+//
+// Used as the frame check sequence of broadcast packet framing: the sender
+// appends the CRC of each packet's payload, the client recomputes it on
+// every received frame and treats a mismatch as a lost packet. Catches all
+// single-burst errors up to 32 bits and any 1-3 bit flips — the error
+// classes the lossy-channel model injects.
+
+#ifndef DTREE_COMMON_CRC32_H_
+#define DTREE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dtree {
+
+/// CRC-32/ISO-HDLC: init 0xffffffff, reflected, final xor 0xffffffff.
+/// Crc32("123456789") == 0xcbf43926.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+inline uint32_t Crc32(const std::vector<uint8_t>& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace dtree
+
+#endif  // DTREE_COMMON_CRC32_H_

@@ -25,7 +25,15 @@ class Rng {
   /// get decorrelated generators whose sequences depend only on the seed
   /// and the stream id — never on thread count or scheduling.
   static Rng ForStream(uint64_t seed, uint64_t stream) {
-    return Rng(SplitMix64(seed ^ SplitMix64(stream)));
+    return Rng(MixStream(seed, stream));
+  }
+
+  /// The stream-derivation mix itself, for components that key nested
+  /// streams (e.g. the lossy channel's per-query, per-attempt loss
+  /// processes): MixStream(MixStream(seed, query), attempt) yields
+  /// decorrelated, reproducible sub-streams.
+  static uint64_t MixStream(uint64_t seed, uint64_t stream) {
+    return SplitMix64(seed ^ SplitMix64(stream));
   }
 
   /// Uniform double in [lo, hi).

@@ -23,6 +23,9 @@ enum class StatusCode {
   kOutOfRange,        ///< index / capacity exceeded
   kInternal,          ///< invariant violation inside the library
   kUnimplemented,     ///< feature intentionally not supported
+  kDataLoss,          ///< received data failed an integrity check (CRC,
+                      ///< truncated frame) — distinguishable from caller
+                      ///< error so clients can trigger re-tune recovery
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -56,6 +59,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

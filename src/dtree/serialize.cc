@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "common/bytes.h"
 #include "common/check.h"
+#include "common/crc32.h"
 
 namespace dtree::core {
 
@@ -13,6 +15,7 @@ namespace {
 constexpr uint32_t kDataPtrBit = 0x80000000u;
 constexpr int kOffsetBits = 12;
 constexpr uint32_t kOffsetMask = (1u << kOffsetBits) - 1;
+constexpr int kPacketBits = 19;
 constexpr int kMaxScalarCoords = (1 << 14) - 1;
 
 uint32_t EncodeDataPtr(int region) {
@@ -20,8 +23,8 @@ uint32_t EncodeDataPtr(int region) {
 }
 
 uint32_t EncodeNodePtr(int packet, size_t offset) {
-  DTREE_CHECK(offset <= kOffsetMask);
-  DTREE_CHECK(packet < (1 << 19));
+  DTREE_DCHECK(offset <= kOffsetMask);
+  DTREE_DCHECK(packet < (1 << kPacketBits));
   return (static_cast<uint32_t>(packet) << kOffsetBits) |
          static_cast<uint32_t>(offset);
 }
@@ -52,15 +55,26 @@ class PacketCursor {
   size_t offset_;
 };
 
-/// Sequential reader over consecutive packets.
+uint32_t FrameTrailer(const std::vector<uint8_t>& frame) {
+  const size_t n = frame.size();
+  return static_cast<uint32_t>(frame[n - 4]) |
+         static_cast<uint32_t>(frame[n - 3]) << 8 |
+         static_cast<uint32_t>(frame[n - 2]) << 16 |
+         static_cast<uint32_t>(frame[n - 1]) << 24;
+}
+
+/// Sequential reader over consecutive packets, hardened for untrusted
+/// input: every byte is bounds-checked against the actual packet vector
+/// (never the caller-claimed capacity alone), truncated packets surface
+/// as kDataLoss, and in framed mode each packet's CRC-32 trailer is
+/// verified the first time the reader enters it.
 class PacketReader {
  public:
   PacketReader(const std::vector<std::vector<uint8_t>>& packets, int capacity,
-               int packet, size_t offset, std::vector<int>* read_log)
-      : packets_(packets), capacity_(capacity), packet_(packet),
-        offset_(offset), read_log_(read_log) {
-    Touch();
-  }
+               bool framed, int packet, size_t offset,
+               std::vector<int>* read_log)
+      : packets_(packets), capacity_(capacity), framed_(framed),
+        packet_(packet), offset_(offset), read_log_(read_log) {}
 
   Status ReadU16(uint16_t* out) {
     uint8_t lo, hi;
@@ -90,110 +104,71 @@ class PacketReader {
 
  private:
   Status ReadByte(uint8_t* out) {
+    if (!entered_) DTREE_RETURN_IF_ERROR(EnterPacket());
     if (offset_ == static_cast<size_t>(capacity_)) {
       ++packet_;
       offset_ = 0;
-      Touch();
+      DTREE_RETURN_IF_ERROR(EnterPacket());
     }
-    if (packet_ >= static_cast<int>(packets_.size())) {
-      return Status::OutOfRange("decoder ran off the packet stream");
-    }
-    *out = packets_[packet_][offset_++];
+    *out = packets_[packet_][offset_];
+    ++offset_;
     return Status::OK();
   }
 
-  void Touch() {
-    if (read_log_ == nullptr) return;
-    if (packet_ >= static_cast<int>(packets_.size())) return;
-    if (read_log_->empty() || read_log_->back() != packet_) {
+  /// Validates the packet the reader is about to consume: it must exist,
+  /// carry exactly the advertised capacity (+ trailer when framed), and in
+  /// framed mode its CRC must match. Also appends it to the read log.
+  Status EnterPacket() {
+    entered_ = true;
+    if (packet_ >= static_cast<int>(packets_.size())) {
+      return Status::OutOfRange("decoder ran off the packet stream");
+    }
+    const std::vector<uint8_t>& pkt = packets_[packet_];
+    const size_t expect = static_cast<size_t>(capacity_) +
+                          (framed_ ? kFrameCrcBytes : 0);
+    if (pkt.size() != expect) {
+      return Status::DataLoss("packet " + std::to_string(packet_) + " is " +
+                              std::to_string(pkt.size()) +
+                              " bytes, expected " + std::to_string(expect));
+    }
+    if (framed_ &&
+        Crc32(pkt.data(), static_cast<size_t>(capacity_)) !=
+            FrameTrailer(pkt)) {
+      return Status::DataLoss("packet " + std::to_string(packet_) +
+                              " failed its CRC check");
+    }
+    if (offset_ > static_cast<size_t>(capacity_)) {
+      return Status::DataLoss("read offset " + std::to_string(offset_) +
+                              " outside packet " + std::to_string(packet_));
+    }
+    if (read_log_ != nullptr &&
+        (read_log_->empty() || read_log_->back() != packet_)) {
       read_log_->push_back(packet_);
     }
+    return Status::OK();
   }
 
   const std::vector<std::vector<uint8_t>>& packets_;
   int capacity_;
+  bool framed_;
   int packet_;
   size_t offset_;
   std::vector<int>* read_log_;
+  bool entered_ = false;
 };
 
-}  // namespace
-
-Result<std::vector<std::vector<uint8_t>>> SerializeDTree(const DTree& tree) {
-  const int capacity = tree.PacketCapacity();
-  std::vector<std::vector<uint8_t>> packets(
-      tree.NumIndexPackets(),
-      std::vector<uint8_t>(static_cast<size_t>(capacity), 0));
-  if (tree.root() < 0) return packets;  // single-region: empty index
-
-  for (int bfs = 0; bfs < tree.num_nodes(); ++bfs) {
-    const int id = tree.bfs_order()[bfs];
-    const DTreeNode& n = tree.node(id);
-    const bcast::NodeSpan& s = tree.span(id);
-
-    int total_coords = 0;
-    for (const geom::Polyline& pl : n.polylines) {
-      total_coords += 2 * static_cast<int>(pl.pts.size() + (pl.closed ? 1 : 0));
-    }
-    if (total_coords > kMaxScalarCoords) {
-      return Status::OutOfRange("partition too large for the header field");
-    }
-
-    ByteWriter w;
-    w.PutU16(static_cast<uint16_t>(bfs));
-    uint16_t header = 0;
-    if (n.dim == PartitionDim::kXDim) header |= 1;
-    if (n.explicit_bounds) header |= 2;
-    header |= static_cast<uint16_t>(total_coords) << 2;
-    w.PutU16(header);
-
-    auto encode_child = [&](int child_node, int child_region) {
-      if (child_node >= 0) {
-        const bcast::NodeSpan& cs = tree.span(child_node);
-        return EncodeNodePtr(cs.first_packet, cs.offset);
-      }
-      DTREE_CHECK(child_region >= 0);
-      return EncodeDataPtr(child_region);
-    };
-    w.PutU32(encode_child(n.left_node, n.left_region));
-    w.PutU32(encode_child(n.right_node, n.right_region));
-
-    if (n.explicit_bounds) {
-      w.PutF32(static_cast<float>(n.far_bound));   // RMC
-      w.PutF32(static_cast<float>(n.near_bound));  // LMC
-    }
-    for (const geom::Polyline& pl : n.polylines) {
-      const size_t points = pl.pts.size() + (pl.closed ? 1 : 0);
-      w.PutU16(static_cast<uint16_t>(points));
-      for (const geom::Point& p : pl.pts) {
-        w.PutF32(static_cast<float>(p.x));
-        w.PutF32(static_cast<float>(p.y));
-      }
-      if (pl.closed) {
-        w.PutF32(static_cast<float>(pl.pts.front().x));
-        w.PutF32(static_cast<float>(pl.pts.front().y));
-      }
-    }
-    if (w.size() != n.byte_size) {
-      return Status::Internal("serialized size " + std::to_string(w.size()) +
-                              " != accounted size " +
-                              std::to_string(n.byte_size));
-    }
-    PacketCursor cursor(&packets, capacity, s.first_packet, s.offset);
-    cursor.Write(w.bytes());
-  }
-  return packets;
-}
-
-Result<int> QueryFromPackets(const std::vector<std::vector<uint8_t>>& packets,
-                             int packet_capacity, bool early_termination,
-                             const geom::Point& p,
-                             std::vector<int>* packets_read) {
+Result<int> QueryImpl(const std::vector<std::vector<uint8_t>>& packets,
+                      int packet_capacity, bool framed, bool early_termination,
+                      const geom::Point& p, std::vector<int>* packets_read) {
   if (packets.empty()) return Status::InvalidArgument("no packets");
+  if (packet_capacity < 1) {
+    return Status::InvalidArgument("packet capacity must be positive");
+  }
   int packet = 0;
   size_t offset = 0;
   for (int hops = 0; hops < 1 << 20; ++hops) {
-    PacketReader r(packets, packet_capacity, packet, offset, packets_read);
+    PacketReader r(packets, packet_capacity, framed, packet, offset,
+                   packets_read);
     uint16_t bid, header;
     DTREE_RETURN_IF_ERROR(r.ReadU16(&bid));
     DTREE_RETURN_IF_ERROR(r.ReadU16(&header));
@@ -244,7 +219,11 @@ Result<int> QueryFromPackets(const std::vector<std::vector<uint8_t>>& packets,
       while (coords < total_coords) {
         uint16_t count;
         DTREE_RETURN_IF_ERROR(r.ReadU16(&count));
-        if (count < 2) return Status::Internal("polyline with < 2 points");
+        if (count < 2) return Status::DataLoss("polyline with < 2 points");
+        if (coords + 2 * static_cast<int>(count) > total_coords) {
+          return Status::DataLoss(
+              "polyline overruns the node's coordinate count");
+        }
         geom::Polyline pl;
         pl.pts.reserve(count);
         for (int i = 0; i < count; ++i) {
@@ -266,7 +245,7 @@ Result<int> QueryFromPackets(const std::vector<std::vector<uint8_t>>& packets,
         polylines.push_back(std::move(pl));
       }
       if (coords != total_coords) {
-        return Status::Internal("partition coordinate count mismatch");
+        return Status::DataLoss("partition coordinate count mismatch");
       }
       // Shortcut bounds: explicit when the header carried them, otherwise
       // reconstructed from the partition's extreme coordinates (valid —
@@ -293,10 +272,158 @@ Result<int> QueryFromPackets(const std::vector<std::vector<uint8_t>>& packets,
     packet = static_cast<int>(ptr >> kOffsetBits);
     offset = ptr & kOffsetMask;
     if (packet >= static_cast<int>(packets.size())) {
-      return Status::Internal("node pointer outside the packet stream");
+      return Status::DataLoss("node pointer outside the packet stream");
+    }
+    if (offset >= static_cast<size_t>(packet_capacity)) {
+      return Status::DataLoss("node pointer offset outside the packet");
     }
   }
-  return Status::Internal("decode descent did not terminate");
+  return Status::DataLoss("decode descent did not terminate");
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<uint8_t>>> SerializeDTree(const DTree& tree) {
+  const int capacity = tree.PacketCapacity();
+  std::vector<std::vector<uint8_t>> packets(
+      tree.NumIndexPackets(),
+      std::vector<uint8_t>(static_cast<size_t>(capacity), 0));
+  if (tree.root() < 0) return packets;  // single-region: empty index
+
+  for (int bfs = 0; bfs < tree.num_nodes(); ++bfs) {
+    const int id = tree.bfs_order()[bfs];
+    const DTreeNode& n = tree.node(id);
+    const bcast::NodeSpan& s = tree.span(id);
+
+    int total_coords = 0;
+    for (const geom::Polyline& pl : n.polylines) {
+      total_coords += 2 * static_cast<int>(pl.pts.size() + (pl.closed ? 1 : 0));
+    }
+    if (total_coords > kMaxScalarCoords) {
+      return Status::InvalidArgument(
+          "partition too large for the 14-bit header size field");
+    }
+
+    ByteWriter w;
+    DTREE_RETURN_IF_ERROR(
+        w.PutU16Checked(static_cast<uint64_t>(bfs), "node id"));
+    uint16_t header = 0;
+    if (n.dim == PartitionDim::kXDim) header |= 1;
+    if (n.explicit_bounds) header |= 2;
+    header |= static_cast<uint16_t>(total_coords) << 2;
+    w.PutU16(header);
+
+    auto encode_child = [&](int child_node,
+                            int child_region) -> Result<uint32_t> {
+      if (child_node >= 0) {
+        const bcast::NodeSpan& cs = tree.span(child_node);
+        if (cs.offset > kOffsetMask) {
+          return Status::InvalidArgument(
+              "node offset " + std::to_string(cs.offset) +
+              " exceeds the 12-bit pointer field");
+        }
+        if (cs.first_packet >= (1 << kPacketBits)) {
+          return Status::InvalidArgument(
+              "index packet " + std::to_string(cs.first_packet) +
+              " exceeds the 19-bit pointer field");
+        }
+        return EncodeNodePtr(cs.first_packet, cs.offset);
+      }
+      if (child_region < 0) {
+        return Status::Internal("child is neither a node nor a region");
+      }
+      return EncodeDataPtr(child_region);
+    };
+    Result<uint32_t> left = encode_child(n.left_node, n.left_region);
+    if (!left.ok()) return left.status();
+    Result<uint32_t> right = encode_child(n.right_node, n.right_region);
+    if (!right.ok()) return right.status();
+    w.PutU32(left.value());
+    w.PutU32(right.value());
+
+    if (n.explicit_bounds) {
+      w.PutF32(static_cast<float>(n.far_bound));   // RMC
+      w.PutF32(static_cast<float>(n.near_bound));  // LMC
+    }
+    for (const geom::Polyline& pl : n.polylines) {
+      const size_t points = pl.pts.size() + (pl.closed ? 1 : 0);
+      DTREE_RETURN_IF_ERROR(w.PutU16Checked(points, "polyline point count"));
+      for (const geom::Point& p : pl.pts) {
+        w.PutF32(static_cast<float>(p.x));
+        w.PutF32(static_cast<float>(p.y));
+      }
+      if (pl.closed) {
+        w.PutF32(static_cast<float>(pl.pts.front().x));
+        w.PutF32(static_cast<float>(pl.pts.front().y));
+      }
+    }
+    if (w.size() != n.byte_size) {
+      return Status::Internal("serialized size " + std::to_string(w.size()) +
+                              " != accounted size " +
+                              std::to_string(n.byte_size));
+    }
+    PacketCursor cursor(&packets, capacity, s.first_packet, s.offset);
+    cursor.Write(w.bytes());
+  }
+  return packets;
+}
+
+std::vector<std::vector<uint8_t>> FramePackets(
+    const std::vector<std::vector<uint8_t>>& packets) {
+  std::vector<std::vector<uint8_t>> frames;
+  frames.reserve(packets.size());
+  for (const std::vector<uint8_t>& pkt : packets) {
+    std::vector<uint8_t> frame = pkt;
+    const uint32_t crc = Crc32(pkt);
+    for (int i = 0; i < 4; ++i) {
+      frame.push_back(static_cast<uint8_t>((crc >> (8 * i)) & 0xff));
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+Status VerifyFrame(const std::vector<uint8_t>& frame) {
+  if (frame.size() < kFrameCrcBytes) {
+    return Status::DataLoss("frame shorter than its CRC trailer");
+  }
+  const size_t payload = frame.size() - kFrameCrcBytes;
+  if (Crc32(frame.data(), payload) != FrameTrailer(frame)) {
+    return Status::DataLoss("frame failed its CRC check");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<uint8_t>>> UnframePackets(
+    const std::vector<std::vector<uint8_t>>& frames) {
+  std::vector<std::vector<uint8_t>> packets;
+  packets.reserve(frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    Status s = VerifyFrame(frames[i]);
+    if (!s.ok()) {
+      return Status::DataLoss("packet " + std::to_string(i) + ": " +
+                              s.message());
+    }
+    packets.emplace_back(frames[i].begin(),
+                         frames[i].end() - kFrameCrcBytes);
+  }
+  return packets;
+}
+
+Result<int> QueryFromPackets(const std::vector<std::vector<uint8_t>>& packets,
+                             int packet_capacity, bool early_termination,
+                             const geom::Point& p,
+                             std::vector<int>* packets_read) {
+  return QueryImpl(packets, packet_capacity, /*framed=*/false,
+                   early_termination, p, packets_read);
+}
+
+Result<int> QueryFromFramedPackets(
+    const std::vector<std::vector<uint8_t>>& frames, int packet_capacity,
+    bool early_termination, const geom::Point& p,
+    std::vector<int>* packets_read) {
+  return QueryImpl(frames, packet_capacity, /*framed=*/true,
+                   early_termination, p, packets_read);
 }
 
 }  // namespace dtree::core

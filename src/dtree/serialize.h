@@ -15,6 +15,15 @@
 //   f32  LMC      — near shortcut bound (right_lmc / lower_umc)
 //   per polyline: u16 point count, then count * (f32 x, f32 y); closed
 //   rings repeat their first point.
+//
+// Every decoder entry point is hardened: counts are range-checked on the
+// way in (InvalidArgument instead of silent truncation) and every read on
+// the way out is bounds-checked (a truncated or malformed stream yields a
+// Status, never out-of-bounds access). For transmission over a lossy
+// medium the packets can additionally be framed: FramePackets appends a
+// CRC-32 trailer to each packet and the framed decoder verifies it on
+// first touch, so corruption is *detected* (Status kDataLoss) rather than
+// silently misrouting the query.
 
 #ifndef DTREE_DTREE_SERIALIZE_H_
 #define DTREE_DTREE_SERIALIZE_H_
@@ -27,9 +36,27 @@
 
 namespace dtree::core {
 
+/// Bytes the CRC-32 frame trailer adds to each packet.
+inline constexpr size_t kFrameCrcBytes = 4;
+
 /// One broadcast cycle's worth of index packets, each exactly
 /// `packet_capacity` bytes (zero-padded).
 Result<std::vector<std::vector<uint8_t>>> SerializeDTree(const DTree& tree);
+
+/// Link-layer framing: appends a little-endian CRC-32 of each packet's
+/// payload (the frame check sequence). Framed packets are
+/// `packet_capacity + kFrameCrcBytes` bytes; the index layout itself is
+/// untouched, exactly as a radio FCS rides outside the MAC payload.
+std::vector<std::vector<uint8_t>> FramePackets(
+    const std::vector<std::vector<uint8_t>>& packets);
+
+/// Verifies one framed packet's CRC; kDataLoss on mismatch or short frame.
+Status VerifyFrame(const std::vector<uint8_t>& frame);
+
+/// Verifies and strips every frame; kDataLoss identifies the first
+/// corrupted packet by id.
+Result<std::vector<std::vector<uint8_t>>> UnframePackets(
+    const std::vector<std::vector<uint8_t>>& frames);
 
 /// Client-side query over raw packets: descends from packet 0 offset 0,
 /// decoding nodes as it goes. Returns the region id and (out parameter)
@@ -39,6 +66,15 @@ Result<int> QueryFromPackets(const std::vector<std::vector<uint8_t>>& packets,
                              int packet_capacity, bool early_termination,
                              const geom::Point& p,
                              std::vector<int>* packets_read);
+
+/// Same descent over CRC-framed packets (FramePackets output): each
+/// packet's CRC is verified when the decoder first touches it, so any
+/// corruption on the read path surfaces as kDataLoss — the signal the
+/// lossy-channel client uses to trigger re-tune recovery.
+Result<int> QueryFromFramedPackets(
+    const std::vector<std::vector<uint8_t>>& frames, int packet_capacity,
+    bool early_termination, const geom::Point& p,
+    std::vector<int>* packets_read);
 
 }  // namespace dtree::core
 

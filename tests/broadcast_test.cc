@@ -183,10 +183,80 @@ TEST(ChannelTest, NoIndexBaseline) {
   ASSERT_TRUE(ch_r.ok());
   const BroadcastChannel& ch = ch_r.value();
   auto out = ch.SimulateNoIndex(2, 0.0);
-  // Pure data cycle [B0..B3]; bucket 2 at position 2, done at 3.
+  // Pure data cycle [B0..B3]; bucket 2 at position 2, done at 3. B0 began
+  // transmitting exactly at the arrival instant, so listening starts at
+  // packet 1: only B1 is listened through before the bucket.
   EXPECT_DOUBLE_EQ(out.latency, 3.0);
-  EXPECT_EQ(out.tuning_index, 2);  // listened through B0, B1
+  EXPECT_EQ(out.tuning_index, 1);
   EXPECT_EQ(out.tuning_data, 1);
+}
+
+TEST(ChannelTest, ProbeWaitsForNextPacketStart) {
+  ChannelOptions o;
+  o.packet_capacity = 1024;  // bucket = 1 packet
+  o.m = 2;
+  auto ch_r = BroadcastChannel::Create(2, 4, o);
+  ASSERT_TRUE(ch_r.ok());
+  const BroadcastChannel& ch = ch_r.value();
+  // Cycle: [I0 I1][B0 B1][I0 I1][B2 B3] -> 8 packets.
+  ProbeTrace trace;
+  trace.region = 2;
+  trace.packets = {0, 1};
+
+  // Arrival exactly on a packet boundary: packet 0 is already in flight,
+  // so the probe is packet 1 (finishes at 2), index at 4..5, bucket 2 at
+  // 6, done at 7.
+  auto at0 = ch.Simulate(trace, 0.0);
+  ASSERT_TRUE(at0.ok());
+  EXPECT_DOUBLE_EQ(at0.value().latency, 7.0);
+  EXPECT_EQ(at0.value().tuning_probe, 1);
+  EXPECT_EQ(at0.value().tuning_index, 2);
+  EXPECT_EQ(at0.value().tuning_data, 1);
+
+  // Integer arrival mid-cycle: probe packet 3, second index copy at 4..5,
+  // bucket 2 at 6, done at 7.
+  auto at2 = ch.Simulate(trace, 2.0);
+  ASSERT_TRUE(at2.ok());
+  EXPECT_DOUBLE_EQ(at2.value().latency, 5.0);
+
+  // Fractional arrival inside the last packet wraps into the next cycle:
+  // probe packet 8, index at 12..13, bucket at 14, done at 15.
+  auto frac = ch.Simulate(trace, 7.5);
+  ASSERT_TRUE(frac.ok());
+  EXPECT_DOUBLE_EQ(frac.value().latency, 7.5);
+
+  // Arrival exactly at the last packet's start: that packet is in flight,
+  // so the client probes packet 8 — same path as above, latency 8.0. The
+  // old ceil(arrival) would have (impossibly) read packet 7 itself.
+  auto last = ch.Simulate(trace, 7.0);
+  ASSERT_TRUE(last.ok());
+  EXPECT_DOUBLE_EQ(last.value().latency, 8.0);
+}
+
+TEST(ChannelTest, BackwardPointerEarlyInFirstCycle) {
+  // A DAG-shaped index can point backward within the segment. Exercise the
+  // backward re-tune path as early as possible in cycle 0 — the regime
+  // where next_segment_start's base argument (p - packet_id) is smallest
+  // and a sign bug would bite.
+  ChannelOptions o;
+  o.packet_capacity = 1024;  // bucket = 1 packet
+  o.m = 2;
+  auto ch_r = BroadcastChannel::Create(4, 4, o);
+  ASSERT_TRUE(ch_r.ok());
+  const BroadcastChannel& ch = ch_r.value();
+  // Cycle: [I0..I3][B0 B1][I0..I3][B2 B3] -> 12 packets.
+  ASSERT_EQ(ch.cycle_packets(), 12);
+  ProbeTrace trace;
+  trace.region = 1;
+  trace.packets = {3, 1};  // backward jump 3 -> 1
+  auto out = ch.Simulate(trace, 0.0);
+  ASSERT_TRUE(out.ok());
+  // Probe packet 1 (pos 2); segment at 6: read 6+3=9; packet 1 of that
+  // segment already passed, so wait for the next repetition at 12 and
+  // read 12+1=13; bucket 1 next occurs at 12+5=17, done 18.
+  EXPECT_DOUBLE_EQ(out.value().latency, 18.0);
+  EXPECT_EQ(out.value().tuning_index, 2);
+  EXPECT_EQ(out.value().tuning_data, 1);
 }
 
 TEST(ChannelTest, RejectsBadInput) {

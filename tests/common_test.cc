@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/bytes.h"
+#include "common/crc32.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -32,7 +33,7 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument,
         StatusCode::kFailedPrecondition, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kInternal,
-        StatusCode::kUnimplemented}) {
+        StatusCode::kUnimplemented, StatusCode::kDataLoss}) {
     EXPECT_STRNE(StatusCodeName(c), "Unknown");
   }
 }
@@ -118,6 +119,49 @@ TEST(BytesTest, ReadPastEndFails) {
   EXPECT_EQ(u16, 7);
   uint8_t u8;
   EXPECT_EQ(r.ReadU8(&u8).code(), StatusCode::kOutOfRange);
+}
+
+TEST(BytesTest, CheckedU16NarrowingAtTheBoundary) {
+  ByteWriter w;
+  EXPECT_TRUE(w.PutU16Checked(0, "zero").ok());
+  EXPECT_TRUE(w.PutU16Checked(0xffff, "max").ok());  // largest value that fits
+  EXPECT_EQ(w.size(), 4u);
+  // One past the boundary: rejected and nothing written — the old bare
+  // static_cast would have silently truncated 0x10000 to 0.
+  const Status s = w.PutU16Checked(0x10000, "node id");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("node id"), std::string::npos);
+  EXPECT_EQ(w.size(), 4u);
+  ByteReader r(w.bytes());
+  uint16_t a, b;
+  ASSERT_TRUE(r.ReadU16(&a).ok());
+  ASSERT_TRUE(r.ReadU16(&b).ok());
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 0xffffu);
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // CRC-32/ISO-HDLC check value: crc32("123456789") == 0xcbf43926.
+  const uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(check, sizeof(check)), 0xcbf43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+  const std::vector<uint8_t> zeros(4, 0);
+  EXPECT_EQ(Crc32(zeros), 0x2144df1cu);  // crc32 of four zero bytes
+  // Any single-byte change must alter the checksum.
+  std::vector<uint8_t> tweaked = zeros;
+  tweaked[2] = 1;
+  EXPECT_NE(Crc32(tweaked), Crc32(zeros));
+}
+
+TEST(RngTest, MixStreamDecorrelatesAdjacentStreams) {
+  // Adjacent (seed, stream) pairs must land far apart; equal inputs agree.
+  EXPECT_EQ(Rng::MixStream(42, 7), Rng::MixStream(42, 7));
+  std::set<uint64_t> keys;
+  for (uint64_t s = 0; s < 100; ++s) {
+    keys.insert(Rng::MixStream(42, s));
+    keys.insert(Rng::MixStream(43, s));
+  }
+  EXPECT_EQ(keys.size(), 200u);
 }
 
 TEST(RngTest, DeterministicStreams) {
