@@ -59,11 +59,14 @@ int main(int argc, char** argv) {
                       tree.status().ToString().c_str());
           continue;
         }
+        const std::string cell = ds.name + "/" + v.name + "/cap" +
+                                 std::to_string(capacity);
         ExperimentOptions opt;
         opt.packet_capacity = capacity;
         opt.num_queries = flags.queries;
         opt.seed = flags.seed;
         opt.num_threads = flags.threads;
+        AttachTrace(flags, cell, &opt);
         const auto t0 = std::chrono::steady_clock::now();
         auto res = RunExperiment(tree.value(), ds.subdivision, nullptr, opt);
         const double wall_s = SecondsSince(t0);
@@ -73,9 +76,8 @@ int main(int argc, char** argv) {
           continue;
         }
         const double qps = flags.queries / std::max(wall_s, 1e-12);
-        recorder.Record(ds.name + "/" + v.name + "/cap" +
-                            std::to_string(capacity),
-                        wall_s, qps);
+        recorder.Record(cell, wall_s, qps, 0,
+                        CellPercentiles::From(res.value()));
         const ExperimentResult& r = res.value();
         std::printf("    %-12s tuning %7.3f  latency %6.3f  packets %5d"
                     "  (%.3fs, %.1f kqps)\n",

@@ -57,11 +57,15 @@ int main(int argc, char** argv) {
   dtree::bcast::ExperimentResult serial_res;
   bool all_match = true;
   for (int threads : {1, 2, 4, 8}) {
+    const std::string cell = "voronoi" + std::to_string(sub.NumRegions()) +
+                             "/d-tree/cap256/threads" +
+                             std::to_string(threads);
     dtree::bcast::ExperimentOptions opt;
     opt.packet_capacity = 256;
     opt.num_queries = flags.queries;
     opt.seed = flags.seed;
     opt.num_threads = threads;
+    AttachTrace(flags, cell, &opt);
     const auto t0 = std::chrono::steady_clock::now();
     auto res = dtree::bcast::RunExperiment(tree.value(), sub, nullptr, opt);
     const double wall_s = SecondsSince(t0);
@@ -82,9 +86,8 @@ int main(int argc, char** argv) {
                   serial_res.mean_tuning_noindex;
       all_match = all_match && match;
     }
-    recorder.Record("voronoi" + std::to_string(sub.NumRegions()) +
-                        "/d-tree/cap256/threads" + std::to_string(threads),
-                    wall_s, qps, threads);
+    recorder.Record(cell, wall_s, qps, threads,
+                    CellPercentiles::From(res.value()));
     std::printf("%-8d %10.3f %12.1f %9.2fx  %s\n", threads, wall_s, qps,
                 serial_wall / std::max(wall_s, 1e-12),
                 threads == 1 ? "(baseline)" : match ? "yes" : "NO");

@@ -89,12 +89,16 @@ int main(int argc, char** argv) {
                      bool check_against_baseline) {
     std::printf("%-14s", row_label);
     for (size_t ki = 0; ki < indexes.size(); ++ki) {
+      const std::string cell = ds.name + "/" + KindName(kAllKinds[ki]) +
+                               "/cap" + std::to_string(capacity) + "/" +
+                               row_label;
       dtree::bcast::ExperimentOptions opt;
       opt.packet_capacity = capacity;
       opt.num_queries = flags.queries;
       opt.seed = flags.seed;
       opt.num_threads = flags.threads;
       opt.loss = loss;
+      AttachTrace(flags, cell, &opt);
       const auto t0 = std::chrono::steady_clock::now();
       auto res = dtree::bcast::RunExperiment(*indexes[ki], ds.subdivision,
                                              nullptr, opt);
@@ -108,9 +112,9 @@ int main(int argc, char** argv) {
         continue;
       }
       const auto& r = res.value();
-      recorder.Record(ds.name + "/" + KindName(kAllKinds[ki]) + "/cap" +
-                          std::to_string(capacity) + "/" + row_label,
-                      wall_s, flags.queries / std::max(wall_s, 1e-12));
+      recorder.Record(cell, wall_s,
+                      flags.queries / std::max(wall_s, 1e-12), 0,
+                      CellPercentiles::From(r));
       std::printf(" %10.2f %8.3f %6lld", r.mean_latency, r.mean_retries,
                   static_cast<long long>(r.unrecoverable_queries));
       if (check_against_baseline) {

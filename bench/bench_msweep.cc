@@ -37,20 +37,23 @@ int main(int argc, char** argv) {
       for (int m : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32}) {
         if (m > ds.subdivision.NumRegions()) break;
         dtree::bcast::ExperimentOptions opt;
+        const std::string cell = ds.name + "/d-tree/cap" +
+                                 std::to_string(capacity) + "/m" +
+                                 std::to_string(m);
         opt.packet_capacity = capacity;
         opt.num_queries = flags.queries;
         opt.seed = flags.seed;
         opt.m = m;
         opt.num_threads = flags.threads;
+        AttachTrace(flags, cell, &opt);
         const auto t0 = std::chrono::steady_clock::now();
         auto res = dtree::bcast::RunExperiment(tree.value(), ds.subdivision,
                                                nullptr, opt);
         const double wall_s = SecondsSince(t0);
         if (!res.ok()) continue;
         const double qps = flags.queries / std::max(wall_s, 1e-12);
-        recorder.Record(ds.name + "/d-tree/cap" + std::to_string(capacity) +
-                            "/m" + std::to_string(m),
-                        wall_s, qps);
+        recorder.Record(cell, wall_s, qps, 0,
+                        CellPercentiles::From(res.value()));
         std::printf("  %-6d %-10.3f %-10.3f %-9.3f %-9.1f%s\n", m,
                     res.value().normalized_latency,
                     res.value().mean_tuning_index, wall_s, qps / 1000.0,

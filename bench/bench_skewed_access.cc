@@ -60,6 +60,12 @@ int main(int argc, char** argv) {
             ok = false;
             break;
           }
+          char theta_cs[16];
+          std::snprintf(theta_cs, sizeof(theta_cs), "%.2f", theta);
+          const std::string cell = ds.name + "/" + variant_name[v] + "/cap" +
+                                   std::to_string(capacity) + "/theta" +
+                                   theta_cs;
+          AttachTrace(flags, cell, &opt);
           const auto t0 = std::chrono::steady_clock::now();
           auto res = dtree::bcast::RunExperiment(tree.value(),
                                                  ds.subdivision, nullptr,
@@ -71,11 +77,9 @@ int main(int argc, char** argv) {
             ok = false;
             break;
           }
-          char theta_s[16];
-          std::snprintf(theta_s, sizeof(theta_s), "%.2f", theta);
-          recorder.Record(ds.name + "/" + variant_name[v] + "/cap" +
-                              std::to_string(capacity) + "/theta" + theta_s,
-                          wall_s, flags.queries / std::max(wall_s, 1e-12));
+          recorder.Record(cell, wall_s,
+                          flags.queries / std::max(wall_s, 1e-12), 0,
+                          CellPercentiles::From(res.value()));
           tuning[v] = res.value().mean_tuning_index;
         }
         if (!ok) continue;

@@ -12,6 +12,8 @@
 //   --threads=T        experiment threads (0 = hardware concurrency)
 //   --bench-json=PATH  timing output (default BENCH_experiment.json;
 //                      empty disables)
+//   --trace-out=PATH   per-query JSONL trace output (default off); every
+//                      cell appends lines labeled with its cell id
 
 #ifndef DTREE_BENCH_BENCH_UTIL_H_
 #define DTREE_BENCH_BENCH_UTIL_H_
@@ -101,12 +103,65 @@ struct BenchFlags {
   std::vector<int> capacities{64, 128, 256, 512, 1024, 2048};
   int threads = 0;  ///< experiment threads; 0 = hardware concurrency
   std::string bench_json = "BENCH_experiment.json";
+  std::string trace_out;  ///< JSONL query traces; empty disables
 };
 
-/// Collects per-cell wall-clock timings and writes them as JSON on
-/// Flush()/destruction:
+/// Process-wide JSONL sink for --trace-out, shared by every cell of a
+/// bench run (lines carry the cell id). Created on first use, nullptr
+/// when the flag is unset; flushed when the process exits.
+inline bcast::JsonlTraceSink* GlobalTraceSink(const BenchFlags& flags) {
+  if (flags.trace_out.empty()) return nullptr;
+  static std::unique_ptr<bcast::JsonlTraceSink> sink =
+      std::make_unique<bcast::JsonlTraceSink>(flags.trace_out);
+  return sink->ok() ? sink.get() : nullptr;
+}
+
+/// Wires --trace-out into an ExperimentOptions for benches that run the
+/// experiment themselves (outside RunCell); subsequent JSONL lines carry
+/// `cell_id`. No-op when the flag is unset.
+inline void AttachTrace(const BenchFlags& flags, const std::string& cell_id,
+                        bcast::ExperimentOptions* opt) {
+  bcast::JsonlTraceSink* trace = GlobalTraceSink(flags);
+  if (trace != nullptr) {
+    trace->set_label(cell_id);
+    opt->trace_sink = trace;
+  }
+}
+
+/// Per-cell latency/tuning distribution summary, derived from the
+/// experiment's histograms and written next to the timings so the perf
+/// trajectory tracks percentiles, not just means.
+struct CellPercentiles {
+  bool has = false;
+  double p50_latency = 0.0, p95_latency = 0.0, p99_latency = 0.0;
+  double max_latency = 0.0;
+  double p50_tuning = 0.0, p95_tuning = 0.0, p99_tuning = 0.0;
+  double max_tuning = 0.0;
+
+  static CellPercentiles From(const bcast::ExperimentResult& res) {
+    CellPercentiles p;
+    const Histogram* lat = res.metrics.FindHistogram(bcast::kLatencyHist);
+    const Histogram* tun =
+        res.metrics.FindHistogram(bcast::kTuningTotalHist);
+    if (lat == nullptr || tun == nullptr) return p;
+    p.has = true;
+    p.p50_latency = lat->Percentile(0.50);
+    p.p95_latency = lat->Percentile(0.95);
+    p.p99_latency = lat->Percentile(0.99);
+    p.max_latency = lat->Max();
+    p.p50_tuning = tun->Percentile(0.50);
+    p.p95_tuning = tun->Percentile(0.95);
+    p.p99_tuning = tun->Percentile(0.99);
+    p.max_tuning = tun->Max();
+    return p;
+  }
+};
+
+/// Collects per-cell wall-clock timings (plus optional distribution
+/// percentiles) and writes them as JSON on Flush()/destruction:
 ///   {"bench": ..., "threads": T, "cells":
-///    [{"cell": id, "wall_s": s, "qps": q, "threads": T}, ...]}
+///    [{"cell": id, "wall_s": s, "qps": q, "threads": T,
+///      "p50_latency": ..., ..., "max_tuning": ...}, ...]}
 class BenchRecorder {
  public:
   BenchRecorder(std::string bench_name, const BenchFlags& flags)
@@ -120,9 +175,10 @@ class BenchRecorder {
   /// `cell_threads` overrides the flag-derived thread count for benches
   /// that vary it per cell (the scaling bench); <= 0 keeps the default.
   void Record(const std::string& cell, double wall_s, double qps,
-              int cell_threads = 0) {
-    cells_.push_back(
-        {cell, wall_s, qps, cell_threads > 0 ? cell_threads : threads_});
+              int cell_threads = 0,
+              const CellPercentiles& pct = CellPercentiles{}) {
+    cells_.push_back({cell, wall_s, qps,
+                      cell_threads > 0 ? cell_threads : threads_, pct});
   }
 
   void Flush() {
@@ -141,9 +197,21 @@ class BenchRecorder {
     for (size_t i = 0; i < cells_.size(); ++i) {
       std::fprintf(f,
                    "%s\n    {\"cell\": \"%s\", \"wall_s\": %.6f, "
-                   "\"qps\": %.1f, \"threads\": %d}",
+                   "\"qps\": %.1f, \"threads\": %d",
                    i == 0 ? "" : ",", cells_[i].cell.c_str(),
                    cells_[i].wall_s, cells_[i].qps, cells_[i].threads);
+      const CellPercentiles& p = cells_[i].pct;
+      if (p.has) {
+        std::fprintf(f,
+                     ", \"p50_latency\": %.3f, \"p95_latency\": %.3f, "
+                     "\"p99_latency\": %.3f, \"max_latency\": %.3f, "
+                     "\"p50_tuning\": %.3f, \"p95_tuning\": %.3f, "
+                     "\"p99_tuning\": %.3f, \"max_tuning\": %.3f",
+                     p.p50_latency, p.p95_latency, p.p99_latency,
+                     p.max_latency, p.p50_tuning, p.p95_tuning,
+                     p.p99_tuning, p.max_tuning);
+      }
+      std::fprintf(f, "}");
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);
@@ -158,6 +226,7 @@ class BenchRecorder {
     double wall_s;
     double qps;
     int threads;
+    CellPercentiles pct;
   };
 
   std::string bench_name_;
@@ -209,10 +278,13 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
       flags.threads = std::atoi(arg + 10);
     } else if (std::strncmp(arg, "--bench-json=", 13) == 0) {
       flags.bench_json = arg + 13;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      flags.trace_out = arg + 12;
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (supported: --queries= --seed= "
-                   "--datasets= --capacities= --threads= --bench-json=)\n",
+                   "--datasets= --capacities= --threads= --bench-json= "
+                   "--trace-out=)\n",
                    arg);
       std::exit(2);
     }
@@ -237,8 +309,10 @@ inline Result<std::vector<workload::Dataset>> LoadDatasets(
 }
 
 /// Runs one (dataset, kind, capacity) cell end to end. The experiment's
-/// wall-clock time and throughput are recorded under the cell id
-/// "<dataset>/<index>/cap<capacity>" when `recorder` is non-null.
+/// wall-clock time, throughput, and latency/tuning percentiles are
+/// recorded under the cell id "<dataset>/<index>/cap<capacity>" when
+/// `recorder` is non-null; with --trace-out set, every query of the cell
+/// is appended to the shared JSONL sink labeled with that cell id.
 inline Result<bcast::ExperimentResult> RunCell(const workload::Dataset& ds,
                                                IndexKind kind, int capacity,
                                                const BenchFlags& flags,
@@ -246,20 +320,27 @@ inline Result<bcast::ExperimentResult> RunCell(const workload::Dataset& ds,
   Result<std::unique_ptr<bcast::AirIndex>> index =
       BuildIndex(kind, ds.subdivision, capacity);
   if (!index.ok()) return index.status();
+  const std::string cell_id =
+      ds.name + "/" + KindName(kind) + "/cap" + std::to_string(capacity);
   bcast::ExperimentOptions opt;
   opt.packet_capacity = capacity;
   opt.num_queries = flags.queries;
   opt.seed = flags.seed;
   opt.num_threads = flags.threads;
+  bcast::JsonlTraceSink* trace = GlobalTraceSink(flags);
+  if (trace != nullptr) {
+    trace->set_label(cell_id);
+    opt.trace_sink = trace;
+  }
   const auto t0 = std::chrono::steady_clock::now();
   Result<bcast::ExperimentResult> res =
       bcast::RunExperiment(*index.value(), ds.subdivision, nullptr, opt);
   const double wall_s = SecondsSince(t0);
   if (!res.ok()) return res.status();
   if (recorder != nullptr) {
-    recorder->Record(ds.name + "/" + KindName(kind) + "/cap" +
-                         std::to_string(capacity),
-                     wall_s, flags.queries / std::max(wall_s, 1e-12));
+    recorder->Record(cell_id, wall_s,
+                     flags.queries / std::max(wall_s, 1e-12), 0,
+                     CellPercentiles::From(res.value()));
   }
   bcast::ExperimentResult r = std::move(res).value();
   r.index_name = KindName(kind);

@@ -8,6 +8,14 @@ Status ValidateTrace(const ProbeTrace& trace, int num_index_packets,
     return Status::Internal("trace resolves to invalid region " +
                             std::to_string(trace.region));
   }
+  if (!trace.origins.empty() &&
+      trace.origins.size() != trace.packets.size()) {
+    return Status::Internal("trace origin annotation size " +
+                            std::to_string(trace.origins.size()) +
+                            " does not match " +
+                            std::to_string(trace.packets.size()) +
+                            " packets");
+  }
   int prev = -1;
   for (int id : trace.packets) {
     if (id < 0 || id >= num_index_packets) {

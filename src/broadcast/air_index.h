@@ -18,6 +18,14 @@
 
 namespace dtree::bcast {
 
+/// Which tree node caused an index-packet read, and at what depth — the
+/// annotation the observability layer uses to attribute tuning energy to
+/// tree levels. -1 means unknown.
+struct ProbePacketOrigin {
+  int node = -1;
+  int depth = -1;
+};
+
 /// Result of one index search over the air.
 struct ProbeTrace {
   /// Data region (== data instance) the query resolves to.
@@ -28,6 +36,12 @@ struct ProbeTrace {
   /// earlier packet, in which case the client must wait for the next index
   /// repetition to read it — the channel simulator charges that wait.
   std::vector<int> packets;
+  /// Optional probe-path annotation, parallel to `packets` (same size or
+  /// empty). When a packet holds several nodes the read is attributed to
+  /// the first node the descent decoded from it. Filled by indexes that
+  /// can attribute reads (the D-tree); empty elsewhere. Purely
+  /// observational: the channel simulation never depends on it.
+  std::vector<ProbePacketOrigin> origins;
 };
 
 /// Abstract paged air index.

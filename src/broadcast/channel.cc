@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "broadcast/trace.h"
 #include "common/check.h"
 
 namespace dtree::bcast {
@@ -78,7 +79,8 @@ int64_t BroadcastChannel::BucketStart(int r) const {
 }
 
 Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
-    const ProbeTrace& trace, double arrival, uint64_t loss_stream) const {
+    const ProbeTrace& trace, double arrival, uint64_t loss_stream,
+    QueryTrace* trace_out) const {
   if (arrival < 0.0 || arrival >= static_cast<double>(cycle_packets_)) {
     return Status::InvalidArgument("arrival outside the broadcast cycle");
   }
@@ -89,6 +91,35 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
   QueryOutcome out;
   LossProcess loss(loss_, loss_stream);
 
+  // Observability hooks: every emitter is a no-op (one predicted branch)
+  // when tracing is off, and tracing never feeds back into the protocol.
+  auto emit_doze = [&](int64_t resume_at, double dur) {
+    if (trace_out != nullptr && dur > 0.0) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kDoze;
+      e.pos = resume_at;
+      e.dur = dur;
+      trace_out->events.push_back(e);
+    }
+  };
+  auto emit_read = [&](TraceEventKind kind, int64_t pos) {
+    if (trace_out != nullptr) {
+      TraceEvent e;
+      e.kind = kind;
+      e.pos = pos;
+      trace_out->events.push_back(e);
+    }
+  };
+  auto finish = [&]() {
+    if (trace_out != nullptr) {
+      trace_out->latency = out.latency;
+      trace_out->tuning_total = out.tuning_total();
+      trace_out->retries = out.retries;
+      trace_out->lost_packets = out.lost_packets;
+      trace_out->unrecoverable = out.unrecoverable;
+    }
+  };
+
   // --- Initial probe: wait for the next packet *start*, read one packet
   // to learn where the next index segment starts. A packet whose
   // transmission began exactly at `arrival` is already in flight and
@@ -98,18 +129,23 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
   // had already started).
   int64_t probe_packet = static_cast<int64_t>(std::floor(arrival)) + 1;
   out.tuning_probe = 1;
+  emit_doze(probe_packet, static_cast<double>(probe_packet) - arrival);
+  emit_read(TraceEventKind::kProbe, probe_packet);
   // A lost probe costs one packet of listening and one of waiting; the
   // client simply reads the following packet (every packet carries the
   // next-index pointer). Bounded by the same retry budget as re-tunes.
   while (loss.enabled() && loss.NextLost()) {
     ++out.lost_packets;
+    emit_read(TraceEventKind::kLoss, probe_packet);
     if (out.tuning_probe > loss_.max_retries) {
       out.unrecoverable = true;
       out.latency = static_cast<double>(probe_packet + 1) - arrival;
+      finish();
       return out;
     }
     ++out.tuning_probe;
     ++probe_packet;
+    emit_read(TraceEventKind::kProbe, probe_packet);
   }
   int64_t pos = probe_packet + 1;  // finished reading the probe packet
 
@@ -135,7 +171,16 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
   // outcome is bit-identical to the pre-loss-model simulator.
   const int max_attempts = loss.enabled() ? loss_.max_retries + 1 : 1;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    if (attempt > 0) ++out.retries;
+    if (attempt > 0) {
+      ++out.retries;
+      if (trace_out != nullptr) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kRetune;
+        e.pos = pos;
+        e.attempt = attempt;
+        trace_out->events.push_back(e);
+      }
+    }
     loss.StartStream(LossProcess::AttemptStream(attempt));
     bool lost = false;
 
@@ -144,7 +189,9 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
     int64_t seg_start = next_segment_start(p);
     DTREE_CHECK(seg_start >= p);
 
-    for (int packet_id : trace.packets) {
+    const bool annotated = trace.origins.size() == trace.packets.size();
+    for (size_t i = 0; i < trace.packets.size(); ++i) {
+      const int packet_id = trace.packets[i];
       int64_t at = seg_start + packet_id;
       if (at < p) {
         // The referenced packet already went by (a backward pointer in a
@@ -160,10 +207,23 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
         at = seg_start + packet_id;
         DTREE_CHECK(at >= p);
       }
+      emit_doze(at, static_cast<double>(at - p));
+      if (trace_out != nullptr) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kIndexRead;
+        e.pos = at;
+        e.packet = packet_id;
+        if (annotated) {
+          e.node = trace.origins[i].node;
+          e.depth = trace.origins[i].depth;
+        }
+        trace_out->events.push_back(e);
+      }
       p = at + 1;
       ++out.tuning_index;
       if (loss.enabled() && loss.NextLost()) {
         ++out.lost_packets;
+        emit_read(TraceEventKind::kLoss, at);
         lost = true;
         break;
       }
@@ -178,8 +238,11 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
       const int64_t cycle_base = (p / cycle_packets_) * cycle_packets_;
       int64_t data_at = cycle_base + bucket_in_cycle;
       if (data_at < p) data_at += cycle_packets_;
+      emit_doze(data_at, static_cast<double>(data_at - p));
+      int bucket_read = 0;
       for (int b = 0; b < bucket_packets_; ++b) {
         ++out.tuning_data;
+        ++bucket_read;
         if (loss.enabled() && loss.NextLost()) {
           ++out.lost_packets;
           lost = true;
@@ -187,9 +250,18 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
           break;
         }
       }
+      if (trace_out != nullptr) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kBucketRead;
+        e.pos = data_at;
+        e.packet = bucket_read;
+        trace_out->events.push_back(e);
+        if (lost) emit_read(TraceEventKind::kLoss, data_at + bucket_read - 1);
+      }
       if (!lost) {
         const int64_t done = data_at + bucket_packets_;
         out.latency = static_cast<double>(done) - arrival;
+        finish();
         return out;
       }
     }
@@ -197,6 +269,7 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
   }
   out.unrecoverable = true;
   out.latency = static_cast<double>(pos) - arrival;
+  finish();
   return out;
 }
 

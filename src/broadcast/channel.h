@@ -28,6 +28,8 @@
 
 namespace dtree::bcast {
 
+struct QueryTrace;  // broadcast/trace.h
+
 struct ChannelOptions {
   int packet_capacity = 0;             ///< required, > 0
   size_t data_instance_size = kDataInstanceSize;
@@ -95,8 +97,17 @@ class BroadcastChannel {
   /// query's private loss sub-streams (pass the query's global index);
   /// the outcome is a pure function of (channel, trace, arrival,
   /// loss_stream).
+  ///
+  /// `trace_out` is the observability hook (broadcast/trace.h): when
+  /// non-null, every probe / doze / index-read / bucket-read / loss /
+  /// re-tune event is appended to it and the outcome summary fields are
+  /// mirrored into it. The default is null — the hot path then pays one
+  /// predicted branch per event site — and tracing is purely
+  /// observational: the returned QueryOutcome is bit-identical with and
+  /// without it.
   Result<QueryOutcome> Simulate(const ProbeTrace& trace, double arrival,
-                                uint64_t loss_stream) const;
+                                uint64_t loss_stream,
+                                QueryTrace* trace_out = nullptr) const;
 
   /// Convenience overload: loss stream 0.
   Result<QueryOutcome> Simulate(const ProbeTrace& trace,

@@ -19,7 +19,9 @@ namespace {
 /// realistic size.
 constexpr int kQueryShards = 64;
 
-/// Per-shard private accumulator; merged in shard order.
+/// Per-shard private accumulator; merged in shard order. The registry is
+/// written lock-free by the owning shard and merged with MergeOrdered, so
+/// histogram statistics inherit the partial-sum determinism contract.
 struct ShardSums {
   double latency = 0.0;
   double tuning_index = 0.0;
@@ -28,6 +30,10 @@ struct ShardSums {
   int64_t retries = 0;
   int64_t lost_packets = 0;
   int64_t unrecoverable = 0;
+  MetricsRegistry metrics;
+  /// Buffered per-query traces (trace_sink set only); replayed to the
+  /// sink in shard order == global query order after the parallel run.
+  std::vector<QueryTrace> traces;
   Status error = Status::OK();
 };
 
@@ -144,6 +150,13 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
     const int64_t shard_first =
         static_cast<int64_t>(s) * per_shard + std::min(s, remainder);
     Rng rng = Rng::ForStream(options.seed, static_cast<uint64_t>(s));
+    Histogram* h_latency = sums.metrics.histogram(kLatencyHist);
+    Histogram* h_tuning_index = sums.metrics.histogram(kTuningIndexHist);
+    Histogram* h_tuning_total = sums.metrics.histogram(kTuningTotalHist);
+    Histogram* h_retries = sums.metrics.histogram(kRetriesHist);
+    Histogram* h_lost = sums.metrics.histogram(kLostPacketsHist);
+    const bool tracing = options.trace_sink != nullptr;
+    if (tracing) sums.traces.reserve(static_cast<size_t>(shard_queries));
     for (int q = 0; q < shard_queries; ++q) {
       const geom::Point p = sampler.Draw(&rng);
       Result<ProbeTrace> trace_r = index.Probe(p);
@@ -167,8 +180,18 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
 
       const double arrival =
           rng.Uniform(0.0, static_cast<double>(ch.cycle_packets()));
+      QueryTrace* qt = nullptr;
+      if (tracing) {
+        sums.traces.emplace_back();
+        qt = &sums.traces.back();
+        qt->query_index = static_cast<uint64_t>(shard_first + q);
+        qt->x = p.x;
+        qt->y = p.y;
+        qt->region = trace.region;
+        qt->arrival = arrival;
+      }
       Result<BroadcastChannel::QueryOutcome> out_r = ch.Simulate(
-          trace, arrival, static_cast<uint64_t>(shard_first + q));
+          trace, arrival, static_cast<uint64_t>(shard_first + q), qt);
       if (!out_r.ok()) {
         sums.error = out_r.status();
         return;
@@ -180,6 +203,11 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
       sums.retries += out.retries;
       sums.lost_packets += out.lost_packets;
       if (out.unrecoverable) ++sums.unrecoverable;
+      h_latency->Add(out.latency);
+      h_tuning_index->Add(out.tuning_index);
+      h_tuning_total->Add(out.tuning_total());
+      h_retries->Add(out.retries);
+      h_lost->Add(out.lost_packets);
 
       const auto base = ch.SimulateNoIndex(trace.region, arrival);
       sums.tuning_noindex += base.tuning_total();
@@ -199,6 +227,7 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
   int64_t sum_retries = 0;
   int64_t sum_lost = 0;
   int64_t sum_unrecoverable = 0;
+  MetricsRegistry merged;
   for (const ShardSums& sums : shards) {
     if (!sums.error.ok()) return sums.error;
     sum_latency += sums.latency;
@@ -208,6 +237,19 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
     sum_retries += sums.retries;
     sum_lost += sums.lost_packets;
     sum_unrecoverable += sums.unrecoverable;
+    merged.MergeOrdered(sums.metrics);
+  }
+
+  // Replay buffered traces into the sink. Shards own contiguous,
+  // ascending query ranges, so iterating shards in order replays the
+  // stream in global query order — the sink sees the exact same sequence
+  // for any thread count.
+  if (options.trace_sink != nullptr) {
+    for (const ShardSums& sums : shards) {
+      for (const QueryTrace& qt : sums.traces) {
+        options.trace_sink->Consume(qt);
+      }
+    }
   }
 
   const double n = static_cast<double>(options.num_queries);
@@ -236,6 +278,11 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
   res.unrecoverable_queries = sum_unrecoverable;
   res.mean_retries = static_cast<double>(sum_retries) / n;
   res.mean_lost_packets = static_cast<double>(sum_lost) / n;
+  res.min_latency = merged.histogram(kLatencyHist)->Min();
+  res.max_latency = merged.histogram(kLatencyHist)->Max();
+  res.min_tuning_total = merged.histogram(kTuningTotalHist)->Min();
+  res.max_tuning_total = merged.histogram(kTuningTotalHist)->Max();
+  res.metrics = std::move(merged);
   return res;
 }
 

@@ -13,9 +13,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "broadcast/air_index.h"
 #include "broadcast/channel.h"
+#include "broadcast/trace.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "subdivision/subdivision.h"
@@ -54,7 +57,22 @@ struct ExperimentOptions {
   /// with the model disabled (or loss rate 0) every QueryOutcome matches
   /// the lossless path bit-for-bit.
   LossOptions loss;
+  /// Opt-in per-query tracing (not owned). Each shard buffers its
+  /// queries' traces privately; after the parallel section the driver
+  /// replays them into the sink ordered by global query index, so the
+  /// sink sees one identical, single-threaded event stream for any
+  /// num_threads. Tracing is observational only: enabling it changes no
+  /// metric bit (it draws nothing from any RNG).
+  TraceSink* trace_sink = nullptr;
 };
+
+/// Histogram names under which RunExperiment records per-query
+/// distributions in ExperimentResult::metrics.
+inline constexpr char kLatencyHist[] = "latency";
+inline constexpr char kTuningIndexHist[] = "tuning_index";
+inline constexpr char kTuningTotalHist[] = "tuning_total";
+inline constexpr char kRetriesHist[] = "retries";
+inline constexpr char kLostPacketsHist[] = "lost_packets";
 
 /// Draws query points for a distribution; precomputes the cumulative
 /// weight table once so skewed loads sample in O(log N), and materializes
@@ -114,6 +132,21 @@ struct ExperimentResult {
   double mean_lost_packets = 0.0;       ///< lost/corrupted reads per query
   int64_t total_retries = 0;
   int64_t unrecoverable_queries = 0;
+
+  // Distribution statistics. The means above describe the average client;
+  // a mobile client's energy budget is set by the tail, so the driver
+  // also records per-query histograms (see the k*Hist names) from which
+  // p50/p95/p99 are derived. Min/max are exact; histogram percentiles are
+  // bucket-approximate (<= ~9% relative error) and, being derived from
+  // integer bucket counts merged in shard order, identical for any thread
+  // count and any shard execution order.
+  double min_latency = 0.0;             ///< packets, exact
+  double max_latency = 0.0;
+  double min_tuning_total = 0.0;        ///< packets, exact
+  double max_tuning_total = 0.0;
+  /// Per-query distributions: kLatencyHist, kTuningIndexHist,
+  /// kTuningTotalHist, kRetriesHist, kLostPacketsHist.
+  MetricsRegistry metrics;
 };
 
 /// Runs the experiment. Every query is answered through the index's Probe

@@ -1,0 +1,181 @@
+// Per-query trace events for the broadcast-channel simulation, an opt-in
+// TraceSink interface to consume them, and aggregating sinks (JSONL
+// writer, broadcast-cycle profiler).
+//
+// BroadcastChannel::Simulate emits a QueryTrace when handed a non-null
+// trace pointer; the default is null so the hot path pays one predictable
+// branch per event site and nothing else. The experiment driver buffers
+// each shard's traces privately and forwards them to the sink ordered by
+// global query index after the parallel section, so a sink sees exactly
+// the same event stream for any thread count (sinks therefore need no
+// locking).
+//
+// Event model (one QueryTrace per query, events in wall-clock order):
+//   kProbe      — initial-probe packet read; pos = absolute packet.
+//   kDoze       — receiver sleeping; pos = packet where listening
+//                 resumes, dur = time slept in packets (fractional for
+//                 the initial sync wait).
+//   kIndexRead  — one index-packet read; packet = id within the index
+//                 segment; node/depth = originating tree node when the
+//                 index annotates its probe path (the D-tree does),
+//                 -1 otherwise.
+//   kBucketRead — data-bucket read; packet = number of consecutive
+//                 packets read (one event per retrieval, not per packet).
+//   kLoss       — the immediately preceding read arrived lost/corrupted.
+//   kRetune     — recovery: the client re-tunes to the next index
+//                 repetition; attempt = 1-based retry number.
+
+#ifndef DTREE_BROADCAST_TRACE_H_
+#define DTREE_BROADCAST_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace dtree::bcast {
+
+enum class TraceEventKind : uint8_t {
+  kProbe,
+  kDoze,
+  kIndexRead,
+  kBucketRead,
+  kLoss,
+  kRetune,
+};
+
+/// Short stable name used in the JSONL encoding ("probe", "doze",
+/// "index", "bucket", "loss", "retune").
+const char* TraceEventKindName(TraceEventKind kind);
+
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kProbe;
+  int64_t pos = 0;    ///< absolute packet position within the broadcast
+  double dur = 0.0;   ///< kDoze: packets slept
+  int packet = -1;    ///< kIndexRead: index packet id;
+                      ///< kBucketRead: packets read
+  int node = -1;      ///< kIndexRead: originating tree node, -1 unknown
+  int depth = -1;     ///< kIndexRead: tree depth of that node, -1 unknown
+  int attempt = 0;    ///< kRetune: 1-based retry number
+};
+
+/// Everything observable about one simulated query.
+struct QueryTrace {
+  uint64_t query_index = 0;  ///< global (thread-count-independent) index
+  double x = 0.0;            ///< query point
+  double y = 0.0;
+  int region = -1;
+  double arrival = 0.0;
+  // Outcome summary, mirrored from QueryOutcome by the simulator.
+  double latency = 0.0;
+  int tuning_total = 0;
+  int retries = 0;
+  int lost_packets = 0;
+  bool unrecoverable = false;
+  std::vector<TraceEvent> events;
+};
+
+/// Consumer of completed query traces. Called from one thread, in global
+/// query order (see file comment); implementations need no locking.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Consume(const QueryTrace& trace) = 0;
+};
+
+/// One JSON object per line (see DESIGN.md §9 for the schema). The
+/// optional label is written as "cell" into every line, letting several
+/// experiment cells share one file.
+std::string FormatQueryTraceJson(const QueryTrace& trace,
+                                 const std::string& label);
+
+/// Writes each trace as one JSONL line, to a file or an in-memory string.
+class JsonlTraceSink : public TraceSink {
+ public:
+  /// Truncates and writes `path`; ok() reports whether the open worked.
+  explicit JsonlTraceSink(const std::string& path);
+  /// Appends lines to `*out` instead of a file (testing / in-memory use).
+  explicit JsonlTraceSink(std::string* out) : out_(out) {}
+  ~JsonlTraceSink() override;
+
+  JsonlTraceSink(const JsonlTraceSink&) = delete;
+  JsonlTraceSink& operator=(const JsonlTraceSink&) = delete;
+
+  bool ok() const { return out_ != nullptr || file_ != nullptr; }
+  /// Sets the "cell" label stamped into subsequent lines.
+  void set_label(std::string label) { label_ = std::move(label); }
+  uint64_t lines_written() const { return lines_; }
+
+  void Consume(const QueryTrace& trace) override;
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string* out_ = nullptr;
+  std::string label_;
+  uint64_t lines_ = 0;
+};
+
+/// Forwards every trace to each registered sink, in order.
+class TeeTraceSink : public TraceSink {
+ public:
+  explicit TeeTraceSink(std::vector<TraceSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+  void Consume(const QueryTrace& trace) override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->Consume(trace);
+    }
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+/// Aggregates traces into the distributions the paper's means hide:
+/// latency / tuning / retry histograms, index-packet reads attributed to
+/// the originating tree level, and tuning packets attributed to their
+/// position within the broadcast cycle (which part of the cycle costs the
+/// client energy).
+class CycleProfiler : public TraceSink {
+ public:
+  /// `cycle_packets` is the channel's cycle length; reads are binned by
+  /// (pos mod cycle) into `position_bins` equal slices.
+  CycleProfiler(int64_t cycle_packets, int position_bins = 16);
+
+  void Consume(const QueryTrace& trace) override;
+
+  uint64_t queries() const { return queries_; }
+  const Histogram& latency_hist() const { return latency_; }
+  const Histogram& tuning_hist() const { return tuning_; }
+  const Histogram& retries_hist() const { return retries_; }
+  const Histogram& doze_hist() const { return doze_; }
+
+  /// Index-packet reads per tree depth (index = depth); reads whose
+  /// origin the index did not annotate land in unattributed_reads().
+  const std::vector<int64_t>& level_reads() const { return level_reads_; }
+  int64_t unattributed_reads() const { return unattributed_reads_; }
+
+  /// Tuning (awake) packets per cycle-position bin; all read kinds.
+  const std::vector<int64_t>& position_reads() const {
+    return position_reads_;
+  }
+  int64_t cycle_packets() const { return cycle_packets_; }
+
+ private:
+  void BinPosition(int64_t pos, int64_t packets);
+
+  int64_t cycle_packets_;
+  uint64_t queries_ = 0;
+  Histogram latency_;
+  Histogram tuning_;
+  Histogram retries_;
+  Histogram doze_;
+  std::vector<int64_t> level_reads_;
+  int64_t unattributed_reads_ = 0;
+  std::vector<int64_t> position_reads_;
+};
+
+}  // namespace dtree::bcast
+
+#endif  // DTREE_BROADCAST_TRACE_H_

@@ -222,6 +222,7 @@ Result<bcast::ProbeTrace> DTree::Probe(const geom::Point& p) const {
       const int packet = s.first_packet + k;
       if (trace.packets.empty() || trace.packets.back() != packet) {
         trace.packets.push_back(packet);
+        trace.origins.push_back({id, n.depth});
       }
     }
 

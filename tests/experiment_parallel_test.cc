@@ -27,6 +27,34 @@ void ExpectIdentical(const ExperimentResult& a, const ExperimentResult& b) {
   EXPECT_EQ(a.m, b.m);
   EXPECT_EQ(a.index_packets, b.index_packets);
   EXPECT_EQ(a.cycle_packets, b.cycle_packets);
+  EXPECT_EQ(a.min_latency, b.min_latency);
+  EXPECT_EQ(a.max_latency, b.max_latency);
+  EXPECT_EQ(a.min_tuning_total, b.min_tuning_total);
+  EXPECT_EQ(a.max_tuning_total, b.max_tuning_total);
+}
+
+/// The aggregate statistics must be internally consistent: every mean lies
+/// within its exact [min, max] envelope, and the histograms agree with the
+/// scalar aggregates they were accumulated alongside.
+void ExpectConsistentDistributions(const ExperimentResult& r,
+                                   int num_queries) {
+  EXPECT_LE(r.min_latency, r.mean_latency);
+  EXPECT_GE(r.max_latency, r.mean_latency);
+  EXPECT_LE(r.min_tuning_total, r.mean_tuning_total);
+  EXPECT_GE(r.max_tuning_total, r.mean_tuning_total);
+
+  const Histogram* lat = r.metrics.FindHistogram(kLatencyHist);
+  const Histogram* tun = r.metrics.FindHistogram(kTuningTotalHist);
+  ASSERT_NE(lat, nullptr);
+  ASSERT_NE(tun, nullptr);
+  EXPECT_EQ(lat->TotalCount(), static_cast<uint64_t>(num_queries));
+  EXPECT_EQ(tun->TotalCount(), static_cast<uint64_t>(num_queries));
+  EXPECT_EQ(lat->Min(), r.min_latency);
+  EXPECT_EQ(lat->Max(), r.max_latency);
+  EXPECT_DOUBLE_EQ(lat->Mean(), r.mean_latency);
+  EXPECT_EQ(tun->Min(), r.min_tuning_total);
+  EXPECT_EQ(tun->Max(), r.max_tuning_total);
+  EXPECT_DOUBLE_EQ(tun->Mean(), r.mean_tuning_total);
 }
 
 TEST(ParallelExperimentTest, ThreadCountDoesNotChangeResults) {
@@ -49,6 +77,42 @@ TEST(ParallelExperimentTest, ThreadCountDoesNotChangeResults) {
     auto parallel = RunExperiment(tree.value(), sub, nullptr, opt);
     ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
     ExpectIdentical(serial.value(), parallel.value());
+    ExpectConsistentDistributions(parallel.value(), opt.num_queries);
+  }
+}
+
+TEST(ParallelExperimentTest, GoldenValuesUnchangedByObservabilityLayer) {
+  // Regression pin: these exact doubles were produced by the driver BEFORE
+  // the trace/metrics layer existed, for this precise configuration. With
+  // tracing disabled (the default) the observability layer must not move a
+  // single bit — histograms accumulate alongside the original sums, and
+  // Simulate's trace hook is a null pointer. If this test fails, tracing
+  // has leaked into the simulation (e.g. an RNG draw or a reordered sum).
+  const sub::Subdivision sub = test::RandomVoronoi(80, 404);
+  core::DTree::Options topt;
+  topt.packet_capacity = 256;
+  auto tree = core::DTree::Build(sub, topt);
+  ASSERT_TRUE(tree.ok());
+
+  ExperimentOptions opt;
+  opt.packet_capacity = 256;
+  opt.num_queries = 20000;
+  opt.seed = 7;
+  for (int threads : {1, 8}) {
+    opt.num_threads = threads;
+    auto res = RunExperiment(tree.value(), sub, nullptr, opt);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    const ExperimentResult& r = res.value();
+    EXPECT_EQ(r.mean_latency, 265.92563622764175);
+    EXPECT_EQ(r.normalized_latency, 1.6620352264227609);
+    EXPECT_EQ(r.mean_tuning_index, 4.1167499999999997);
+    EXPECT_EQ(r.mean_tuning_total, 9.1167499999999997);
+    EXPECT_EQ(r.mean_tuning_noindex, 162.98769999999999);
+    EXPECT_EQ(r.indexing_efficiency, 1.4526318224732713);
+    EXPECT_EQ(r.m, 4);
+    EXPECT_EQ(r.index_packets, 21);
+    EXPECT_EQ(r.cycle_packets, 404);
+    ExpectConsistentDistributions(r, opt.num_queries);
   }
 }
 
@@ -171,6 +235,39 @@ TEST(QuerySamplerTest, ZeroWeightRegionsAreNeverDrawn) {
   EXPECT_TRUE(hit.count(0) == 1);
   EXPECT_TRUE(hit.count(7) == 1);
   EXPECT_LE(hit.size(), 2u);
+}
+
+TEST(QuerySamplerTest, SingleNonzeroWeightDrawsOnlyThatRegion) {
+  // Degenerate skew: all mass on one region. Every draw must land there,
+  // and the experiment driver must run on such a load without incident.
+  const sub::Subdivision sub = test::RandomVoronoi(15, 811);
+  const sub::PointLocator oracle(sub);
+  std::vector<double> w(15, 0.0);
+  w[9] = 0.25;
+  auto sampler =
+      QuerySampler::Create(sub, QueryDistribution::kWeightedRegion, w);
+  ASSERT_TRUE(sampler.ok()) << sampler.status().ToString();
+  Rng rng(29);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(oracle.Locate(sampler.value().Draw(&rng)), 9);
+  }
+
+  core::DTree::Options topt;
+  topt.packet_capacity = 128;
+  auto tree = core::DTree::Build(sub, topt);
+  ASSERT_TRUE(tree.ok());
+  ExperimentOptions opt;
+  opt.packet_capacity = 128;
+  opt.num_queries = 1000;
+  opt.seed = 31;
+  opt.distribution = QueryDistribution::kWeightedRegion;
+  opt.region_weights = w;
+  auto res = RunExperiment(tree.value(), sub, &oracle, opt);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  // Every query hits the same region, so every query reads the same
+  // number of data packets and the tuning envelope is tight.
+  EXPECT_GE(res.value().min_tuning_total, 2.0);  // >= 1 probe + 1 index
+  EXPECT_LE(res.value().min_tuning_total, res.value().max_tuning_total);
 }
 
 TEST(QuerySamplerTest, SingleRegionSubdivision) {

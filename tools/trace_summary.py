@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Summarize or validate per-query broadcast trace JSONL files.
+
+The input is the --trace-out output of any experiment bench (one JSON
+object per line; schema in DESIGN.md §9). Stdlib only.
+
+Usage:
+  tools/trace_summary.py TRACE.jsonl            # per-cell report
+  tools/trace_summary.py --check TRACE.jsonl    # schema check; exit 1 on
+                                                # any malformed line
+  tools/trace_summary.py --json=OUT.json TRACE.jsonl
+                                                # report in the BENCH_*.json
+                                                # cell schema
+
+The report gives, per cell: query count, p50/p95/p99/max access latency
+and tuning time (exact, computed from the raw per-query values), the
+retry histogram, and index-packet reads per tree level.
+"""
+
+import json
+import math
+import sys
+
+EVENT_KINDS = {"probe", "doze", "index", "bucket", "loss", "retune"}
+
+REQUIRED_TOP = {
+    "q": int,
+    "x": (int, float),
+    "y": (int, float),
+    "region": int,
+    "arrival": (int, float),
+    "latency": (int, float),
+    "tuning": int,
+    "retries": int,
+    "lost": int,
+    "unrecoverable": bool,
+    "events": list,
+}
+
+
+def validate_line(obj):
+    """Returns an error string or None. Checks field presence/types plus
+    the cross-invariants the simulator guarantees: tuning equals the
+    packets read across probe/index/bucket events, retune events match
+    the retry count, and dozes plus reads add up to the access latency."""
+    if not isinstance(obj, dict):
+        return "line is not a JSON object"
+    for key, typ in REQUIRED_TOP.items():
+        if key not in obj:
+            return f"missing field {key!r}"
+        if not isinstance(obj[key], typ) or isinstance(obj[key], bool) != (
+            typ is bool
+        ):
+            return f"field {key!r} has wrong type {type(obj[key]).__name__}"
+    if "cell" in obj and not isinstance(obj["cell"], str):
+        return "field 'cell' has wrong type"
+
+    reads = 0
+    retunes = 0
+    losses = 0
+    doze = 0.0
+    for i, ev in enumerate(obj["events"]):
+        if not isinstance(ev, dict):
+            return f"event {i} is not an object"
+        kind = ev.get("t")
+        if kind not in EVENT_KINDS:
+            return f"event {i} has unknown kind {kind!r}"
+        if not isinstance(ev.get("pos"), int):
+            return f"event {i} ({kind}) missing integer 'pos'"
+        if kind == "probe":
+            reads += 1
+        elif kind == "doze":
+            if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] <= 0:
+                return f"event {i} (doze) needs positive 'dur'"
+            doze += ev["dur"]
+        elif kind == "index":
+            if not isinstance(ev.get("pkt"), int) or ev["pkt"] < 0:
+                return f"event {i} (index) needs non-negative 'pkt'"
+            if ("node" in ev) != ("depth" in ev):
+                return f"event {i} (index) has node without depth (or vice versa)"
+            reads += 1
+        elif kind == "bucket":
+            if not isinstance(ev.get("n"), int) or ev["n"] < 1:
+                return f"event {i} (bucket) needs positive 'n'"
+            reads += ev["n"]
+        elif kind == "loss":
+            losses += 1
+        elif kind == "retune":
+            if not isinstance(ev.get("attempt"), int) or ev["attempt"] < 1:
+                return f"event {i} (retune) needs positive 'attempt'"
+            retunes += 1
+    if reads != obj["tuning"]:
+        return f"tuning {obj['tuning']} != {reads} packets read in events"
+    if retunes != obj["retries"]:
+        return f"retries {obj['retries']} != {retunes} retune events"
+    if losses != obj["lost"]:
+        return f"lost {obj['lost']} != {losses} loss events"
+    # Values survive a %.10g round-trip, so allow ~1e-3 absolute slack.
+    if not math.isclose(doze + reads, obj["latency"], rel_tol=1e-7, abs_tol=1e-3):
+        return (
+            f"latency {obj['latency']} != doze {doze} + reads {reads} "
+            f"(= {doze + reads})"
+        )
+    return None
+
+
+def percentile(sorted_values, p):
+    """Nearest-rank percentile on a pre-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(p * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class CellStats:
+    def __init__(self):
+        self.latency = []
+        self.tuning = []
+        self.retries = {}
+        self.level_reads = {}
+        self.unattributed = 0
+        self.unrecoverable = 0
+
+    def add(self, obj):
+        self.latency.append(obj["latency"])
+        self.tuning.append(obj["tuning"])
+        self.retries[obj["retries"]] = self.retries.get(obj["retries"], 0) + 1
+        if obj["unrecoverable"]:
+            self.unrecoverable += 1
+        for ev in obj["events"]:
+            if ev.get("t") != "index":
+                continue
+            depth = ev.get("depth", -1)
+            if depth >= 0:
+                self.level_reads[depth] = self.level_reads.get(depth, 0) + 1
+            else:
+                self.unattributed += 1
+
+    def summary(self):
+        lat = sorted(self.latency)
+        tun = sorted(self.tuning)
+        return {
+            "queries": len(lat),
+            "p50_latency": percentile(lat, 0.50),
+            "p95_latency": percentile(lat, 0.95),
+            "p99_latency": percentile(lat, 0.99),
+            "max_latency": lat[-1] if lat else 0.0,
+            "p50_tuning": percentile(tun, 0.50),
+            "p95_tuning": percentile(tun, 0.95),
+            "p99_tuning": percentile(tun, 0.99),
+            "max_tuning": tun[-1] if tun else 0.0,
+            "unrecoverable": self.unrecoverable,
+            "retry_histogram": {str(k): v for k, v in sorted(self.retries.items())},
+            "level_reads": {str(k): v for k, v in sorted(self.level_reads.items())},
+            "unattributed_reads": self.unattributed,
+        }
+
+
+def main(argv):
+    check_only = False
+    json_out = None
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--check":
+            check_only = True
+        elif arg.startswith("--json="):
+            json_out = arg[len("--json=") :]
+        elif arg.startswith("-"):
+            print(f"unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    cells = {}
+    total = 0
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as e:
+                    print(f"{path}:{lineno}: invalid JSON: {e}", file=sys.stderr)
+                    return 1
+                err = validate_line(obj)
+                if err is not None:
+                    print(f"{path}:{lineno}: {err}", file=sys.stderr)
+                    return 1
+                total += 1
+                if not check_only:
+                    cells.setdefault(obj.get("cell", ""), CellStats()).add(obj)
+
+    if check_only:
+        print(f"OK: {total} trace lines valid")
+        return 0
+
+    report = {cell or "(unlabeled)": stats.summary() for cell, stats in cells.items()}
+    for cell, s in report.items():
+        print(f"\n-- {cell} ({s['queries']} queries) --")
+        print(
+            "latency  p50 {p50_latency:8.1f}  p95 {p95_latency:8.1f}  "
+            "p99 {p99_latency:8.1f}  max {max_latency:8.1f}".format(**s)
+        )
+        print(
+            "tuning   p50 {p50_tuning:8.1f}  p95 {p95_tuning:8.1f}  "
+            "p99 {p99_tuning:8.1f}  max {max_tuning:8.1f}".format(**s)
+        )
+        if any(k != "0" for k in s["retry_histogram"]):
+            hist = ", ".join(f"{k}: {v}" for k, v in s["retry_histogram"].items())
+            print(f"retries  {{{hist}}}  unrecoverable {s['unrecoverable']}")
+        if s["level_reads"]:
+            levels = "  ".join(f"L{k} {v}" for k, v in s["level_reads"].items())
+            extra = (
+                f"  ? {s['unattributed_reads']}" if s["unattributed_reads"] else ""
+            )
+            print(f"index reads by tree level: {levels}{extra}")
+
+    if json_out:
+        payload = {
+            "bench": "trace_summary",
+            "cells": [{"cell": cell, **s} for cell, s in sorted(report.items())],
+        }
+        with open(json_out, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"\nsummary written to {json_out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
