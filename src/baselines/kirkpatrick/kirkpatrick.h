@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "broadcast/air_index.h"
@@ -61,6 +62,41 @@ class TrianTree final : public bcast::AirIndex {
 
   /// In-memory query without packet accounting.
   int Locate(const geom::Point& p) const;
+
+  // --- byte-level broadcast form -------------------------------------------
+  // Node wire format (little-endian; sizes per Table 2, header 0):
+  //   u16  bid      — bits 12..15: child count (0 = base triangle);
+  //                   bits 0..11: broadcast position mod 4096 (diagnostic)
+  //   6 x f32       — triangle vertices v0.x v0.y v1.x v1.y v2.x v2.y
+  //   max(1, count) x u32 pointers (broadcast/frame.h encoding):
+  //     count = 0   one data pointer: region id, or kOutsideRegionPtr for
+  //                 gap triangles outside the service area
+  //     count > 0   one node pointer (packet, offset) per child
+
+  /// One broadcast cycle's worth of index packets, each exactly
+  /// `packet_capacity` bytes (zero-padded). InvalidArgument when a node
+  /// has more children than the 4-bit count field can carry.
+  Result<std::vector<std::vector<uint8_t>>> SerializePackets() const;
+
+  /// Decoder entry points: (packet, byte offset) of every root triangle
+  /// node, in probe order. The roots are not contiguous on the channel
+  /// (broadcast order is level-descending and the surviving top-level
+  /// triangles span levels), so a real client learns these locations from
+  /// the broadcast schedule header — trusted metadata, unlike the packet
+  /// bytes themselves.
+  std::vector<std::pair<int, size_t>> RootLocations() const;
+
+  /// Hardened client-side query straight from (untrusted) packet bytes:
+  /// every read is bounds-checked, every pointer field range-checked, and
+  /// the total node-decode work is bounded by bcast::DecodeBudget, so
+  /// malformed or corrupted packets yield a Status (kDataLoss), never a
+  /// crash or hang. With `framed` (bcast::FramePackets output) each
+  /// packet's CRC-32 is verified on first touch. Returns the region id;
+  /// NotFound for points outside the service area.
+  static Result<int> QueryFromPackets(
+      const std::vector<std::vector<uint8_t>>& packets, int packet_capacity,
+      bool framed, const std::vector<std::pair<int, size_t>>& roots,
+      int num_regions, const geom::Point& p, std::vector<int>* packets_read);
 
   // --- introspection -------------------------------------------------------
   int num_triangles() const { return static_cast<int>(tris_.size()); }

@@ -5,7 +5,9 @@
 #include <limits>
 #include <numeric>
 
+#include "broadcast/frame.h"
 #include "broadcast/params.h"
+#include "common/bytes.h"
 #include "common/check.h"
 
 namespace dtree::baselines {
@@ -18,6 +20,25 @@ using geom::Point;
 constexpr size_t kEntrySize = 4 * bcast::kCoordinateSize +  // MBR
                               bcast::kRStarPointerSize;     // child/shape
 constexpr size_t kNodeHeader = bcast::kBidSize;
+
+/// f64 -> f32 rounded towards -infinity (so a wire MBR min never moves
+/// inside the true box).
+float FloatDown(double v) {
+  float f = static_cast<float>(v);
+  if (static_cast<double>(f) > v) {
+    f = std::nextafterf(f, -std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+/// f64 -> f32 rounded towards +infinity.
+float FloatUp(double v) {
+  float f = static_cast<float>(v);
+  if (static_cast<double>(f) < v) {
+    f = std::nextafterf(f, std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
 
 double OverlapWithSiblings(const std::vector<BBox>& boxes, size_t skip,
                            const BBox& candidate) {
@@ -343,6 +364,219 @@ Status RStarTree::Layout(const sub::Subdivision& sub) {
   return Status::OK();
 }
 
+Result<std::vector<std::vector<uint8_t>>> RStarTree::SerializePackets()
+    const {
+  const int capacity = options_.packet_capacity;
+  std::vector<std::vector<uint8_t>> packets(
+      num_packets_, std::vector<uint8_t>(static_cast<size_t>(capacity), 0));
+  if (node_packet_.empty() || node_packet_[root_] != 0) {
+    return Status::Internal("r*-tree root not at packet 0");
+  }
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    if (node_packet_[id] < 0) continue;  // unreachable (never happens)
+    const Node& node = nodes_[id];
+    const bool leaf = node.level == 0;
+    ByteWriter w;
+    DTREE_RETURN_IF_ERROR(w.PutU16Checked(
+        (leaf ? 0x8000u : 0u) | node.entries.size(), "entry count"));
+    for (const Entry& e : node.entries) {
+      w.PutF32(FloatDown(e.box.min_x));
+      w.PutF32(FloatDown(e.box.min_y));
+      w.PutF32(FloatUp(e.box.max_x));
+      w.PutF32(FloatUp(e.box.max_y));
+      if (leaf) {
+        DTREE_RETURN_IF_ERROR(
+            w.PutU16Checked(static_cast<uint64_t>(e.region), "region id"));
+      } else {
+        DTREE_RETURN_IF_ERROR(w.PutU16Checked(
+            static_cast<uint64_t>(node_packet_[e.child]), "child packet"));
+      }
+    }
+    if (w.size() != kNodeHeader + node.entries.size() * kEntrySize ||
+        w.size() > static_cast<size_t>(capacity)) {
+      return Status::Internal("serialized r*-tree node size mismatch");
+    }
+    bcast::PacketCursor cursor(&packets, capacity, node_packet_[id], 0);
+    cursor.Write(w.bytes());
+  }
+  for (size_t r = 0; r < shapes_.size(); ++r) {
+    const bcast::NodeSpan& s = shape_span_[r];
+    if (s.first_packet < 0) continue;
+    const geom::Polygon& poly = shapes_[r];
+    ByteWriter w;
+    DTREE_RETURN_IF_ERROR(w.PutU16Checked(r, "region id"));
+    DTREE_RETURN_IF_ERROR(w.PutU16Checked(r, "region id"));
+    DTREE_RETURN_IF_ERROR(
+        w.PutU16Checked(poly.NumVertices(), "shape vertex count"));
+    for (const Point& v : poly.ring()) {
+      w.PutF32(static_cast<float>(v.x));
+      w.PutF32(static_cast<float>(v.y));
+    }
+    const size_t accounted = bcast::kBidSize + bcast::kRStarPointerSize + 2 +
+                             poly.NumVertices() * 2 * bcast::kCoordinateSize;
+    if (w.size() != accounted) {
+      return Status::Internal("serialized shape size mismatch");
+    }
+    bcast::PacketCursor cursor(&packets, capacity, s.first_packet,
+                               s.offset);
+    cursor.Write(w.bytes());
+  }
+  return packets;
+}
+
+Result<int> RStarTree::QueryFromPackets(
+    const std::vector<std::vector<uint8_t>>& packets, int packet_capacity,
+    bool framed, int num_regions, const geom::Point& p,
+    std::vector<int>* packets_read) {
+  if (packets.empty()) return Status::InvalidArgument("no packets");
+  if (packet_capacity < static_cast<int>(kNodeHeader + 2 * kEntrySize)) {
+    return Status::InvalidArgument(
+        "packet capacity cannot hold an R*-tree node");
+  }
+  const int max_count =
+      (packet_capacity - static_cast<int>(kNodeHeader)) /
+      static_cast<int>(kEntrySize);
+  // A real shape's ring fits the stream; a corrupted count larger than
+  // this would just walk off the end anyway.
+  const size_t max_verts =
+      packets.size() * static_cast<size_t>(packet_capacity) / 8;
+  int budget = bcast::DecodeBudget(packets.size());
+  int best_fallback = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  struct WireEntry {
+    BBox box;
+    uint16_t ptr = 0;
+  };
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const int pkt = stack.back();
+    stack.pop_back();
+    if (--budget < 0) {
+      return Status::DataLoss("r*-tree decode budget exhausted");
+    }
+    bcast::PacketReader r(packets, packet_capacity, framed, pkt, 0,
+                          packets_read);
+    uint16_t bid;
+    DTREE_RETURN_IF_ERROR(r.ReadU16(&bid));
+    const bool leaf = (bid & 0x8000u) != 0;
+    const int count = bid & 0x7fff;
+    if (count > max_count) {
+      return Status::DataLoss("r*-tree node entry count " +
+                              std::to_string(count) +
+                              " exceeds the packet capacity");
+    }
+    std::vector<WireEntry> entries(static_cast<size_t>(count));
+    for (WireEntry& e : entries) {
+      float min_x, min_y, max_x, max_y;
+      DTREE_RETURN_IF_ERROR(r.ReadF32(&min_x));
+      DTREE_RETURN_IF_ERROR(r.ReadF32(&min_y));
+      DTREE_RETURN_IF_ERROR(r.ReadF32(&max_x));
+      DTREE_RETURN_IF_ERROR(r.ReadF32(&max_y));
+      DTREE_RETURN_IF_ERROR(r.ReadU16(&e.ptr));
+      e.box = BBox{min_x, min_y, max_x, max_y};
+    }
+    if (!leaf) {
+      // Push matching children in reverse so the leftmost (earliest on
+      // the channel) is explored first, mirroring the in-memory Probe.
+      for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        if (!it->box.Contains(p)) continue;
+        const int child = it->ptr;
+        // Strictly forward: rules out pointer cycles on corrupt bytes.
+        if (child <= pkt || child >= static_cast<int>(packets.size())) {
+          return Status::DataLoss(
+              "child pointer does not move forward on the channel");
+        }
+        stack.push_back(child);
+      }
+      continue;
+    }
+    // Leaf: its shape objects follow it in entry order, starting at the
+    // next packet. The writer places each shape at the current fill
+    // offset when it fits the packet's remainder and otherwise bumps it
+    // to a fresh packet (zero padding in between); mirror that placement
+    // rule, using the shape header to tell a real shape from padding.
+    const size_t cap = static_cast<size_t>(packet_capacity);
+    constexpr size_t kShapeHeader = 3 * sizeof(uint16_t);
+    int spkt = pkt + 1;
+    size_t soff = 0;
+    for (const WireEntry& e : entries) {
+      uint16_t sptr = 0, nverts = 0;
+      bool placed = false;
+      for (int attempt = 0; attempt < 2 && !placed; ++attempt) {
+        if (--budget < 0) {
+          return Status::DataLoss("r*-tree decode budget exhausted");
+        }
+        if (soff + kShapeHeader > cap) {  // header never straddles
+          ++spkt;
+          soff = 0;
+          continue;
+        }
+        bcast::PacketReader sr(packets, packet_capacity, framed, spkt, soff,
+                               packets_read);
+        uint16_t sbid;
+        DTREE_RETURN_IF_ERROR(sr.ReadU16(&sbid));
+        DTREE_RETURN_IF_ERROR(sr.ReadU16(&sptr));
+        DTREE_RETURN_IF_ERROR(sr.ReadU16(&nverts));
+        const size_t size = kShapeHeader + nverts * 2 * sizeof(float);
+        // A shape at a nonzero offset always fits its packet's
+        // remainder; anything else here is the writer's padding (or
+        // corruption) and means the shape was bumped.
+        if (sptr != e.ptr || nverts < 3 ||
+            static_cast<size_t>(nverts) > max_verts ||
+            (soff != 0 && size > cap - soff)) {
+          if (soff == 0) {
+            return Status::DataLoss(
+                "shape header does not match its leaf entry");
+          }
+          ++spkt;
+          soff = 0;
+          continue;
+        }
+        const bool want = e.box.Contains(p);
+        std::vector<Point> ring;
+        if (want) ring.reserve(nverts);
+        for (int v = 0; v < nverts; ++v) {
+          float x, y;
+          DTREE_RETURN_IF_ERROR(sr.ReadF32(&x));
+          DTREE_RETURN_IF_ERROR(sr.ReadF32(&y));
+          if (want) ring.push_back(Point{x, y});
+        }
+        // Advance the cursor past this shape exactly as the writer did.
+        if (soff == 0) {
+          size_t rest = size;
+          while (rest > cap) {
+            rest -= cap;
+            ++spkt;
+          }
+          soff = rest;
+        } else {
+          soff += size;
+        }
+        placed = true;
+        if (!want) continue;
+        const int region = sptr;
+        if (region >= num_regions) {
+          return Status::DataLoss("data pointer to out-of-range region " +
+                                  std::to_string(region));
+        }
+        const geom::Polygon poly(std::move(ring));
+        if (poly.Contains(p)) return region;
+        const double d = poly.DistanceToBoundary(p);
+        if (d < best_dist) {
+          best_dist = d;
+          best_fallback = region;
+        }
+      }
+      if (!placed) {
+        return Status::DataLoss(
+            "shape header does not match its leaf entry");
+      }
+    }
+  }
+  if (best_fallback >= 0) return best_fallback;
+  return Status::DataLoss("query point escaped every leaf MBR");
+}
+
 int RStarTree::Locate(const geom::Point& p) const {
   Result<bcast::ProbeTrace> r = Probe(p);
   DTREE_CHECK(r.ok());
@@ -361,7 +595,11 @@ Result<bcast::ProbeTrace> RStarTree::Probe(const geom::Point& p) const {
   double best_fallback_dist = std::numeric_limits<double>::infinity();
 
   std::vector<int> stack{root_};
+  int steps = 0;
   while (!stack.empty()) {
+    if (++steps > bcast::kProbeStepBudget) {
+      return Status::Internal("r*-tree descent exceeded the probe budget");
+    }
     const int id = stack.back();
     stack.pop_back();
     touch(node_packet_[id]);

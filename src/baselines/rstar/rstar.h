@@ -48,6 +48,42 @@ class RStarTree final : public bcast::AirIndex {
   /// accounting.
   int Locate(const geom::Point& p) const;
 
+  // --- byte-level broadcast form -------------------------------------------
+  // Wire format (little-endian; sizes per Table 2). Tree node, one per
+  // packet at offset 0:
+  //   u16  bid      — bit 15: 1 = leaf, 0 = internal; bits 0..14: entry
+  //                   count
+  //   count x entry — 4 x f32 MBR (min_x min_y max_x max_y, rounded
+  //                   OUTWARD to f32 so no containment test is lost to
+  //                   narrowing) + u16 pointer: child packet id for an
+  //                   internal entry, region id for a leaf entry
+  // Shape object (streamed after its leaf; a leaf's shapes start at the
+  // packet right after the leaf's, offset 0, and follow each other in
+  // entry order — each placed at the current fill offset when it fits the
+  // packet's remainder and otherwise bumped to a fresh packet, with zero
+  // padding in between; only a shape starting at offset 0 spans packets):
+  //   u16  bid      — region id (diagnostic)
+  //   u16  ptr      — region id (the data pointer)
+  //   u16  count    — vertex count
+  //   count x (f32 x, f32 y) — the polygon ring, first vertex not repeated
+  // The root node is always the first DFS node, i.e. packet 0.
+
+  /// One broadcast cycle's worth of index packets, each exactly
+  /// `packet_capacity` bytes (zero-padded).
+  Result<std::vector<std::vector<uint8_t>>> SerializePackets() const;
+
+  /// Hardened client-side query straight from (untrusted) packet bytes:
+  /// every read is bounds-checked, every pointer field range-checked
+  /// (child packets must move strictly forward, so no pointer cycle is
+  /// possible), and total decode work is bounded by bcast::DecodeBudget —
+  /// malformed or corrupted packets yield a Status (kDataLoss), never a
+  /// crash or hang. With `framed` (bcast::FramePackets output) each
+  /// packet's CRC-32 is verified on first touch. Returns the region id.
+  static Result<int> QueryFromPackets(
+      const std::vector<std::vector<uint8_t>>& packets, int packet_capacity,
+      bool framed, int num_regions, const geom::Point& p,
+      std::vector<int>* packets_read);
+
   // --- introspection -------------------------------------------------------
   int max_entries() const { return max_entries_; }
   int min_entries() const { return min_entries_; }

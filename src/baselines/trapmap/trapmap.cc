@@ -5,7 +5,9 @@
 #include <deque>
 #include <unordered_set>
 
+#include "broadcast/frame.h"
 #include "broadcast/params.h"
+#include "common/bytes.h"
 #include "common/check.h"
 #include "geom/predicates.h"
 
@@ -323,7 +325,7 @@ Status TrapMap::AssignRegions(const sub::Subdivision& sub) {
 
 int TrapMap::LocateTrapezoid(const Point& p, std::vector<int>* visited) const {
   int node = root_;
-  for (int guard = 0; guard < (1 << 22); ++guard) {
+  for (int guard = 0; guard < bcast::kProbeStepBudget; ++guard) {
     const DagNode& n = dag_[node];
     if (n.kind == DagNode::kLeaf) return n.index;
     if (visited != nullptr) visited->push_back(node);
@@ -335,13 +337,14 @@ int TrapMap::LocateTrapezoid(const Point& p, std::vector<int>* visited) const {
       node = v > 0.0 ? n.left : n.right;
     }
   }
-  DTREE_CHECK(false && "trap-map query did not terminate");
+  // A cyclic DAG (construction bug) would loop forever; report instead of
+  // crashing so Probe can surface a Status.
   return -1;
 }
 
 int TrapMap::Locate(const Point& p) const {
   const int trap = LocateTrapezoid(p, nullptr);
-  return traps_[trap].region;
+  return trap < 0 ? -1 : traps_[trap].region;
 }
 
 Status TrapMap::Page() {
@@ -408,10 +411,139 @@ Status TrapMap::Page() {
   return Status::OK();
 }
 
+Result<std::vector<std::vector<uint8_t>>> TrapMap::SerializePackets()
+    const {
+  if (bfs_order_.empty()) {
+    return Status::InvalidArgument(
+        "degenerate trap-tree with no internal nodes cannot be serialized");
+  }
+  const int capacity = options_.packet_capacity;
+  std::vector<std::vector<uint8_t>> packets(
+      paging_.num_packets,
+      std::vector<uint8_t>(static_cast<size_t>(capacity), 0));
+  // The decoder enters at (0, 0); creation order broadcasts the root
+  // first, so this holds by construction.
+  const bcast::NodeSpan& rs = paging_.spans[node_bfs_pos_[root_]];
+  if (rs.first_packet != 0 || rs.offset != 0) {
+    return Status::Internal("trap-tree root not at packet 0, offset 0");
+  }
+  auto encode_child = [&](ByteWriter* w, int child) -> Status {
+    if (child < 0 || child >= static_cast<int>(dag_.size())) {
+      return Status::Internal("DAG node with invalid children");
+    }
+    const DagNode& c = dag_[child];
+    if (c.kind == DagNode::kLeaf) {
+      const int region = traps_[c.index].region;
+      if (region < 0) {
+        return Status::Internal("reachable trapezoid without a region");
+      }
+      w->PutU32(bcast::EncodeDataPointer(region));
+      return Status::OK();
+    }
+    const bcast::NodeSpan& cs = paging_.spans[node_bfs_pos_[child]];
+    if (cs.offset > bcast::kOffsetMask) {
+      return Status::InvalidArgument(
+          "node offset exceeds the 12-bit pointer field");
+    }
+    if (cs.first_packet >= (1 << bcast::kPacketBits)) {
+      return Status::InvalidArgument(
+          "index packet exceeds the 19-bit pointer field");
+    }
+    w->PutU32(bcast::EncodeNodePointer(cs.first_packet, cs.offset));
+    return Status::OK();
+  };
+  for (size_t bfs = 0; bfs < bfs_order_.size(); ++bfs) {
+    const DagNode& n = dag_[bfs_order_[bfs]];
+    const bcast::NodeSpan& s = paging_.spans[bfs];
+    const bool is_y = n.kind == DagNode::kYNode;
+    ByteWriter w;
+    w.PutU16(static_cast<uint16_t>((is_y ? 0x8000u : 0u) | (bfs & 0x7fff)));
+    DTREE_RETURN_IF_ERROR(encode_child(&w, n.left));
+    DTREE_RETURN_IF_ERROR(encode_child(&w, n.right));
+    if (is_y) {
+      const Seg& t = segs_[n.index];
+      w.PutF32(static_cast<float>(t.p.x));
+      w.PutF32(static_cast<float>(t.p.y));
+      w.PutF32(static_cast<float>(t.q.x));
+      w.PutF32(static_cast<float>(t.q.y));
+    } else {
+      w.PutF32(static_cast<float>(points_[n.index].x));
+    }
+    if (w.size() != (is_y ? kYNodeSize : kXNodeSize)) {
+      return Status::Internal("serialized size " + std::to_string(w.size()) +
+                              " != accounted size " +
+                              std::to_string(is_y ? kYNodeSize : kXNodeSize));
+    }
+    bcast::PacketCursor cursor(&packets, capacity, s.first_packet, s.offset);
+    cursor.Write(w.bytes());
+  }
+  return packets;
+}
+
+Result<int> TrapMap::QueryFromPackets(
+    const std::vector<std::vector<uint8_t>>& packets, int packet_capacity,
+    bool framed, int num_regions, const Point& p,
+    std::vector<int>* packets_read) {
+  if (packets.empty()) return Status::InvalidArgument("no packets");
+  if (packet_capacity < 1) {
+    return Status::InvalidArgument("packet capacity must be positive");
+  }
+  int packet = 0;
+  size_t offset = 0;
+  int budget = bcast::DecodeBudget(packets.size());
+  for (;;) {
+    if (--budget < 0) {
+      return Status::DataLoss("trap-tree decode budget exhausted");
+    }
+    bcast::PacketReader r(packets, packet_capacity, framed, packet, offset,
+                          packets_read);
+    uint16_t bid;
+    uint32_t left, right;
+    DTREE_RETURN_IF_ERROR(r.ReadU16(&bid));
+    DTREE_RETURN_IF_ERROR(r.ReadU32(&left));
+    DTREE_RETURN_IF_ERROR(r.ReadU32(&right));
+    uint32_t next;
+    if ((bid & 0x8000u) == 0) {
+      float x;
+      DTREE_RETURN_IF_ERROR(r.ReadF32(&x));
+      next = p.x < static_cast<double>(x) ? left : right;
+    } else {
+      float px, py, qx, qy;
+      DTREE_RETURN_IF_ERROR(r.ReadF32(&px));
+      DTREE_RETURN_IF_ERROR(r.ReadF32(&py));
+      DTREE_RETURN_IF_ERROR(r.ReadF32(&qx));
+      DTREE_RETURN_IF_ERROR(r.ReadF32(&qy));
+      const double v = geom::OrientValue(Point{px, py}, Point{qx, qy}, p);
+      next = v > 0.0 ? left : right;
+    }
+    if (bcast::IsDataPointer(next)) {
+      const int region = bcast::DataPointerRegion(next);
+      // Every trapezoid carries a real region label (kOutsideRegionPtr is
+      // never written), so an out-of-range id means corrupted bytes.
+      if (region >= num_regions) {
+        return Status::DataLoss("data pointer to out-of-range region " +
+                                std::to_string(region));
+      }
+      return region;
+    }
+    packet = bcast::NodePointerPacket(next);
+    offset = bcast::NodePointerOffset(next);
+    if (packet >= static_cast<int>(packets.size())) {
+      return Status::DataLoss("node pointer outside the packet stream");
+    }
+    if (offset >= static_cast<size_t>(packet_capacity)) {
+      return Status::DataLoss("node pointer offset outside the packet");
+    }
+  }
+}
+
 Result<bcast::ProbeTrace> TrapMap::Probe(const Point& p) const {
   bcast::ProbeTrace trace;
   std::vector<int> visited;
   const int trap = LocateTrapezoid(p, &visited);
+  if (trap < 0) {
+    return Status::Internal("trap-tree descent exceeded the probe budget");
+  }
   trace.region = traps_[trap].region;
   for (int node : visited) {
     const int pos = node_bfs_pos_[node];
@@ -476,6 +608,7 @@ Status TrapMap::CheckInvariants(int sample_points, uint64_t seed) const {
   for (int i = 0; i < sample_points; ++i) {
     const Point p{rng.Uniform(bl.x, tr.x), rng.Uniform(bl.y, tr.y)};
     const int id = LocateTrapezoid(p, nullptr);
+    if (id < 0) return Status::Internal("trap-map query did not terminate");
     const Trap& t = traps_[id];
     if (!t.alive) return Status::Internal("query reached a dead trapezoid");
     const double slack = 1e-6;

@@ -60,7 +60,42 @@ class TrapMap final : public bcast::AirIndex {
   Result<bcast::ProbeTrace> Probe(const geom::Point& p) const override;
 
   /// In-memory point location through the DAG, no packet accounting.
+  /// Returns -1 when the descent exceeds the probe step budget (a
+  /// construction bug; never happens for a valid map).
   int Locate(const geom::Point& p) const;
+
+  // --- byte-level broadcast form -------------------------------------------
+  // Node wire format (little-endian; sizes per Table 2, no header):
+  //   u16  bid      — bit 15: node kind (0 = x-node, 1 = y-node);
+  //                   bits 0..14: broadcast position mod 2^15 (diagnostic)
+  //   u32  left     — pointer (broadcast/frame.h encoding): node pointer
+  //   u32  right      for an internal child, data pointer (region id) for
+  //                   a trapezoid leaf
+  //   payload       — x-node: f32 endpoint x (14 B total);
+  //                   y-node: 4 x f32 segment p.x p.y q.x q.y (22 B total)
+  //
+  // The root node always serializes at packet 0, offset 0 (creation order
+  // broadcasts it first), so the decoder needs no out-of-band entry point.
+  // Caveat: an x-node branches on the lexicographic (x, y) order in memory
+  // but only x fits the 4-byte wire payload, so an on-the-wire query with
+  // p.x exactly equal to the endpoint's x may take the other branch — a
+  // measure-zero event for continuous query distributions.
+
+  /// One broadcast cycle's worth of index packets, each exactly
+  /// `packet_capacity` bytes (zero-padded). InvalidArgument for the
+  /// degenerate map with no internal DAG nodes.
+  Result<std::vector<std::vector<uint8_t>>> SerializePackets() const;
+
+  /// Hardened client-side query straight from (untrusted) packet bytes:
+  /// every read is bounds-checked, every pointer field range-checked, and
+  /// total decode work is bounded by bcast::DecodeBudget, so malformed or
+  /// corrupted packets yield a Status (kDataLoss), never a crash or hang.
+  /// With `framed` (bcast::FramePackets output) each packet's CRC-32 is
+  /// verified on first touch. Returns the region id.
+  static Result<int> QueryFromPackets(
+      const std::vector<std::vector<uint8_t>>& packets, int packet_capacity,
+      bool framed, int num_regions, const geom::Point& p,
+      std::vector<int>* packets_read);
 
   // --- introspection -------------------------------------------------------
   int num_dag_nodes() const;

@@ -16,6 +16,14 @@ Status ValidateTrace(const ProbeTrace& trace, int num_index_packets,
                             std::to_string(trace.packets.size()) +
                             " packets");
   }
+  if (trace.packets.size() >
+      static_cast<size_t>(ProbePacketBudget(num_index_packets))) {
+    return Status::Internal("trace touches " +
+                            std::to_string(trace.packets.size()) +
+                            " packets, over the budget of " +
+                            std::to_string(
+                                ProbePacketBudget(num_index_packets)));
+  }
   int prev = -1;
   for (int id : trace.packets) {
     if (id < 0 || id >= num_index_packets) {

@@ -18,6 +18,22 @@
 
 namespace dtree::bcast {
 
+/// Hard budget on descent steps for one Probe. Every implementation's
+/// probe loop is bounded by it (a correct descent takes orders of
+/// magnitude fewer steps); on exhaustion Probe returns Status::Internal
+/// instead of hanging, so a client always terminates.
+inline constexpr int kProbeStepBudget = 1 << 20;
+
+/// Hard budget on the packets a single probe trace may touch. A correct
+/// search reads each level's packet once; even a DAG-shaped index revisits
+/// a packet only a handful of times, so a trace materially longer than the
+/// index itself indicates a defective descent. Enforced by ValidateTrace
+/// (and hence by BroadcastChannel::Simulate) so a runaway trace can never
+/// translate into an unbounded simulated doze.
+inline constexpr int ProbePacketBudget(int num_index_packets) {
+  return 4 * num_index_packets + 64;
+}
+
 /// Which tree node caused an index-packet read, and at what depth — the
 /// annotation the observability layer uses to attribute tuning energy to
 /// tree levels. -1 means unknown.

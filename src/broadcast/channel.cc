@@ -3,10 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "broadcast/frame.h"
 #include "broadcast/trace.h"
 #include "common/check.h"
 
 namespace dtree::bcast {
+
+const char* GiveUpStageName(GiveUpStage stage) {
+  switch (stage) {
+    case GiveUpStage::kNone: return "none";
+    case GiveUpStage::kProbeBudget: return "probe_budget";
+    case GiveUpStage::kRetryBudget: return "retry_budget";
+    case GiveUpStage::kFallbackBudget: return "fallback_budget";
+  }
+  return "unknown";
+}
 
 Result<BroadcastChannel> BroadcastChannel::Create(
     int index_packets, int num_regions, const ChannelOptions& options) {
@@ -24,6 +35,8 @@ Result<BroadcastChannel> BroadcastChannel::Create(
   BroadcastChannel ch;
   ch.loss_ = options.loss;
   ch.packet_capacity_ = options.packet_capacity;
+  ch.frame_bits_ = static_cast<int>(
+      8 * (static_cast<size_t>(options.packet_capacity) + kFrameCrcBytes));
   ch.index_packets_ = index_packets;
   ch.num_regions_ = num_regions;
   ch.bucket_packets_ = static_cast<int>(
@@ -90,6 +103,10 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
 
   QueryOutcome out;
   LossProcess loss(loss_, loss_stream);
+  // The corruption process draws from its own RNG streams (keyed by its
+  // own seed), so enabling it never perturbs a loss draw and vice versa.
+  CorruptionProcess corrupt(loss_.corruption, frame_bits_, loss_stream);
+  const bool faults = loss.enabled() || corrupt.enabled();
 
   // Observability hooks: every emitter is a no-op (one predicted branch)
   // when tracing is off, and tracing never feeds back into the protocol.
@@ -116,8 +133,108 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
       trace_out->tuning_total = out.tuning_total();
       trace_out->retries = out.retries;
       trace_out->lost_packets = out.lost_packets;
+      trace_out->corrupted_packets = out.corrupted_packets;
+      trace_out->fallback_scan = out.fallback_scan;
       trace_out->unrecoverable = out.unrecoverable;
     }
+  };
+  // One packet read under faults: an erasure means the packet never
+  // arrived; a delivered packet may still carry bit errors, which the
+  // CRC-32 frame check detects. Either way the read is wasted and the
+  // recovery ladder takes over. Loss is drawn first — a lost packet has
+  // no bits to corrupt — and the corruption stream is advanced only for
+  // delivered packets, keeping it aligned across loss configurations.
+  auto read_failed = [&](int64_t at) {
+    if (loss.enabled() && loss.NextLost()) {
+      ++out.lost_packets;
+      emit_read(TraceEventKind::kLoss, at);
+      return true;
+    }
+    if (corrupt.enabled() && corrupt.NextCorrupted()) {
+      ++out.corrupted_packets;
+      emit_read(TraceEventKind::kCorruption, at);
+      return true;
+    }
+    return false;
+  };
+
+  // --- Degradation ladder, final rung. Entered when a budget above it is
+  // exhausted: with fallback disabled the query is simply unrecoverable
+  // (bit-identical to the pre-ladder give-up), otherwise the client stops
+  // trusting the index and listens to *every* packet until its bucket has
+  // gone by — the indexless protocol of SimulateNoIndex, except on the
+  // real (1, m) layout and still subject to faults on the bucket packets
+  // themselves. The client recognizes its bucket by content (it verifies
+  // the bucket bytes it wanted, cf. MakeDataBucketPackets), so scanned
+  // packets are only counted — charged to tuning_index like the indexless
+  // baseline — and the bucket packets to tuning_data. Either the data
+  // completes or, after fallback_scan_cycles failed cycles, the query is
+  // explicitly unrecoverable; it never dozes forever.
+  auto conclude = [&](int64_t give_up_pos,
+                      GiveUpStage stage) -> QueryOutcome {
+    for (int cycle = 0; cycle < loss_.fallback_scan_cycles; ++cycle) {
+      out.fallback_scan = true;
+      loss.StartStream(LossProcess::FallbackStream(cycle));
+      corrupt.StartStream(LossProcess::FallbackStream(cycle));
+      const int64_t bucket_in_cycle = BucketStart(trace.region);
+      const int64_t cycle_base =
+          (give_up_pos / cycle_packets_) * cycle_packets_;
+      int64_t data_at = cycle_base + bucket_in_cycle;
+      if (data_at < give_up_pos) data_at += cycle_packets_;
+      const int64_t listened = data_at - give_up_pos;
+      out.tuning_index += static_cast<int>(listened);
+      if (trace_out != nullptr) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kFallbackScan;
+        e.pos = give_up_pos;
+        e.packet = static_cast<int>(listened);
+        e.attempt = cycle;
+        trace_out->events.push_back(e);
+      }
+      bool lost = false;
+      bool corrupted_here = false;
+      int bucket_read = 0;
+      for (int b = 0; b < bucket_packets_; ++b) {
+        ++out.tuning_data;
+        ++bucket_read;
+        if (loss.enabled() && loss.NextLost()) {
+          ++out.lost_packets;
+          lost = true;
+          break;
+        }
+        if (corrupt.enabled() && corrupt.NextCorrupted()) {
+          ++out.corrupted_packets;
+          corrupted_here = true;
+          lost = true;
+          break;
+        }
+      }
+      if (trace_out != nullptr) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kBucketRead;
+        e.pos = data_at;
+        e.packet = bucket_read;
+        trace_out->events.push_back(e);
+        if (lost) {
+          emit_read(corrupted_here ? TraceEventKind::kCorruption
+                                   : TraceEventKind::kLoss,
+                    data_at + bucket_read - 1);
+        }
+      }
+      if (!lost) {
+        out.latency =
+            static_cast<double>(data_at + bucket_packets_) - arrival;
+        finish();
+        return out;
+      }
+      give_up_pos = data_at + bucket_read;  // listen past the bad packet
+    }
+    out.unrecoverable = true;
+    out.give_up =
+        out.fallback_scan ? GiveUpStage::kFallbackBudget : stage;
+    out.latency = static_cast<double>(give_up_pos) - arrival;
+    finish();
+    return out;
   };
 
   // --- Initial probe: wait for the next packet *start*, read one packet
@@ -131,17 +248,12 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
   out.tuning_probe = 1;
   emit_doze(probe_packet, static_cast<double>(probe_packet) - arrival);
   emit_read(TraceEventKind::kProbe, probe_packet);
-  // A lost probe costs one packet of listening and one of waiting; the
+  // A failed probe costs one packet of listening and one of waiting; the
   // client simply reads the following packet (every packet carries the
   // next-index pointer). Bounded by the same retry budget as re-tunes.
-  while (loss.enabled() && loss.NextLost()) {
-    ++out.lost_packets;
-    emit_read(TraceEventKind::kLoss, probe_packet);
+  while (faults && read_failed(probe_packet)) {
     if (out.tuning_probe > loss_.max_retries) {
-      out.unrecoverable = true;
-      out.latency = static_cast<double>(probe_packet + 1) - arrival;
-      finish();
-      return out;
+      return conclude(probe_packet + 1, GiveUpStage::kProbeBudget);
     }
     ++out.tuning_probe;
     ++probe_packet;
@@ -169,7 +281,7 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
   // Imielinski et al.), up to max_retries re-tunes. On a lossless channel
   // the loop body runs exactly once and no loss draws are made, so the
   // outcome is bit-identical to the pre-loss-model simulator.
-  const int max_attempts = loss.enabled() ? loss_.max_retries + 1 : 1;
+  const int max_attempts = faults ? loss_.max_retries + 1 : 1;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
       ++out.retries;
@@ -182,6 +294,7 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
       }
     }
     loss.StartStream(LossProcess::AttemptStream(attempt));
+    corrupt.StartStream(LossProcess::AttemptStream(attempt));
     bool lost = false;
 
     // --- Index search: jump to the first index segment at or after pos.
@@ -221,9 +334,7 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
       }
       p = at + 1;
       ++out.tuning_index;
-      if (loss.enabled() && loss.NextLost()) {
-        ++out.lost_packets;
-        emit_read(TraceEventKind::kLoss, at);
+      if (faults && read_failed(at)) {
         lost = true;
         break;
       }
@@ -240,13 +351,22 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
       if (data_at < p) data_at += cycle_packets_;
       emit_doze(data_at, static_cast<double>(data_at - p));
       int bucket_read = 0;
+      bool corrupted_here = false;
       for (int b = 0; b < bucket_packets_; ++b) {
         ++out.tuning_data;
         ++bucket_read;
+        if (!faults) continue;
         if (loss.enabled() && loss.NextLost()) {
           ++out.lost_packets;
           lost = true;
           p = data_at + b + 1;  // loss detected at the end of this packet
+          break;
+        }
+        if (corrupt.enabled() && corrupt.NextCorrupted()) {
+          ++out.corrupted_packets;
+          corrupted_here = true;
+          lost = true;
+          p = data_at + b + 1;  // CRC failure at the end of this packet
           break;
         }
       }
@@ -256,7 +376,11 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
         e.pos = data_at;
         e.packet = bucket_read;
         trace_out->events.push_back(e);
-        if (lost) emit_read(TraceEventKind::kLoss, data_at + bucket_read - 1);
+        if (lost) {
+          emit_read(corrupted_here ? TraceEventKind::kCorruption
+                                   : TraceEventKind::kLoss,
+                    data_at + bucket_read - 1);
+        }
       }
       if (!lost) {
         const int64_t done = data_at + bucket_packets_;
@@ -267,10 +391,7 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
     }
     pos = p;  // re-tune: the next attempt starts after the failed read
   }
-  out.unrecoverable = true;
-  out.latency = static_cast<double>(pos) - arrival;
-  finish();
-  return out;
+  return conclude(pos, GiveUpStage::kRetryBudget);
 }
 
 BroadcastChannel::QueryOutcome BroadcastChannel::SimulateNoIndex(

@@ -30,6 +30,18 @@ namespace dtree::bcast {
 
 struct QueryTrace;  // broadcast/trace.h
 
+/// Which rung of the degradation ladder a query gave up on (kNone while
+/// the query succeeded). Always set when QueryOutcome::unrecoverable.
+enum class GiveUpStage : uint8_t {
+  kNone = 0,          ///< query completed
+  kProbeBudget,       ///< every initial-probe read failed
+  kRetryBudget,       ///< re-tune budget exhausted, fallback disabled
+  kFallbackBudget,    ///< linear-scan fallback also exhausted its cycles
+};
+
+/// Stable human-readable name for a GiveUpStage.
+const char* GiveUpStageName(GiveUpStage stage);
+
 struct ChannelOptions {
   int packet_capacity = 0;             ///< required, > 0
   size_t data_instance_size = kDataInstanceSize;
@@ -78,9 +90,15 @@ class BroadcastChannel {
                                  ///< partial buckets cut short by a loss
     int retries = 0;             ///< failed attempts that forced a re-tune
                                  ///< to a later index repetition
-    int lost_packets = 0;        ///< reads that arrived lost/corrupted
-    bool unrecoverable = false;  ///< retry budget exhausted; latency then
-                                 ///< measures time until giving up
+    int lost_packets = 0;        ///< reads that never arrived (erasures)
+    int corrupted_packets = 0;   ///< delivered reads whose CRC check
+                                 ///< failed (bit corruption)
+    bool fallback_scan = false;  ///< the client exhausted its retries and
+                                 ///< fell back to linearly scanning the
+                                 ///< broadcast for its bucket
+    bool unrecoverable = false;  ///< every ladder rung exhausted; latency
+                                 ///< then measures time until giving up
+    GiveUpStage give_up = GiveUpStage::kNone;  ///< which rung gave up
     int tuning_total() const {
       return tuning_probe + tuning_index + tuning_data;
     }
@@ -90,13 +108,18 @@ class BroadcastChannel {
   /// time `arrival` in [0, cycle) whose index search produced `trace`.
   ///
   /// When ChannelOptions::loss is enabled, each packet read may be lost;
-  /// the client then recovers per the (1, m) protocol: it re-tunes to the
-  /// next index repetition and restarts the index search there, charging
-  /// the extra wait to latency and the re-read packets to tuning time,
-  /// for at most loss.max_retries re-tunes. `loss_stream` keys the
-  /// query's private loss sub-streams (pass the query's global index);
-  /// the outcome is a pure function of (channel, trace, arrival,
-  /// loss_stream).
+  /// when loss.corruption is enabled, each *delivered* read may carry bit
+  /// errors, which the CRC-32 frame trailer detects (counted separately
+  /// in corrupted_packets). Either failure drives the degradation ladder:
+  /// retry the probe / re-tune to the next index repetition and restart
+  /// the index search there, for at most loss.max_retries re-tunes; then,
+  /// if loss.fallback_scan_cycles > 0, abandon the index and linearly
+  /// scan the broadcast for the bucket for at most that many cycles;
+  /// only then report unrecoverable (with the rung in give_up). The
+  /// client therefore always terminates with an answer or an explicit
+  /// failure. `loss_stream` keys the query's private fault sub-streams
+  /// (pass the query's global index); the outcome is a pure function of
+  /// (channel, trace, arrival, loss_stream).
   ///
   /// `trace_out` is the observability hook (broadcast/trace.h): when
   /// non-null, every probe / doze / index-read / bucket-read / loss /
@@ -131,6 +154,9 @@ class BroadcastChannel {
   int bucket_packets_ = 0;
   int64_t data_packets_ = 0;
   int64_t cycle_packets_ = 0;
+  /// Framed packet size in bits (payload + CRC trailer); the exposure of
+  /// one packet read to the bit-corruption process.
+  int frame_bits_ = 0;
   /// First data-bucket id of each of the m data chunks (size m + 1,
   /// chunk_first_[m] == num_regions).
   std::vector<int> chunk_first_;

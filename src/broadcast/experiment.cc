@@ -29,7 +29,9 @@ struct ShardSums {
   double tuning_noindex = 0.0;
   int64_t retries = 0;
   int64_t lost_packets = 0;
+  int64_t corrupted_packets = 0;
   int64_t unrecoverable = 0;
+  int64_t fallback = 0;
   MetricsRegistry metrics;
   /// Buffered per-query traces (trace_sink set only); replayed to the
   /// sink in shard order == global query order after the parallel run.
@@ -155,6 +157,7 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
     Histogram* h_tuning_total = sums.metrics.histogram(kTuningTotalHist);
     Histogram* h_retries = sums.metrics.histogram(kRetriesHist);
     Histogram* h_lost = sums.metrics.histogram(kLostPacketsHist);
+    Histogram* h_corrupted = sums.metrics.histogram(kCorruptedPacketsHist);
     const bool tracing = options.trace_sink != nullptr;
     if (tracing) sums.traces.reserve(static_cast<size_t>(shard_queries));
     for (int q = 0; q < shard_queries; ++q) {
@@ -202,12 +205,15 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
       sums.tuning_total += out.tuning_total();
       sums.retries += out.retries;
       sums.lost_packets += out.lost_packets;
+      sums.corrupted_packets += out.corrupted_packets;
       if (out.unrecoverable) ++sums.unrecoverable;
+      if (out.fallback_scan) ++sums.fallback;
       h_latency->Add(out.latency);
       h_tuning_index->Add(out.tuning_index);
       h_tuning_total->Add(out.tuning_total());
       h_retries->Add(out.retries);
       h_lost->Add(out.lost_packets);
+      h_corrupted->Add(out.corrupted_packets);
 
       const auto base = ch.SimulateNoIndex(trace.region, arrival);
       sums.tuning_noindex += base.tuning_total();
@@ -226,7 +232,9 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
   double sum_tuning_noindex = 0.0;
   int64_t sum_retries = 0;
   int64_t sum_lost = 0;
+  int64_t sum_corrupted = 0;
   int64_t sum_unrecoverable = 0;
+  int64_t sum_fallback = 0;
   MetricsRegistry merged;
   for (const ShardSums& sums : shards) {
     if (!sums.error.ok()) return sums.error;
@@ -236,7 +244,9 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
     sum_tuning_noindex += sums.tuning_noindex;
     sum_retries += sums.retries;
     sum_lost += sums.lost_packets;
+    sum_corrupted += sums.corrupted_packets;
     sum_unrecoverable += sums.unrecoverable;
+    sum_fallback += sums.fallback;
     merged.MergeOrdered(sums.metrics);
   }
 
@@ -275,9 +285,12 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
       static_cast<double>(options.data_instance_size);
   res.normalized_index_size = static_cast<double>(res.index_bytes) / db_bytes;
   res.total_retries = sum_retries;
+  res.total_corrupted_packets = sum_corrupted;
   res.unrecoverable_queries = sum_unrecoverable;
+  res.fallback_queries = sum_fallback;
   res.mean_retries = static_cast<double>(sum_retries) / n;
   res.mean_lost_packets = static_cast<double>(sum_lost) / n;
+  res.mean_corrupted_packets = static_cast<double>(sum_corrupted) / n;
   res.min_latency = merged.histogram(kLatencyHist)->Min();
   res.max_latency = merged.histogram(kLatencyHist)->Max();
   res.min_tuning_total = merged.histogram(kTuningTotalHist)->Min();

@@ -73,6 +73,7 @@ inline constexpr char kTuningIndexHist[] = "tuning_index";
 inline constexpr char kTuningTotalHist[] = "tuning_total";
 inline constexpr char kRetriesHist[] = "retries";
 inline constexpr char kLostPacketsHist[] = "lost_packets";
+inline constexpr char kCorruptedPacketsHist[] = "corrupted_packets";
 
 /// Draws query points for a distribution; precomputes the cumulative
 /// weight table once so skewed loads sample in O(log N), and materializes
@@ -129,9 +130,13 @@ struct ExperimentResult {
   // disabled (or never fires). Unrecoverable queries stay included in the
   // mean latency/tuning (their latency measures time until giving up).
   double mean_retries = 0.0;            ///< re-tunes per query
-  double mean_lost_packets = 0.0;       ///< lost/corrupted reads per query
+  double mean_lost_packets = 0.0;       ///< erased reads per query
+  double mean_corrupted_packets = 0.0;  ///< CRC-rejected reads per query
   int64_t total_retries = 0;
+  int64_t total_corrupted_packets = 0;
   int64_t unrecoverable_queries = 0;
+  /// Queries answered (or abandoned) through the fallback linear scan.
+  int64_t fallback_queries = 0;
 
   // Distribution statistics. The means above describe the average client;
   // a mobile client's energy budget is set by the tail, so the driver
@@ -145,7 +150,8 @@ struct ExperimentResult {
   double min_tuning_total = 0.0;        ///< packets, exact
   double max_tuning_total = 0.0;
   /// Per-query distributions: kLatencyHist, kTuningIndexHist,
-  /// kTuningTotalHist, kRetriesHist, kLostPacketsHist.
+  /// kTuningTotalHist, kRetriesHist, kLostPacketsHist,
+  /// kCorruptedPacketsHist.
   MetricsRegistry metrics;
 };
 

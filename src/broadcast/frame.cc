@@ -1,0 +1,183 @@
+#include "broadcast/frame.h"
+
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+#include "common/crc32.h"
+
+namespace dtree::bcast {
+
+namespace {
+
+uint32_t FrameTrailer(const std::vector<uint8_t>& frame) {
+  const size_t n = frame.size();
+  return static_cast<uint32_t>(frame[n - 4]) |
+         static_cast<uint32_t>(frame[n - 3]) << 8 |
+         static_cast<uint32_t>(frame[n - 2]) << 16 |
+         static_cast<uint32_t>(frame[n - 1]) << 24;
+}
+
+}  // namespace
+
+uint32_t EncodeDataPointer(int region) {
+  DTREE_DCHECK(region >= 0);
+  return kDataPtrBit | static_cast<uint32_t>(region);
+}
+
+uint32_t EncodeNodePointer(int packet, size_t offset) {
+  DTREE_DCHECK(offset <= kOffsetMask);
+  DTREE_DCHECK(packet < (1 << kPacketBits));
+  return (static_cast<uint32_t>(packet) << kOffsetBits) |
+         static_cast<uint32_t>(offset);
+}
+
+std::vector<std::vector<uint8_t>> FramePackets(
+    const std::vector<std::vector<uint8_t>>& packets) {
+  std::vector<std::vector<uint8_t>> frames;
+  frames.reserve(packets.size());
+  for (const std::vector<uint8_t>& pkt : packets) {
+    std::vector<uint8_t> frame = pkt;
+    const uint32_t crc = Crc32(pkt);
+    for (int i = 0; i < 4; ++i) {
+      frame.push_back(static_cast<uint8_t>((crc >> (8 * i)) & 0xff));
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+Status VerifyFrame(const std::vector<uint8_t>& frame) {
+  if (frame.size() < kFrameCrcBytes) {
+    return Status::DataLoss("frame shorter than its CRC trailer");
+  }
+  const size_t payload = frame.size() - kFrameCrcBytes;
+  if (Crc32(frame.data(), payload) != FrameTrailer(frame)) {
+    return Status::DataLoss("frame failed its CRC check");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<uint8_t>>> UnframePackets(
+    const std::vector<std::vector<uint8_t>>& frames) {
+  std::vector<std::vector<uint8_t>> packets;
+  packets.reserve(frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    Status s = VerifyFrame(frames[i]);
+    if (!s.ok()) {
+      return Status::DataLoss("packet " + std::to_string(i) + ": " +
+                              s.message());
+    }
+    packets.emplace_back(frames[i].begin(),
+                         frames[i].end() - kFrameCrcBytes);
+  }
+  return packets;
+}
+
+void FlipBit(std::vector<uint8_t>* frame, size_t bit) {
+  DTREE_CHECK(bit / 8 < frame->size());
+  (*frame)[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
+uint8_t ExpectedDataBucketByte(int region, size_t j) {
+  // Cheap byte mixer: distinct regions get visibly distinct streams, and
+  // any single-byte swap between buckets is detectable.
+  uint64_t v = (static_cast<uint64_t>(region) + 1) * 0x9e3779b97f4a7c15ull +
+               static_cast<uint64_t>(j) * 0xbf58476d1ce4e5b9ull;
+  v ^= v >> 31;
+  return static_cast<uint8_t>(v & 0xff);
+}
+
+std::vector<std::vector<uint8_t>> MakeDataBucketPackets(
+    int region, size_t data_instance_size, int packet_capacity) {
+  DTREE_CHECK(packet_capacity > 0);
+  const size_t cap = static_cast<size_t>(packet_capacity);
+  const size_t num_packets = (data_instance_size + cap - 1) / cap;
+  std::vector<std::vector<uint8_t>> packets(num_packets,
+                                            std::vector<uint8_t>(cap, 0));
+  for (size_t j = 0; j < data_instance_size; ++j) {
+    packets[j / cap][j % cap] = ExpectedDataBucketByte(region, j);
+  }
+  return packets;
+}
+
+Status PacketReader::ReadU16(uint16_t* out) {
+  uint8_t lo, hi;
+  DTREE_RETURN_IF_ERROR(ReadByte(&lo));
+  DTREE_RETURN_IF_ERROR(ReadByte(&hi));
+  *out = static_cast<uint16_t>(lo) | static_cast<uint16_t>(hi) << 8;
+  return Status::OK();
+}
+
+Status PacketReader::ReadU32(uint32_t* out) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    uint8_t b;
+    DTREE_RETURN_IF_ERROR(ReadByte(&b));
+    v |= static_cast<uint32_t>(b) << (8 * i);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status PacketReader::ReadF32(float* out) {
+  uint32_t bits;
+  DTREE_RETURN_IF_ERROR(ReadU32(&bits));
+  std::memcpy(out, &bits, sizeof(*out));
+  return Status::OK();
+}
+
+Status PacketReader::ReadByte(uint8_t* out) {
+  if (!entered_) DTREE_RETURN_IF_ERROR(EnterPacket());
+  if (offset_ == static_cast<size_t>(capacity_)) {
+    ++packet_;
+    offset_ = 0;
+    DTREE_RETURN_IF_ERROR(EnterPacket());
+  }
+  *out = packets_[packet_][offset_];
+  ++offset_;
+  return Status::OK();
+}
+
+Status PacketReader::EnterPacket() {
+  entered_ = true;
+  if (packet_ < 0 || packet_ >= static_cast<int>(packets_.size())) {
+    return Status::OutOfRange("decoder ran off the packet stream");
+  }
+  const std::vector<uint8_t>& pkt = packets_[packet_];
+  const size_t expect = static_cast<size_t>(capacity_) +
+                        (framed_ ? kFrameCrcBytes : 0);
+  if (pkt.size() != expect) {
+    return Status::DataLoss("packet " + std::to_string(packet_) + " is " +
+                            std::to_string(pkt.size()) +
+                            " bytes, expected " + std::to_string(expect));
+  }
+  if (framed_ &&
+      Crc32(pkt.data(), static_cast<size_t>(capacity_)) !=
+          FrameTrailer(pkt)) {
+    return Status::DataLoss("packet " + std::to_string(packet_) +
+                            " failed its CRC check");
+  }
+  if (offset_ > static_cast<size_t>(capacity_)) {
+    return Status::DataLoss("read offset " + std::to_string(offset_) +
+                            " outside packet " + std::to_string(packet_));
+  }
+  if (read_log_ != nullptr &&
+      (read_log_->empty() || read_log_->back() != packet_)) {
+    read_log_->push_back(packet_);
+  }
+  return Status::OK();
+}
+
+void PacketCursor::Write(const std::vector<uint8_t>& bytes) {
+  for (uint8_t b : bytes) {
+    if (offset_ == static_cast<size_t>(capacity_)) {
+      ++packet_;
+      offset_ = 0;
+    }
+    DTREE_CHECK(packet_ < static_cast<int>(packets_->size()));
+    (*packets_)[packet_][offset_++] = b;
+  }
+}
+
+}  // namespace dtree::bcast

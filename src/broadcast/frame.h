@@ -1,0 +1,151 @@
+// Link-layer packet framing and hardened byte access shared by every air
+// index (D-tree, Kirkpatrick, trapezoidal map, R*-tree) and by data
+// buckets.
+//
+// A broadcast packet is `packet_capacity` payload bytes; FramePackets
+// appends a little-endian CRC-32 of the payload (the frame check
+// sequence), exactly as a radio FCS rides outside the MAC payload. The
+// framed decoders verify the CRC the first time they touch a packet, so a
+// corrupted frame surfaces as Status kDataLoss — the signal the client
+// protocol uses to trigger re-tune recovery — rather than silently
+// misrouting the query. CRC-32 detects every burst of <= 32 bits and any
+// 1-3 bit error; the residual undetected-error probability (~2^-32 for
+// random corruption) is treated as zero by the simulator.
+//
+// The shared packet-pointer wire encoding (Table 2's 32-bit pointers):
+//   bit31        1 = data pointer, low 31 bits are the region (bucket) id
+//   bits12..30   packet id   \  0 = node pointer into the index segment
+//   bits0..11    byte offset /
+//
+// PacketReader is the hardened read path: every byte is bounds-checked
+// against the actual packet vector (never the caller-claimed capacity
+// alone), truncated or oversized packets surface as kDataLoss, and in
+// framed mode each packet's CRC is verified on first entry. Decoders built
+// on it return Status on malformed input — never CHECK-crash, read out of
+// bounds, or loop forever (see DecodeBudget).
+
+#ifndef DTREE_BROADCAST_FRAME_H_
+#define DTREE_BROADCAST_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dtree::bcast {
+
+/// Bytes the CRC-32 frame trailer adds to each packet.
+inline constexpr size_t kFrameCrcBytes = 4;
+
+/// Packet-pointer field layout (shared by all index wire formats).
+inline constexpr uint32_t kDataPtrBit = 0x80000000u;
+inline constexpr int kOffsetBits = 12;
+inline constexpr uint32_t kOffsetMask = (1u << kOffsetBits) - 1;
+inline constexpr int kPacketBits = 19;
+
+/// Region id stored in a data pointer to mean "outside the service area".
+inline constexpr uint32_t kOutsideRegionPtr = kDataPtrBit | ~kDataPtrBit;
+
+uint32_t EncodeDataPointer(int region);
+uint32_t EncodeNodePointer(int packet, size_t offset);
+inline bool IsDataPointer(uint32_t ptr) { return (ptr & kDataPtrBit) != 0; }
+inline int DataPointerRegion(uint32_t ptr) {
+  return static_cast<int>(ptr & ~kDataPtrBit);
+}
+inline int NodePointerPacket(uint32_t ptr) {
+  return static_cast<int>(ptr >> kOffsetBits);
+}
+inline size_t NodePointerOffset(uint32_t ptr) { return ptr & kOffsetMask; }
+
+/// Hard budget on node/shape decodes for one query over untrusted bytes.
+/// A correct descent reads far fewer nodes than this; corrupted pointers
+/// that happen to form a cycle hit the budget and fail with kDataLoss
+/// instead of looping forever.
+inline int DecodeBudget(size_t num_packets) {
+  return static_cast<int>(16 * num_packets) + 1024;
+}
+
+/// Link-layer framing: appends a little-endian CRC-32 of each packet's
+/// payload. Framed packets are `payload + kFrameCrcBytes` bytes; the index
+/// layout itself is untouched.
+std::vector<std::vector<uint8_t>> FramePackets(
+    const std::vector<std::vector<uint8_t>>& packets);
+
+/// Verifies one framed packet's CRC; kDataLoss on mismatch or short frame.
+Status VerifyFrame(const std::vector<uint8_t>& frame);
+
+/// Verifies and strips every frame; kDataLoss identifies the first
+/// corrupted packet by id.
+Result<std::vector<std::vector<uint8_t>>> UnframePackets(
+    const std::vector<std::vector<uint8_t>>& frames);
+
+/// Flips one bit (0 = LSB of byte 0) in place. Test/bench helper for
+/// injecting the bit errors the corruption model represents.
+void FlipBit(std::vector<uint8_t>* frame, size_t bit);
+
+/// Deterministic synthetic payload for one data bucket, split into
+/// `ceil(data_instance_size / packet_capacity)` packets of exactly
+/// `packet_capacity` bytes (zero-padded). Byte j of the instance is
+/// ExpectedDataBucketByte(region, j), so a client can verify — after the
+/// CRC passes — that a linearly-scanned bucket really is the one it
+/// wanted.
+std::vector<std::vector<uint8_t>> MakeDataBucketPackets(
+    int region, size_t data_instance_size, int packet_capacity);
+uint8_t ExpectedDataBucketByte(int region, size_t j);
+
+/// Sequential reader over consecutive packets, hardened for untrusted
+/// input: every byte is bounds-checked against the actual packet vector
+/// (never the caller-claimed capacity alone), truncated packets surface
+/// as kDataLoss, and in framed mode each packet's CRC-32 trailer is
+/// verified the first time the reader enters it.
+class PacketReader {
+ public:
+  PacketReader(const std::vector<std::vector<uint8_t>>& packets, int capacity,
+               bool framed, int packet, size_t offset,
+               std::vector<int>* read_log)
+      : packets_(packets), capacity_(capacity), framed_(framed),
+        packet_(packet), offset_(offset), read_log_(read_log) {}
+
+  Status ReadU16(uint16_t* out);
+  Status ReadU32(uint32_t* out);
+  Status ReadF32(float* out);
+
+ private:
+  Status ReadByte(uint8_t* out);
+
+  /// Validates the packet the reader is about to consume: it must exist,
+  /// carry exactly the advertised capacity (+ trailer when framed), and in
+  /// framed mode its CRC must match. Also appends it to the read log.
+  Status EnterPacket();
+
+  const std::vector<std::vector<uint8_t>>& packets_;
+  int capacity_;
+  bool framed_;
+  int packet_;
+  size_t offset_;
+  std::vector<int>* read_log_;
+  bool entered_ = false;
+};
+
+/// Sequential byte sink that spills across consecutive packets.
+/// Serialization-side counterpart of PacketReader; the packet vector is
+/// trusted (we are building it), so overruns are CHECK-failures.
+class PacketCursor {
+ public:
+  PacketCursor(std::vector<std::vector<uint8_t>>* packets, int capacity,
+               int packet, size_t offset)
+      : packets_(packets), capacity_(capacity), packet_(packet),
+        offset_(offset) {}
+
+  void Write(const std::vector<uint8_t>& bytes);
+
+ private:
+  std::vector<std::vector<uint8_t>>* packets_;
+  int capacity_;
+  int packet_;
+  size_t offset_;
+};
+
+}  // namespace dtree::bcast
+
+#endif  // DTREE_BROADCAST_FRAME_H_

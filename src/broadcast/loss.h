@@ -39,6 +39,43 @@ enum class LossModel {
   kGilbertElliott,
 };
 
+/// Bit-error models for *delivered* packets. A lost packet never arrives;
+/// a corrupted one arrives with flipped bits, and the CRC-32 frame trailer
+/// (broadcast/frame.h) is what turns that into a detectable kDataLoss
+/// instead of a silently misrouted pointer chase. The simulator therefore
+/// models corruption at packet granularity: a frame of b bits read under
+/// bit-error rate e is corrupted with probability 1 - (1 - e)^b (CRC-32's
+/// residual undetected-error probability, ~2^-32, is treated as zero).
+enum class CorruptionModel {
+  kNone,
+  /// Every bit of a delivered frame flips independently with probability
+  /// `bit_error_rate`.
+  kIidBits,
+  /// Two-state Markov fading over *bit*-error rates: `ber_good` /
+  /// `ber_bad` per state, state switching per packet read with
+  /// `p_good_to_bad` / `p_bad_to_good`. Models burst bit errors.
+  kBurstBits,
+};
+
+struct CorruptionOptions {
+  CorruptionModel model = CorruptionModel::kNone;
+  /// kIidBits: per-bit flip probability in [0, 1].
+  double bit_error_rate = 0.0;
+  /// kBurstBits parameters; probabilities in [0, 1] and the two
+  /// transition probabilities must not both be zero.
+  double p_good_to_bad = 0.05;
+  double p_bad_to_good = 0.5;
+  double ber_good = 0.0;
+  double ber_bad = 1e-3;
+  /// Corruption-process seed. Independent of both the query-stream seed
+  /// and the loss seed: the corruption process draws from its own RNG
+  /// sub-streams, so enabling it never perturbs a single loss draw (and
+  /// a disabled or zero-rate model is bit-identical to today).
+  uint64_t seed = 0;
+
+  bool enabled() const { return model != CorruptionModel::kNone; }
+};
+
 struct LossOptions {
   LossModel model = LossModel::kNone;
   /// kIid: per-packet loss probability in [0, 1].
@@ -55,12 +92,26 @@ struct LossOptions {
   /// Failed attempts a client tolerates before giving up; the protocol
   /// runs at most max_retries + 1 attempts. Must be >= 0.
   int max_retries = 16;
+  /// Bit-corruption model applied to *delivered* packets (on top of, and
+  /// independent from, the erasure model above).
+  CorruptionOptions corruption;
+  /// Degradation ladder, final rung: after the retry budget is exhausted
+  /// the client may abandon the index and linearly scan the broadcast for
+  /// its data bucket, for at most this many scan cycles, before reporting
+  /// `unrecoverable`. 0 (the default) disables the fallback and preserves
+  /// the pre-existing give-up behavior bit-for-bit.
+  int fallback_scan_cycles = 0;
 
   bool enabled() const { return model != LossModel::kNone; }
+  /// Any fault process active (erasures or bit corruption)?
+  bool any_fault() const { return enabled() || corruption.enabled(); }
 };
 
 /// Validates ranges; called by BroadcastChannel::Create.
 Status ValidateLossOptions(const LossOptions& options);
+
+/// Validates ranges; called by ValidateLossOptions.
+Status ValidateCorruptionOptions(const CorruptionOptions& options);
 
 /// Per-query loss process. Construct with the query's stream id, call
 /// StartStream at each protocol phase (kProbeStream for the initial probe,
@@ -70,6 +121,11 @@ class LossProcess {
   static constexpr uint64_t kProbeStream = 0;
   static constexpr uint64_t AttemptStream(int attempt) {
     return static_cast<uint64_t>(attempt) + 1;
+  }
+  /// Sub-stream for fallback-scan cycle k. Offset far above any attempt
+  /// stream so the two families can never collide.
+  static constexpr uint64_t FallbackStream(int cycle) {
+    return (uint64_t{1} << 32) + static_cast<uint64_t>(cycle);
   }
 
   LossProcess(const LossOptions& options, uint64_t query_stream)
@@ -96,6 +152,39 @@ class LossProcess {
   uint64_t query_key_;
   Rng rng_;
   bool bad_ = false;  ///< kGilbertElliott channel state
+};
+
+/// Per-query bit-corruption process, mirroring LossProcess but drawing
+/// from its own RNG streams (keyed by the corruption seed) so the two
+/// fault processes are statistically and bit-wise independent. Construct
+/// with the framed packet size in bits; NextCorrupted() draws once per
+/// *delivered* packet read and reports whether the frame arrived with at
+/// least one flipped bit (which the CRC then detects).
+class CorruptionProcess {
+ public:
+  CorruptionProcess(const CorruptionOptions& options, int frame_bits,
+                    uint64_t query_stream);
+
+  bool enabled() const { return options_.enabled(); }
+
+  /// Re-keys onto an independent sub-stream; same stream ids as
+  /// LossProcess (kProbeStream / AttemptStream / FallbackStream). For
+  /// kBurstBits the fade state is redrawn from its stationary
+  /// distribution.
+  void StartStream(uint64_t stream);
+
+  /// Whether the next delivered frame carries bit errors. Never true when
+  /// the model is kNone; draws nothing when disabled.
+  bool NextCorrupted();
+
+ private:
+  CorruptionOptions options_;
+  uint64_t query_key_;
+  Rng rng_;
+  bool bad_ = false;        ///< kBurstBits fade state
+  double p_frame_ = 0.0;      ///< kIidBits: per-frame corruption probability
+  double p_frame_good_ = 0.0; ///< kBurstBits per-state frame probabilities
+  double p_frame_bad_ = 0.0;
 };
 
 }  // namespace dtree::bcast

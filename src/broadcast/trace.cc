@@ -22,6 +22,10 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "loss";
     case TraceEventKind::kRetune:
       return "retune";
+    case TraceEventKind::kCorruption:
+      return "corruption_detected";
+    case TraceEventKind::kFallbackScan:
+      return "fallback_scan";
   }
   return "?";
 }
@@ -71,6 +75,8 @@ std::string FormatQueryTraceJson(const QueryTrace& trace,
           trace.latency);
   AppendF(&out, ", \"tuning\": %d, \"retries\": %d, \"lost\": %d",
           trace.tuning_total, trace.retries, trace.lost_packets);
+  AppendF(&out, ", \"corrupted\": %d, \"fallback\": %s",
+          trace.corrupted_packets, trace.fallback_scan ? "true" : "false");
   AppendF(&out, ", \"unrecoverable\": %s",
           trace.unrecoverable ? "true" : "false");
   out += ", \"events\": [";
@@ -95,8 +101,12 @@ std::string FormatQueryTraceJson(const QueryTrace& trace,
       case TraceEventKind::kRetune:
         AppendF(&out, ", \"attempt\": %d", e.attempt);
         break;
+      case TraceEventKind::kFallbackScan:
+        AppendF(&out, ", \"n\": %d, \"attempt\": %d", e.packet, e.attempt);
+        break;
       case TraceEventKind::kProbe:
       case TraceEventKind::kLoss:
+      case TraceEventKind::kCorruption:
         break;
     }
     out.push_back('}');
@@ -170,8 +180,14 @@ void CycleProfiler::Consume(const QueryTrace& trace) {
       case TraceEventKind::kBucketRead:
         BinPosition(e.pos, e.packet);
         break;
+      case TraceEventKind::kFallbackScan:
+        // Packets listened to while scanning for the bucket: awake time,
+        // binned like any other read.
+        BinPosition(e.pos, e.packet);
+        break;
       case TraceEventKind::kLoss:
       case TraceEventKind::kRetune:
+      case TraceEventKind::kCorruption:
         break;
     }
   }

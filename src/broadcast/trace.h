@@ -21,9 +21,15 @@
 //                 -1 otherwise.
 //   kBucketRead — data-bucket read; packet = number of consecutive
 //                 packets read (one event per retrieval, not per packet).
-//   kLoss       — the immediately preceding read arrived lost/corrupted.
+//   kLoss       — the immediately preceding read never arrived (erasure).
 //   kRetune     — recovery: the client re-tunes to the next index
 //                 repetition; attempt = 1-based retry number.
+//   kCorruption — the immediately preceding read was delivered with bit
+//                 errors and failed its CRC-32 frame check.
+//   kFallbackScan — degradation-ladder fallback: the client abandoned the
+//                 index and linearly scans for its bucket; pos = scan
+//                 start, packet = packets listened to before the bucket,
+//                 attempt = 0-based scan cycle.
 
 #ifndef DTREE_BROADCAST_TRACE_H_
 #define DTREE_BROADCAST_TRACE_H_
@@ -44,10 +50,13 @@ enum class TraceEventKind : uint8_t {
   kBucketRead,
   kLoss,
   kRetune,
+  kCorruption,
+  kFallbackScan,
 };
 
 /// Short stable name used in the JSONL encoding ("probe", "doze",
-/// "index", "bucket", "loss", "retune").
+/// "index", "bucket", "loss", "retune", "corruption_detected",
+/// "fallback_scan").
 const char* TraceEventKindName(TraceEventKind kind);
 
 struct TraceEvent {
@@ -55,10 +64,12 @@ struct TraceEvent {
   int64_t pos = 0;    ///< absolute packet position within the broadcast
   double dur = 0.0;   ///< kDoze: packets slept
   int packet = -1;    ///< kIndexRead: index packet id;
-                      ///< kBucketRead: packets read
+                      ///< kBucketRead: packets read;
+                      ///< kFallbackScan: packets listened to while scanning
   int node = -1;      ///< kIndexRead: originating tree node, -1 unknown
   int depth = -1;     ///< kIndexRead: tree depth of that node, -1 unknown
-  int attempt = 0;    ///< kRetune: 1-based retry number
+  int attempt = 0;    ///< kRetune: 1-based retry number;
+                      ///< kFallbackScan: 0-based scan cycle
 };
 
 /// Everything observable about one simulated query.
@@ -73,6 +84,8 @@ struct QueryTrace {
   int tuning_total = 0;
   int retries = 0;
   int lost_packets = 0;
+  int corrupted_packets = 0;
+  bool fallback_scan = false;
   bool unrecoverable = false;
   std::vector<TraceEvent> events;
 };

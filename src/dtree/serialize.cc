@@ -12,150 +12,13 @@ namespace dtree::core {
 
 namespace {
 
-constexpr uint32_t kDataPtrBit = 0x80000000u;
-constexpr int kOffsetBits = 12;
-constexpr uint32_t kOffsetMask = (1u << kOffsetBits) - 1;
-constexpr int kPacketBits = 19;
+using bcast::kDataPtrBit;
+using bcast::kOffsetBits;
+using bcast::kOffsetMask;
+using bcast::kPacketBits;
+using bcast::PacketReader;
+
 constexpr int kMaxScalarCoords = (1 << 14) - 1;
-
-uint32_t EncodeDataPtr(int region) {
-  return kDataPtrBit | static_cast<uint32_t>(region);
-}
-
-uint32_t EncodeNodePtr(int packet, size_t offset) {
-  DTREE_DCHECK(offset <= kOffsetMask);
-  DTREE_DCHECK(packet < (1 << kPacketBits));
-  return (static_cast<uint32_t>(packet) << kOffsetBits) |
-         static_cast<uint32_t>(offset);
-}
-
-/// Sequential byte sink that spills across consecutive packets.
-class PacketCursor {
- public:
-  PacketCursor(std::vector<std::vector<uint8_t>>* packets, int capacity,
-               int packet, size_t offset)
-      : packets_(packets), capacity_(capacity), packet_(packet),
-        offset_(offset) {}
-
-  void Write(const std::vector<uint8_t>& bytes) {
-    for (uint8_t b : bytes) {
-      if (offset_ == static_cast<size_t>(capacity_)) {
-        ++packet_;
-        offset_ = 0;
-      }
-      DTREE_CHECK(packet_ < static_cast<int>(packets_->size()));
-      (*packets_)[packet_][offset_++] = b;
-    }
-  }
-
- private:
-  std::vector<std::vector<uint8_t>>* packets_;
-  int capacity_;
-  int packet_;
-  size_t offset_;
-};
-
-uint32_t FrameTrailer(const std::vector<uint8_t>& frame) {
-  const size_t n = frame.size();
-  return static_cast<uint32_t>(frame[n - 4]) |
-         static_cast<uint32_t>(frame[n - 3]) << 8 |
-         static_cast<uint32_t>(frame[n - 2]) << 16 |
-         static_cast<uint32_t>(frame[n - 1]) << 24;
-}
-
-/// Sequential reader over consecutive packets, hardened for untrusted
-/// input: every byte is bounds-checked against the actual packet vector
-/// (never the caller-claimed capacity alone), truncated packets surface
-/// as kDataLoss, and in framed mode each packet's CRC-32 trailer is
-/// verified the first time the reader enters it.
-class PacketReader {
- public:
-  PacketReader(const std::vector<std::vector<uint8_t>>& packets, int capacity,
-               bool framed, int packet, size_t offset,
-               std::vector<int>* read_log)
-      : packets_(packets), capacity_(capacity), framed_(framed),
-        packet_(packet), offset_(offset), read_log_(read_log) {}
-
-  Status ReadU16(uint16_t* out) {
-    uint8_t lo, hi;
-    DTREE_RETURN_IF_ERROR(ReadByte(&lo));
-    DTREE_RETURN_IF_ERROR(ReadByte(&hi));
-    *out = static_cast<uint16_t>(lo) | static_cast<uint16_t>(hi) << 8;
-    return Status::OK();
-  }
-
-  Status ReadU32(uint32_t* out) {
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      uint8_t b;
-      DTREE_RETURN_IF_ERROR(ReadByte(&b));
-      v |= static_cast<uint32_t>(b) << (8 * i);
-    }
-    *out = v;
-    return Status::OK();
-  }
-
-  Status ReadF32(float* out) {
-    uint32_t bits;
-    DTREE_RETURN_IF_ERROR(ReadU32(&bits));
-    std::memcpy(out, &bits, sizeof(*out));
-    return Status::OK();
-  }
-
- private:
-  Status ReadByte(uint8_t* out) {
-    if (!entered_) DTREE_RETURN_IF_ERROR(EnterPacket());
-    if (offset_ == static_cast<size_t>(capacity_)) {
-      ++packet_;
-      offset_ = 0;
-      DTREE_RETURN_IF_ERROR(EnterPacket());
-    }
-    *out = packets_[packet_][offset_];
-    ++offset_;
-    return Status::OK();
-  }
-
-  /// Validates the packet the reader is about to consume: it must exist,
-  /// carry exactly the advertised capacity (+ trailer when framed), and in
-  /// framed mode its CRC must match. Also appends it to the read log.
-  Status EnterPacket() {
-    entered_ = true;
-    if (packet_ >= static_cast<int>(packets_.size())) {
-      return Status::OutOfRange("decoder ran off the packet stream");
-    }
-    const std::vector<uint8_t>& pkt = packets_[packet_];
-    const size_t expect = static_cast<size_t>(capacity_) +
-                          (framed_ ? kFrameCrcBytes : 0);
-    if (pkt.size() != expect) {
-      return Status::DataLoss("packet " + std::to_string(packet_) + " is " +
-                              std::to_string(pkt.size()) +
-                              " bytes, expected " + std::to_string(expect));
-    }
-    if (framed_ &&
-        Crc32(pkt.data(), static_cast<size_t>(capacity_)) !=
-            FrameTrailer(pkt)) {
-      return Status::DataLoss("packet " + std::to_string(packet_) +
-                              " failed its CRC check");
-    }
-    if (offset_ > static_cast<size_t>(capacity_)) {
-      return Status::DataLoss("read offset " + std::to_string(offset_) +
-                              " outside packet " + std::to_string(packet_));
-    }
-    if (read_log_ != nullptr &&
-        (read_log_->empty() || read_log_->back() != packet_)) {
-      read_log_->push_back(packet_);
-    }
-    return Status::OK();
-  }
-
-  const std::vector<std::vector<uint8_t>>& packets_;
-  int capacity_;
-  bool framed_;
-  int packet_;
-  size_t offset_;
-  std::vector<int>* read_log_;
-  bool entered_ = false;
-};
 
 Result<int> QueryImpl(const std::vector<std::vector<uint8_t>>& packets,
                       int packet_capacity, bool framed, bool early_termination,
@@ -166,7 +29,8 @@ Result<int> QueryImpl(const std::vector<std::vector<uint8_t>>& packets,
   }
   int packet = 0;
   size_t offset = 0;
-  for (int hops = 0; hops < 1 << 20; ++hops) {
+  const int budget = bcast::DecodeBudget(packets.size());
+  for (int hops = 0; hops < budget; ++hops) {
     PacketReader r(packets, packet_capacity, framed, packet, offset,
                    packets_read);
     uint16_t bid, header;
@@ -327,12 +191,12 @@ Result<std::vector<std::vector<uint8_t>>> SerializeDTree(const DTree& tree) {
               "index packet " + std::to_string(cs.first_packet) +
               " exceeds the 19-bit pointer field");
         }
-        return EncodeNodePtr(cs.first_packet, cs.offset);
+        return bcast::EncodeNodePointer(cs.first_packet, cs.offset);
       }
       if (child_region < 0) {
         return Status::Internal("child is neither a node nor a region");
       }
-      return EncodeDataPtr(child_region);
+      return bcast::EncodeDataPointer(child_region);
     };
     Result<uint32_t> left = encode_child(n.left_node, n.left_region);
     if (!left.ok()) return left.status();
@@ -362,50 +226,8 @@ Result<std::vector<std::vector<uint8_t>>> SerializeDTree(const DTree& tree) {
                               " != accounted size " +
                               std::to_string(n.byte_size));
     }
-    PacketCursor cursor(&packets, capacity, s.first_packet, s.offset);
+    bcast::PacketCursor cursor(&packets, capacity, s.first_packet, s.offset);
     cursor.Write(w.bytes());
-  }
-  return packets;
-}
-
-std::vector<std::vector<uint8_t>> FramePackets(
-    const std::vector<std::vector<uint8_t>>& packets) {
-  std::vector<std::vector<uint8_t>> frames;
-  frames.reserve(packets.size());
-  for (const std::vector<uint8_t>& pkt : packets) {
-    std::vector<uint8_t> frame = pkt;
-    const uint32_t crc = Crc32(pkt);
-    for (int i = 0; i < 4; ++i) {
-      frame.push_back(static_cast<uint8_t>((crc >> (8 * i)) & 0xff));
-    }
-    frames.push_back(std::move(frame));
-  }
-  return frames;
-}
-
-Status VerifyFrame(const std::vector<uint8_t>& frame) {
-  if (frame.size() < kFrameCrcBytes) {
-    return Status::DataLoss("frame shorter than its CRC trailer");
-  }
-  const size_t payload = frame.size() - kFrameCrcBytes;
-  if (Crc32(frame.data(), payload) != FrameTrailer(frame)) {
-    return Status::DataLoss("frame failed its CRC check");
-  }
-  return Status::OK();
-}
-
-Result<std::vector<std::vector<uint8_t>>> UnframePackets(
-    const std::vector<std::vector<uint8_t>>& frames) {
-  std::vector<std::vector<uint8_t>> packets;
-  packets.reserve(frames.size());
-  for (size_t i = 0; i < frames.size(); ++i) {
-    Status s = VerifyFrame(frames[i]);
-    if (!s.ok()) {
-      return Status::DataLoss("packet " + std::to_string(i) + ": " +
-                              s.message());
-    }
-    packets.emplace_back(frames[i].begin(),
-                         frames[i].end() - kFrameCrcBytes);
   }
   return packets;
 }

@@ -31,32 +31,24 @@
 #include <cstdint>
 #include <vector>
 
+#include "broadcast/frame.h"
 #include "common/status.h"
 #include "dtree/dtree.h"
 
 namespace dtree::core {
 
-/// Bytes the CRC-32 frame trailer adds to each packet.
-inline constexpr size_t kFrameCrcBytes = 4;
+// The CRC-32 framing layer (FramePackets / VerifyFrame / UnframePackets,
+// trailer size kFrameCrcBytes) started here and now lives in
+// broadcast/frame.h, shared by every air index and by data buckets.
+// Re-exported so existing dtree::core callers keep compiling.
+using bcast::kFrameCrcBytes;
+using bcast::FramePackets;
+using bcast::VerifyFrame;
+using bcast::UnframePackets;
 
 /// One broadcast cycle's worth of index packets, each exactly
 /// `packet_capacity` bytes (zero-padded).
 Result<std::vector<std::vector<uint8_t>>> SerializeDTree(const DTree& tree);
-
-/// Link-layer framing: appends a little-endian CRC-32 of each packet's
-/// payload (the frame check sequence). Framed packets are
-/// `packet_capacity + kFrameCrcBytes` bytes; the index layout itself is
-/// untouched, exactly as a radio FCS rides outside the MAC payload.
-std::vector<std::vector<uint8_t>> FramePackets(
-    const std::vector<std::vector<uint8_t>>& packets);
-
-/// Verifies one framed packet's CRC; kDataLoss on mismatch or short frame.
-Status VerifyFrame(const std::vector<uint8_t>& frame);
-
-/// Verifies and strips every frame; kDataLoss identifies the first
-/// corrupted packet by id.
-Result<std::vector<std::vector<uint8_t>>> UnframePackets(
-    const std::vector<std::vector<uint8_t>>& frames);
 
 /// Client-side query over raw packets: descends from packet 0 offset 0,
 /// decoding nodes as it goes. Returns the region id and (out parameter)

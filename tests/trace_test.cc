@@ -24,6 +24,9 @@ struct EventTally {
   int bucket_reads = 0;
   int losses = 0;
   int retunes = 0;
+  int corruptions = 0;
+  int fallback_scans = 0;
+  int fallback_listened = 0;
   double doze = 0.0;
   int annotated_index_reads = 0;
 };
@@ -53,6 +56,15 @@ EventTally Tally(const QueryTrace& qt) {
       case TraceEventKind::kRetune:
         EXPECT_GE(e.attempt, 1);
         ++t.retunes;
+        break;
+      case TraceEventKind::kCorruption:
+        ++t.corruptions;
+        break;
+      case TraceEventKind::kFallbackScan:
+        EXPECT_GE(e.packet, 0);
+        EXPECT_GE(e.attempt, 0);
+        ++t.fallback_scans;
+        t.fallback_listened += e.packet;
         break;
     }
   }

@@ -21,7 +21,16 @@ import json
 import math
 import sys
 
-EVENT_KINDS = {"probe", "doze", "index", "bucket", "loss", "retune"}
+EVENT_KINDS = {
+    "probe",
+    "doze",
+    "index",
+    "bucket",
+    "loss",
+    "retune",
+    "corruption_detected",
+    "fallback_scan",
+}
 
 REQUIRED_TOP = {
     "q": int,
@@ -33,6 +42,8 @@ REQUIRED_TOP = {
     "tuning": int,
     "retries": int,
     "lost": int,
+    "corrupted": int,
+    "fallback": bool,
     "unrecoverable": bool,
     "events": list,
 }
@@ -58,6 +69,8 @@ def validate_line(obj):
     reads = 0
     retunes = 0
     losses = 0
+    corruptions = 0
+    fallback_scans = 0
     doze = 0.0
     for i, ev in enumerate(obj["events"]):
         if not isinstance(ev, dict):
@@ -89,12 +102,31 @@ def validate_line(obj):
             if not isinstance(ev.get("attempt"), int) or ev["attempt"] < 1:
                 return f"event {i} (retune) needs positive 'attempt'"
             retunes += 1
+        elif kind == "corruption_detected":
+            corruptions += 1
+        elif kind == "fallback_scan":
+            if not isinstance(ev.get("n"), int) or ev["n"] < 0:
+                return f"event {i} (fallback_scan) needs non-negative 'n'"
+            if not isinstance(ev.get("attempt"), int) or ev["attempt"] < 0:
+                return f"event {i} (fallback_scan) needs non-negative 'attempt'"
+            reads += ev["n"]
+            fallback_scans += 1
     if reads != obj["tuning"]:
         return f"tuning {obj['tuning']} != {reads} packets read in events"
     if retunes != obj["retries"]:
         return f"retries {obj['retries']} != {retunes} retune events"
     if losses != obj["lost"]:
         return f"lost {obj['lost']} != {losses} loss events"
+    if corruptions != obj["corrupted"]:
+        return (
+            f"corrupted {obj['corrupted']} != {corruptions} "
+            f"corruption_detected events"
+        )
+    if obj["fallback"] != (fallback_scans > 0):
+        return (
+            f"fallback flag {obj['fallback']} inconsistent with "
+            f"{fallback_scans} fallback_scan events"
+        )
     # Values survive a %.10g round-trip, so allow ~1e-3 absolute slack.
     if not math.isclose(doze + reads, obj["latency"], rel_tol=1e-7, abs_tol=1e-3):
         return (
@@ -120,6 +152,7 @@ class CellStats:
         self.level_reads = {}
         self.unattributed = 0
         self.unrecoverable = 0
+        self.fallback = 0
 
     def add(self, obj):
         self.latency.append(obj["latency"])
@@ -127,6 +160,8 @@ class CellStats:
         self.retries[obj["retries"]] = self.retries.get(obj["retries"], 0) + 1
         if obj["unrecoverable"]:
             self.unrecoverable += 1
+        if obj["fallback"]:
+            self.fallback += 1
         for ev in obj["events"]:
             if ev.get("t") != "index":
                 continue
@@ -150,6 +185,7 @@ class CellStats:
             "p99_tuning": percentile(tun, 0.99),
             "max_tuning": tun[-1] if tun else 0.0,
             "unrecoverable": self.unrecoverable,
+            "fallback": self.fallback,
             "retry_histogram": {str(k): v for k, v in sorted(self.retries.items())},
             "level_reads": {str(k): v for k, v in sorted(self.level_reads.items())},
             "unattributed_reads": self.unattributed,
@@ -212,7 +248,10 @@ def main(argv):
         )
         if any(k != "0" for k in s["retry_histogram"]):
             hist = ", ".join(f"{k}: {v}" for k, v in s["retry_histogram"].items())
-            print(f"retries  {{{hist}}}  unrecoverable {s['unrecoverable']}")
+            print(
+                f"retries  {{{hist}}}  unrecoverable {s['unrecoverable']}"
+                f"  fallback {s['fallback']}"
+            )
         if s["level_reads"]:
             levels = "  ".join(f"L{k} {v}" for k, v in s["level_reads"].items())
             extra = (
