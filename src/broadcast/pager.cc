@@ -33,8 +33,13 @@ Result<PagingResult> TopDownPage(const PagingInput& input, int capacity,
     NodeSpan span;
     span.first_packet = static_cast<int>(packets.size());
     span.offset = 0;
-    // A node larger than one packet spans ceil(size/cap) packets; the last
-    // one is partially filled and can host descendants.
+    // A node larger than one packet spans ceil(size/cap) packets. The last
+    // packet can host descendants only when it is partially filled: when
+    // `size` is an exact multiple of the capacity it is left completely
+    // full (used == cap), which makes the anchor test below fail for every
+    // child (size >= 1), so children start a fresh packet instead of being
+    // given a zero-byte residency in a full one. Covered by the exact-fit
+    // regression in tests/pager_property_test.cc.
     while (size > cap) {
       packets.push_back(PacketFill{cap});
       size -= cap;
@@ -65,6 +70,9 @@ Result<PagingResult> TopDownPage(const PagingInput& input, int capacity,
         }
       }
       if (packets[anchor].used + size <= cap) {
+        // size >= 1, so the anchor had spare room: a span must never start
+        // at offset == capacity (a zero-byte residency in a full packet).
+        DTREE_DCHECK(packets[anchor].used < cap);
         out.spans[i] = NodeSpan{anchor, 1, packets[anchor].used};
         packets[anchor].used += size;
         continue;

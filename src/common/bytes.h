@@ -19,6 +19,11 @@ namespace dtree {
 /// Appends fixed-width little-endian fields to an internal byte vector.
 class ByteWriter {
  public:
+  /// Pre-sizes the buffer when the final byte count is known (node
+  /// serializers know it exactly from their size accounting), avoiding the
+  /// grow-and-copy churn that dominates large builds.
+  void Reserve(size_t bytes) { buf_.reserve(buf_.size() + bytes); }
+
   void PutU8(uint8_t v) { buf_.push_back(v); }
 
   void PutU16(uint16_t v) {

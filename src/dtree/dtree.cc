@@ -1,6 +1,7 @@
 #include "dtree/dtree.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <limits>
@@ -63,6 +64,16 @@ size_t DTree::NodeByteSize(DTreeNode* node, const Options& options) {
 
 Result<DTree> DTree::Build(const sub::Subdivision& sub,
                            const Options& options) {
+  return Build(sub, options, nullptr);
+}
+
+Result<DTree> DTree::Build(const sub::Subdivision& sub, const Options& options,
+                           BuildTimings* timings) {
+  const auto phase_start = std::chrono::steady_clock::now();
+  const auto seconds_since = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
   if (options.packet_capacity < 24) {
     // A node's fixed prefix (bid + header + two pointers + RMC/LMC) must
     // fit in the first packet for the access protocol to work.
@@ -153,6 +164,9 @@ Result<DTree> DTree::Build(const sub::Subdivision& sub,
     tree.bfs_pos_[tree.bfs_order_[pos]] = static_cast<int>(pos);
   }
 
+  if (timings != nullptr) timings->partition_seconds = seconds_since(phase_start);
+  const auto paging_start = std::chrono::steady_clock::now();
+
   // Page into packets (Algorithm 3).
   bcast::PagingInput input;
   input.sizes.reserve(tree.nodes_.size());
@@ -175,6 +189,7 @@ Result<DTree> DTree::Build(const sub::Subdivision& sub,
       input, options.packet_capacity, options.merge_leaf_packets);
   if (!paging_r.ok()) return paging_r.status();
   tree.paging_ = std::move(paging_r).value();
+  if (timings != nullptr) timings->paging_seconds = seconds_since(paging_start);
   return tree;
 }
 

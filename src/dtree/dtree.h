@@ -73,9 +73,20 @@ class DTree final : public bcast::AirIndex {
     std::vector<double> access_weights;
   };
 
-  /// Builds and pages the D-tree for a stitched subdivision.
+  /// Wall-clock breakdown of Build, for the build-scaling bench: the
+  /// recursive partition phase (ChooseBestPartition tree construction +
+  /// BFS numbering) versus the packet-paging phase (Algorithm 3).
+  struct BuildTimings {
+    double partition_seconds = 0.0;
+    double paging_seconds = 0.0;
+  };
+
+  /// Builds and pages the D-tree for a stitched subdivision. `timings`,
+  /// when non-null, receives the per-phase wall-clock breakdown.
   static Result<DTree> Build(const sub::Subdivision& sub,
                              const Options& options);
+  static Result<DTree> Build(const sub::Subdivision& sub,
+                             const Options& options, BuildTimings* timings);
 
   // --- AirIndex interface -------------------------------------------------
   std::string name() const override { return "d-tree"; }

@@ -78,6 +78,7 @@ Result<int> QueryImpl(const std::vector<std::vector<uint8_t>>& packets,
     if (!decided) {
       // Read the partition and run Algorithm 2 in full.
       std::vector<geom::Polyline> polylines;
+      polylines.reserve(4);  // partitions are nearly always a few chains
       int coords = 0;
       double min_c = 1e300, max_c = -1e300;
       while (coords < total_coords) {
@@ -169,8 +170,12 @@ Result<std::vector<std::vector<uint8_t>>> SerializeDTree(const DTree& tree) {
     }
 
     ByteWriter w;
-    DTREE_RETURN_IF_ERROR(
-        w.PutU16Checked(static_cast<uint64_t>(bfs), "node id"));
+    w.Reserve(n.byte_size);
+    // The on-air node id is self-identification only (clients read and
+    // discard it; descent uses packet/offset pointers). Table 2 gives it
+    // two bytes, so at SCALE sizes (> 64Ki internal nodes) the BFS number
+    // wraps rather than failing the whole build.
+    w.PutU16(static_cast<uint16_t>(bfs & 0xffff));
     uint16_t header = 0;
     if (n.dim == PartitionDim::kXDim) header |= 1;
     if (n.explicit_bounds) header |= 2;

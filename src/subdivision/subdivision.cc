@@ -98,8 +98,11 @@ Result<Subdivision> Subdivision::FromPolygons(
   // (the snapping grid's cells are far too fine to scan per edge).
   BBox all_box = service_area;
   for (const Point& p : pts) all_box.Extend(p);
+  // 1024^2 cells keep the per-edge candidate count near-constant up to the
+  // N=100k SCALE datasets (~600k vertices); the grid only filters
+  // candidates, so the cap does not affect results.
   const int gdim = std::clamp(
-      static_cast<int>(std::sqrt(static_cast<double>(pts.size()))), 1, 256);
+      static_cast<int>(std::sqrt(static_cast<double>(pts.size()))), 1, 1024);
   const double gw = std::max(all_box.width(), 1e-9) / gdim;
   const double gh = std::max(all_box.height(), 1e-9) / gdim;
   std::vector<std::vector<int>> coarse(static_cast<size_t>(gdim) * gdim);
@@ -115,8 +118,12 @@ Result<Subdivision> Subdivision::FromPolygons(
     coarse[static_cast<size_t>(cy) * gdim + cx].push_back(
         static_cast<int>(v));
   }
+  // Appends candidates instead of returning a fresh vector: this runs once
+  // per edge (~6 * N times), and the allocation dominated the pass at
+  // SCALE sizes.
+  std::vector<int> cand;
   auto coarse_query = [&](const BBox& box) {
-    std::vector<int> out;
+    cand.clear();
     const auto [x0, y0] = cell_of(box.min_x - kMergeEps,
                                   box.min_y - kMergeEps);
     const auto [x1, y1] = cell_of(box.max_x + kMergeEps,
@@ -124,15 +131,16 @@ Result<Subdivision> Subdivision::FromPolygons(
     for (int cy = y0; cy <= y1; ++cy) {
       for (int cx = x0; cx <= x1; ++cx) {
         const auto& cell = coarse[static_cast<size_t>(cy) * gdim + cx];
-        out.insert(out.end(), cell.begin(), cell.end());
+        cand.insert(cand.end(), cell.begin(), cell.end());
       }
     }
-    return out;
   };
 
+  std::vector<std::pair<double, int>> on_edge;
+  std::vector<int> split;
   for (std::vector<int>& ring : rings) {
-    std::vector<int> split;
-    split.reserve(ring.size());
+    split.clear();
+    split.reserve(ring.size() + 8);
     for (size_t i = 0; i < ring.size(); ++i) {
       const int a = ring[i];
       const int b = ring[(i + 1) % ring.size()];
@@ -140,8 +148,9 @@ Result<Subdivision> Subdivision::FromPolygons(
       BBox edge_box;
       edge_box.Extend(pts[a]);
       edge_box.Extend(pts[b]);
-      std::vector<std::pair<double, int>> on_edge;
-      for (int v : coarse_query(edge_box)) {
+      on_edge.clear();
+      coarse_query(edge_box);
+      for (int v : cand) {
         if (v == a || v == b) continue;
         if (geom::DistanceToSegment(pts[a], pts[b], pts[v]) > kMergeEps) {
           continue;
@@ -193,7 +202,11 @@ void Subdivision::BuildBorderGrid() {
       const uint64_t key =
           (static_cast<uint64_t>(static_cast<uint32_t>(lo)) << 32) |
           static_cast<uint32_t>(hi);
-      unique_edges.emplace(key, std::make_pair(a, b));
+      // Store the canonical (lo, hi) direction, not the first-seen ring
+      // direction: DistanceToSegment is not bitwise direction-symmetric,
+      // and the full-scan reference evaluates segments in canonical order
+      // too, so the two paths stay exactly comparable.
+      unique_edges.emplace(key, std::make_pair(lo, hi));
     }
   }
   border_edges_.clear();
@@ -208,7 +221,7 @@ void Subdivision::BuildBorderGrid() {
   for (const Point& p : vertices_) border_grid_box_.Extend(p);
   border_grid_dim_ = std::clamp(
       static_cast<int>(std::sqrt(static_cast<double>(border_edges_.size()))),
-      1, 256);
+      1, 1024);
   border_cell_w_ =
       std::max(border_grid_box_.width(), 1e-9) / border_grid_dim_;
   border_cell_h_ =
@@ -314,8 +327,15 @@ double Subdivision::BorderDistanceFullScan(const geom::Point& p) const {
   for (int i = 0; i < NumRegions(); ++i) {
     const std::vector<int>& ring = rings_[i];
     for (size_t j = 0; j < ring.size(); ++j) {
-      const Point& a = vertices_[ring[j]];
-      const Point& b = vertices_[ring[(j + 1) % ring.size()]];
+      // Canonical (lo, hi) endpoint order, matching the border grid:
+      // DistanceToSegment(a, b, p) and DistanceToSegment(b, a, p) can
+      // differ in the last ulp, and a shared edge appears here in both
+      // ring directions. Canonicalizing makes this scan bitwise comparable
+      // with the grid-accelerated path.
+      const int u = ring[j];
+      const int v = ring[(j + 1) % ring.size()];
+      const Point& a = vertices_[std::min(u, v)];
+      const Point& b = vertices_[std::max(u, v)];
       best = std::min(best, geom::DistanceToSegment(a, b, p));
     }
   }
@@ -360,9 +380,16 @@ double Subdivision::DistanceToNearestBorder(const geom::Point& p) const {
         scan_cell(cx + ring, gy);
       }
     }
-    // Every cell at Chebyshev ring r+1 is at least r*min_cell away from p
-    // (p is inside cell (cx, cy)), so once best is within that bound no
-    // farther ring can improve it.
+    // Termination bound, audited for exactness: after scanning ring r, the
+    // nearest uncovered cells sit at Chebyshev ring r+1, whose guaranteed
+    // clearance is min_cell * ((r+1) - 1) = r * min_cell. That clearance
+    // only relies on p lying inside its own *closed* grid cell, which the
+    // clamp+floor cell assignment preserves even when p sits exactly on a
+    // grid-cell boundary (the boundary belongs to both cells; p is assigned
+    // to the right/upper one and still touches it). So breaking once
+    // best <= r * min_cell can never skip a closer edge; the property test
+    // in tests/subdivision_test.cc checks this against
+    // BorderDistanceFullScan on boundary-aligned points.
     if (best <= static_cast<double>(ring) * min_cell) break;
   }
   DTREE_DCHECK(std::isfinite(best));

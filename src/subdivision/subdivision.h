@@ -64,13 +64,22 @@ class Subdivision {
   /// grid's extent fall back to the full edge scan.
   double DistanceToNearestBorder(const geom::Point& p) const;
 
+  /// Brute-force reference: every edge of every region. Public so property
+  /// tests can pit the grid-accelerated path against it.
+  double BorderDistanceFullScan(const geom::Point& p) const;
+
+  /// Border-grid introspection for property tests (generating query points
+  /// aligned exactly to grid-cell boundaries). A dimension of 0 means no
+  /// grid was built and DistanceToNearestBorder always full-scans.
+  int border_grid_dim() const { return border_grid_dim_; }
+  const geom::BBox& border_grid_box() const { return border_grid_box_; }
+  double border_cell_w() const { return border_cell_w_; }
+  double border_cell_h() const { return border_cell_h_; }
+
  private:
   /// Collects unique undirected border edges and buckets them into the
   /// uniform grid used by DistanceToNearestBorder.
   void BuildBorderGrid();
-
-  /// Brute-force fallback: every edge of every region.
-  double BorderDistanceFullScan(const geom::Point& p) const;
 
   geom::BBox service_area_;
   std::vector<geom::Point> vertices_;

@@ -44,31 +44,71 @@ Status EarClipTriangulate(const std::vector<Point>& ring,
       return Status::InvalidArgument("ear clipping requires a CCW ring");
     }
   }
-  std::vector<size_t> idx(n);
-  for (size_t i = 0; i < n; ++i) idx[i] = i;
 
+  // Doubly linked ring over the original vertex indices. Because the ring
+  // order is the index order, walking `next` from the lowest live index
+  // visits live vertices exactly as the erase-from-a-vector formulation
+  // scanned them, so the emitted triangle sequence is unchanged.
+  std::vector<size_t> next_v(n), prev_v(n);
+  std::vector<char> alive(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    next_v[i] = (i + 1) % n;
+    prev_v[i] = (i + n - 1) % n;
+  }
+
+  // Only reflex or straight vertices (Orient <= 0 in their own wedge) can
+  // block an ear: a simple polygon whose candidate triangle contains any
+  // vertex also contains a non-convex one. Tracking just that set turns the
+  // O(n) per-candidate containment scan into O(k) for k blockers, giving
+  // O(n*k) overall instead of O(n^2). The blocker list tolerates stale
+  // entries (vertices clipped or reclassified convex are skipped on read);
+  // at most two vertices are reclassified per clip, so staleness is O(n)
+  // total.
+  const auto orient_at = [&](size_t v) {
+    return geom::Orient(ring[prev_v[v]], ring[v], ring[next_v[v]]);
+  };
+  std::vector<char> is_blocker(n, 0);
+  std::vector<size_t> blockers;
+  for (size_t i = 0; i < n; ++i) {
+    if (orient_at(i) <= 0) {
+      is_blocker[i] = 1;
+      blockers.push_back(i);
+    }
+  }
+
+  size_t head = 0;  // lowest live index
+  size_t live = n;
   out->reserve(out->size() + n - 2);
-  while (idx.size() > 3) {
+  while (live > 3) {
     bool clipped = false;
-    for (size_t k = 0; k < idx.size(); ++k) {
-      const Point& prev = ring[idx[(k + idx.size() - 1) % idx.size()]];
-      const Point& cur = ring[idx[k]];
-      const Point& next = ring[idx[(k + 1) % idx.size()]];
+    size_t v = head;
+    for (size_t scanned = 0; scanned < live; ++scanned, v = next_v[v]) {
+      const Point& prev = ring[prev_v[v]];
+      const Point& cur = ring[v];
+      const Point& next = ring[next_v[v]];
       if (geom::Orient(prev, cur, next) <= 0) continue;  // reflex/collinear
       bool ear = true;
-      for (size_t j = 0; j < idx.size(); ++j) {
-        if (j == k || idx[j] == idx[(k + idx.size() - 1) % idx.size()] ||
-            idx[j] == idx[(k + 1) % idx.size()]) {
-          continue;
-        }
-        if (BlocksEar(prev, cur, next, ring[idx[j]])) {
+      for (size_t b : blockers) {
+        if (!alive[b] || !is_blocker[b]) continue;  // stale entry
+        if (b == v || b == prev_v[v] || b == next_v[v]) continue;
+        if (BlocksEar(prev, cur, next, ring[b])) {
           ear = false;
           break;
         }
       }
       if (!ear) continue;
       out->emplace_back(prev, cur, next);
-      idx.erase(idx.begin() + static_cast<std::ptrdiff_t>(k));
+      alive[v] = 0;
+      next_v[prev_v[v]] = next_v[v];
+      prev_v[next_v[v]] = prev_v[v];
+      if (v == head) head = next_v[v];
+      --live;
+      // Reclassify the two neighbors whose wedges changed.
+      for (size_t w : {prev_v[v], next_v[v]}) {
+        const char now_blocker = orient_at(w) <= 0 ? 1 : 0;
+        if (now_blocker && !is_blocker[w]) blockers.push_back(w);
+        is_blocker[w] = now_blocker;
+      }
       clipped = true;
       break;
     }
@@ -76,7 +116,8 @@ Status EarClipTriangulate(const std::vector<Point>& ring,
       return Status::Internal("ear clipping stalled on a degenerate ring");
     }
   }
-  Triangle last(ring[idx[0]], ring[idx[1]], ring[idx[2]]);
+  const size_t a = head, b = next_v[head], c = next_v[next_v[head]];
+  Triangle last(ring[a], ring[b], ring[c]);
   if (last.SignedArea() <= 0.0) {
     return Status::Internal("final ear-clipping triangle is degenerate");
   }

@@ -1,6 +1,8 @@
 #include "workload/datasets.h"
 
 #include <cmath>
+#include <cstdint>
+#include <unordered_map>
 
 #include "subdivision/voronoi.h"
 
@@ -16,24 +18,59 @@ using geom::Point;
 /// facilities never share coordinates).
 constexpr double kMinSeparation = 1e-3;
 
-bool FarFromAll(const Point& p, const std::vector<Point>& pts) {
-  for (const Point& q : pts) {
-    if (geom::DistanceSquared(p, q) < kMinSeparation * kMinSeparation) {
-      return false;
+/// Hash grid with buckets exactly kMinSeparation wide: any point closer
+/// than the separation radius to `p` lives in the 3x3 bucket neighborhood
+/// of `p`. Replaces the O(n) scan over all accepted points with an O(1)
+/// expected probe. The accept/reject predicate (strict DistanceSquared <
+/// kMinSeparation^2 against every prior point) is unchanged, so generators
+/// draw the exact same RNG sequence and produce byte-identical point sets.
+class SeparationGrid {
+ public:
+  bool FarFromAll(const Point& p) const {
+    const int64_t cx = Cell(p.x), cy = Cell(p.y);
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        const auto it = buckets_.find(Key(cx + dx, cy + dy));
+        if (it == buckets_.end()) continue;
+        for (const Point& q : it->second) {
+          if (geom::DistanceSquared(p, q) <
+              kMinSeparation * kMinSeparation) {
+            return false;
+          }
+        }
+      }
     }
+    return true;
   }
-  return true;
-}
+
+  void Add(const Point& p) {
+    buckets_[Key(Cell(p.x), Cell(p.y))].push_back(p);
+  }
+
+ private:
+  static int64_t Cell(double v) {
+    return static_cast<int64_t>(std::floor(v / kMinSeparation));
+  }
+  static uint64_t Key(int64_t cx, int64_t cy) {
+    return (static_cast<uint64_t>(cx) << 32) ^ static_cast<uint64_t>(cy);
+  }
+
+  std::unordered_map<uint64_t, std::vector<Point>> buckets_;
+};
 
 }  // namespace
 
 std::vector<Point> UniformPoints(int n, const BBox& area, Rng* rng) {
   std::vector<Point> pts;
   pts.reserve(n);
+  SeparationGrid grid;
   while (static_cast<int>(pts.size()) < n) {
     Point p{rng->Uniform(area.min_x, area.max_x),
             rng->Uniform(area.min_y, area.max_y)};
-    if (FarFromAll(p, pts)) pts.push_back(p);
+    if (grid.FarFromAll(p)) {
+      grid.Add(p);
+      pts.push_back(p);
+    }
   }
   return pts;
 }
@@ -54,6 +91,7 @@ std::vector<Point> ClusteredPoints(int n, const BBox& area, int num_clusters,
   const double sigma = area.width() * spread_fraction;
   std::vector<Point> pts;
   pts.reserve(n);
+  SeparationGrid grid;
   while (static_cast<int>(pts.size()) < n) {
     const Point& c =
         centers[static_cast<size_t>(rng->UniformInt(0, num_clusters - 1))];
@@ -62,7 +100,10 @@ std::vector<Point> ClusteredPoints(int n, const BBox& area, int num_clusters,
         p.y >= area.max_y) {
       continue;
     }
-    if (FarFromAll(p, pts)) pts.push_back(p);
+    if (grid.FarFromAll(p)) {
+      grid.Add(p);
+      pts.push_back(p);
+    }
   }
   return pts;
 }
@@ -99,6 +140,26 @@ Result<Dataset> MakeParkDataset(uint64_t seed) {
   Rng rng(seed);
   return MakeDataset(
       "PARK", ClusteredPoints(1102, DefaultServiceArea(), 25, 0.03, &rng));
+}
+
+Result<Dataset> MakeScaleDataset(int n, ScaleDistribution dist,
+                                 uint64_t seed) {
+  if (n < 2) return Status::InvalidArgument("SCALE dataset needs n >= 2");
+  Rng rng(seed);
+  std::string name;
+  std::vector<Point> sites;
+  if (dist == ScaleDistribution::kUniform) {
+    name = "SCALE-U" + std::to_string(n);
+    sites = UniformPoints(n, DefaultServiceArea(), &rng);
+  } else {
+    // Matches PARK's cluster occupancy (~50 points per cluster) so the
+    // local density — what stresses the Voronoi ring search — scales with
+    // n instead of flattening out to uniform.
+    name = "SCALE-C" + std::to_string(n);
+    const int clusters = std::max(2, n / 50);
+    sites = ClusteredPoints(n, DefaultServiceArea(), clusters, 0.03, &rng);
+  }
+  return MakeDataset(std::move(name), std::move(sites));
 }
 
 std::vector<double> ZipfWeights(int n, double theta, Rng* rng) {

@@ -54,6 +54,16 @@ Result<Dataset> MakeParkDataset(uint64_t seed = 13);
 /// Convenience: all three datasets in the paper's order.
 Result<std::vector<Dataset>> MakePaperDatasets();
 
+/// Spatial distribution of a SCALE dataset.
+enum class ScaleDistribution { kUniform, kClustered };
+
+/// SCALE-U<n> / SCALE-C<n>: build-pipeline stress datasets far beyond the
+/// paper's N=1102 maximum (the build-scaling bench sweeps N in
+/// {10k, 50k, 100k}). Uniform draws n uniform sites; clustered keeps PARK's
+/// ~50-sites-per-cluster occupancy so local density grows with n.
+Result<Dataset> MakeScaleDataset(int n, ScaleDistribution dist,
+                                 uint64_t seed = 7);
+
 /// Zipf access weights for n regions: weight of the region ranked r is
 /// 1 / r^theta, with ranks randomly permuted across region ids (theta = 0
 /// degenerates to uniform). Used by the skewed-access experiments.

@@ -1,0 +1,258 @@
+// Build-pipeline scaling tests: the grid-pruned parallel Voronoi must be
+// bit-identical to the pre-grid reference implementation on the paper
+// datasets at every thread count, the O(n*k) ear clipping must emit the
+// exact triangle sequence of the old O(n^2) scan, the accelerated dataset
+// generators must keep producing byte-identical point sets, and the whole
+// pipeline must survive SCALE sizes (N=10k here; the bench sweeps to 100k).
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/predicates.h"
+#include "subdivision/subdivision.h"
+#include "subdivision/triangulate.h"
+#include "subdivision/voronoi.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+
+#include "gtest/gtest.h"
+
+namespace dtree {
+namespace {
+
+using geom::BBox;
+using geom::Point;
+using geom::Polygon;
+using geom::Triangle;
+
+/// FNV-1a over the raw little-endian coordinate bytes: pins generator
+/// output bitwise without listing thousands of doubles.
+uint64_t HashPoints(const std::vector<Point>& pts) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const Point& p : pts) {
+    mix(p.x);
+    mix(p.y);
+  }
+  return h;
+}
+
+/// The paper-dataset site sets exactly as MakePaperDatasets draws them
+/// (it passes seed 7 to all three makers).
+std::vector<std::pair<const char*, std::vector<Point>>> PaperSiteSets() {
+  const BBox area = workload::DefaultServiceArea();
+  std::vector<std::pair<const char*, std::vector<Point>>> out;
+  {
+    Rng rng(7);
+    out.emplace_back("UNIFORM", workload::UniformPoints(1000, area, &rng));
+  }
+  {
+    Rng rng(7);
+    out.emplace_back("HOSPITAL",
+                     workload::ClusteredPoints(185, area, 12, 0.035, &rng));
+  }
+  {
+    Rng rng(7);
+    out.emplace_back("PARK",
+                     workload::ClusteredPoints(1102, area, 25, 0.03, &rng));
+  }
+  return out;
+}
+
+TEST(BuildScalingTest, GridVoronoiBitIdenticalToReferenceAcrossThreadCounts) {
+  const BBox area = workload::DefaultServiceArea();
+  for (const auto& [name, sites] : PaperSiteSets()) {
+    auto ref = sub::VoronoiCellsReference(sites, area);
+    ASSERT_TRUE(ref.ok()) << name << ": " << ref.status().ToString();
+    for (const int threads : {1, 4, 8}) {
+      sub::VoronoiOptions opts;
+      opts.num_threads = threads;
+      auto cells = sub::VoronoiCells(sites, area, opts);
+      ASSERT_TRUE(cells.ok()) << name << ": " << cells.status().ToString();
+      ASSERT_EQ(cells.value().size(), ref.value().size());
+      for (size_t i = 0; i < ref.value().size(); ++i) {
+        const auto& a = ref.value()[i].ring();
+        const auto& b = cells.value()[i].ring();
+        ASSERT_EQ(a.size(), b.size())
+            << name << " cell " << i << " at " << threads << " threads";
+        for (size_t v = 0; v < a.size(); ++v) {
+          // operator== compares the doubles exactly — bit-identity, not
+          // tolerance.
+          ASSERT_EQ(a[v], b[v])
+              << name << " cell " << i << " vertex " << v << " at "
+              << threads << " threads";
+        }
+      }
+    }
+  }
+}
+
+TEST(BuildScalingTest, DatasetGeneratorsByteIdenticalAfterGridAcceleration) {
+  // Bitwise pins of the generator output. If these change, every golden
+  // number downstream (bench digests, experiment goldens) changes too:
+  // treat a mismatch as a broken generator, not a stale test.
+  const auto sets = PaperSiteSets();
+  EXPECT_EQ(HashPoints(sets[0].second), 8406621340049087471ull);
+  EXPECT_EQ(HashPoints(sets[1].second), 2011159644969337360ull);
+  EXPECT_EQ(HashPoints(sets[2].second), 17708160709302097395ull);
+}
+
+TEST(BuildScalingTest, ScaleDatasetBuildsAndValidatesAt10k) {
+  auto d = workload::MakeScaleDataset(10000, workload::ScaleDistribution::kUniform);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d.value().name, "SCALE-U10000");
+  EXPECT_EQ(d.value().subdivision.NumRegions(), 10000);
+  EXPECT_OK(d.value().subdivision.Validate());
+}
+
+TEST(BuildScalingTest, ClusteredScaleDatasetBuildsAndValidates) {
+  auto d = workload::MakeScaleDataset(
+      5000, workload::ScaleDistribution::kClustered);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d.value().name, "SCALE-C5000");
+  EXPECT_EQ(d.value().subdivision.NumRegions(), 5000);
+  EXPECT_OK(d.value().subdivision.Validate());
+}
+
+// ---------------------------------------------------------------------------
+// Triangulation equivalence: the linked-list + blocker-set ear clipper must
+// emit the exact triangle sequence of the old erase-from-a-vector O(n^2)
+// scan. The reference below is that old implementation, kept verbatim.
+
+bool RefBlocksEar(const Point& prev, const Point& cur, const Point& next,
+                  const Point& v) {
+  constexpr double kEps = geom::kMergeEps;
+  if (geom::NearlyEqual(v, prev, kEps) || geom::NearlyEqual(v, cur, kEps) ||
+      geom::NearlyEqual(v, next, kEps)) {
+    return false;
+  }
+  Triangle t(prev, cur, next);
+  if (!t.Contains(v)) return false;
+  if (geom::DistanceToSegment(prev, cur, v) <= kEps) return false;
+  if (geom::DistanceToSegment(cur, next, v) <= kEps) return false;
+  return true;
+}
+
+Status RefEarClip(const std::vector<Point>& ring, std::vector<Triangle>* out) {
+  const size_t n = ring.size();
+  if (n < 3) return Status::InvalidArgument("ring with fewer than 3 vertices");
+  {
+    Polygon p(ring);
+    if (p.SignedArea() <= 0.0) {
+      return Status::InvalidArgument("ear clipping requires a CCW ring");
+    }
+  }
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  out->reserve(out->size() + n - 2);
+  while (idx.size() > 3) {
+    bool clipped = false;
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const Point& prev = ring[idx[(k + idx.size() - 1) % idx.size()]];
+      const Point& cur = ring[idx[k]];
+      const Point& next = ring[idx[(k + 1) % idx.size()]];
+      if (geom::Orient(prev, cur, next) <= 0) continue;
+      bool ear = true;
+      for (size_t j = 0; j < idx.size(); ++j) {
+        if (j == k || idx[j] == idx[(k + idx.size() - 1) % idx.size()] ||
+            idx[j] == idx[(k + 1) % idx.size()]) {
+          continue;
+        }
+        if (RefBlocksEar(prev, cur, next, ring[idx[j]])) {
+          ear = false;
+          break;
+        }
+      }
+      if (!ear) continue;
+      out->emplace_back(prev, cur, next);
+      idx.erase(idx.begin() + static_cast<std::ptrdiff_t>(k));
+      clipped = true;
+      break;
+    }
+    if (!clipped) {
+      return Status::Internal("ear clipping stalled on a degenerate ring");
+    }
+  }
+  Triangle last(ring[idx[0]], ring[idx[1]], ring[idx[2]]);
+  if (last.SignedArea() <= 0.0) {
+    return Status::Internal("final ear-clipping triangle is degenerate");
+  }
+  out->push_back(last);
+  return Status::OK();
+}
+
+void ExpectSameTriangulation(const std::vector<Point>& ring) {
+  std::vector<Triangle> ref_tris, new_tris;
+  const Status ref_st = RefEarClip(ring, &ref_tris);
+  const Status new_st = sub::EarClipTriangulate(ring, &new_tris);
+  ASSERT_EQ(ref_st.ok(), new_st.ok()) << ref_st.ToString() << " vs "
+                                      << new_st.ToString();
+  if (!ref_st.ok()) return;
+  ASSERT_EQ(ref_tris.size(), new_tris.size());
+  for (size_t i = 0; i < ref_tris.size(); ++i) {
+    for (int v = 0; v < 3; ++v) {
+      ASSERT_EQ(ref_tris[i].v[v], new_tris[i].v[v])
+          << "triangle " << i << " vertex " << v;
+    }
+  }
+}
+
+/// Star-shaped polygon around a center: strictly increasing angles with a
+/// random radius per vertex, so roughly half the vertices are reflex.
+std::vector<Point> StarPolygon(int n, Rng* rng) {
+  std::vector<Point> ring;
+  ring.reserve(n);
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  for (int i = 0; i < n; ++i) {
+    const double base = two_pi * i / n;
+    const double ang = base + rng->Uniform(0.05, 0.9) * (two_pi / n);
+    const double r = rng->Uniform(0.25, 1.0);
+    ring.push_back({50.0 + 40.0 * r * std::cos(ang),
+                    50.0 + 40.0 * r * std::sin(ang)});
+  }
+  return ring;
+}
+
+TEST(BuildScalingTest, EarClipMatchesQuadraticReferenceOnStarPolygons) {
+  Rng rng(404);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(4, 60));
+    ExpectSameTriangulation(StarPolygon(n, &rng));
+  }
+}
+
+TEST(BuildScalingTest, EarClipMatchesQuadraticReferenceOnVoronoiRings) {
+  // Region rings carry T-junction split vertices (collinear runs), the
+  // exact degeneracy the blocker set must keep classifying as blocking.
+  const sub::Subdivision sub = test::RandomVoronoi(150, 2024);
+  for (int i = 0; i < sub.NumRegions(); ++i) {
+    std::vector<Point> ring;
+    for (int v : sub.Ring(i)) ring.push_back(sub.vertices()[v]);
+    ExpectSameTriangulation(ring);
+  }
+}
+
+TEST(BuildScalingTest, EarClipMatchesReferenceOnCollinearConvexRings) {
+  // Rectangle with interior edge points: every non-corner vertex is
+  // straight (Orient == 0), the FanTriangulate fallback shape.
+  std::vector<Point> ring;
+  for (int i = 0; i < 4; ++i) ring.push_back({static_cast<double>(i), 0.0});
+  for (int i = 0; i < 3; ++i) ring.push_back({4.0, static_cast<double>(i)});
+  for (int i = 4; i > 0; --i) ring.push_back({static_cast<double>(i), 3.0});
+  for (int i = 3; i > 0; --i) ring.push_back({0.0, static_cast<double>(i)});
+  ExpectSameTriangulation(ring);
+}
+
+}  // namespace
+}  // namespace dtree

@@ -45,6 +45,9 @@ void CheckPaging(const PagingInput& input, int capacity,
     ASSERT_GE(s.first_packet, 0);
     ASSERT_LT(s.last_packet(), result.num_packets);
     ASSERT_GE(s.num_packets, 1);
+    // A span must start strictly inside its first packet: offset ==
+    // capacity would be a zero-byte residency in a full packet.
+    ASSERT_LT(s.offset, static_cast<size_t>(capacity));
     total += input.sizes[i];
     // Walk the node's bytes across its span.
     size_t remaining = input.sizes[i];
@@ -95,6 +98,41 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 17, 100, 400),
                        ::testing::Values(64, 256, 2048),
                        ::testing::Bool()));
+
+// Regression for the exact-fit edge case: a node whose size is an exact
+// multiple of the capacity leaves its last packet completely full, so a
+// child anchored there must open a fresh packet rather than receive a
+// zero-byte residency at offset == capacity.
+TEST(PagerPropertyTest, ExactMultipleNodesPushChildrenToFreshPackets) {
+  for (const int capacity : {64, 256}) {
+    const size_t cap = static_cast<size_t>(capacity);
+    for (const int multiple : {1, 2, 3}) {
+      PagingInput input;
+      // Root fills `multiple` packets exactly; node 2 fills one packet
+      // exactly; nodes 1 and 3 are small children anchored to full packets.
+      input.sizes = {cap * static_cast<size_t>(multiple), 10, cap, 10};
+      input.parent = {-1, 0, 0, 2};
+      input.is_leaf = {false, true, false, true};
+      for (const bool merge : {false, true}) {
+        auto result = TopDownPage(input, capacity, merge);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        CheckPaging(input, capacity, result.value());
+      }
+      // Without merging, the layout is fully determined: every child of an
+      // exactly-full packet starts a fresh packet at offset 0.
+      auto plain = TopDownPage(input, capacity, false);
+      ASSERT_TRUE(plain.ok());
+      const auto& spans = plain.value().spans;
+      EXPECT_EQ(spans[0].num_packets, multiple);
+      EXPECT_EQ(spans[1].first_packet, spans[0].last_packet() + 1);
+      EXPECT_EQ(spans[1].offset, 0u);
+      EXPECT_EQ(spans[2].first_packet, spans[1].first_packet + 1);
+      EXPECT_EQ(spans[2].offset, 0u);
+      EXPECT_EQ(spans[3].first_packet, spans[2].last_packet() + 1);
+      EXPECT_EQ(spans[3].offset, 0u);
+    }
+  }
+}
 
 TEST(PagerPropertyTest, MergeNeverGrowsPacketCount) {
   Rng rng(99);

@@ -137,6 +137,53 @@ TEST(VoronoiTest, RejectsBadInput) {
   EXPECT_FALSE(VoronoiCells({{5, 5}, {5, 5}}, area).ok());   // duplicate
 }
 
+TEST(VoronoiTest, RejectsDuplicateAndNearCoincidentSites) {
+  const BBox area{0, 0, 10, 10};
+  // Exact duplicates anywhere in the list.
+  auto dup = VoronoiCells({{1, 1}, {5, 5}, {1, 1}}, area);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  // Near-coincident: separated by more than kMergeEps (the old in-loop
+  // duplicate check let this through and carved a sliver cell thinner than
+  // the stitcher's snap radius) but less than kMinSiteSeparation.
+  auto sliver = VoronoiCells({{5, 5}, {5 + 2e-6, 5}}, area);
+  ASSERT_FALSE(sliver.ok());
+  EXPECT_EQ(sliver.status().code(), StatusCode::kInvalidArgument);
+  // Separation comfortably above the threshold stays accepted.
+  auto ok = VoronoiCells({{5, 5}, {5.001, 5}}, area);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().size(), 2u);
+}
+
+TEST(VoronoiTest, CollinearSitesTileTheArea) {
+  const BBox area{0, 0, 1000, 1000};
+  // Horizontal line of sites: all bisectors are parallel, producing stripe
+  // cells — a layout with no generic-position slack anywhere.
+  std::vector<Point> horizontal;
+  for (int i = 0; i < 8; ++i) horizontal.push_back({100.0 + 100.0 * i, 500.0});
+  // Diagonal line of sites: bisectors are parallel but axis-unaligned.
+  std::vector<Point> diagonal;
+  for (int i = 0; i < 8; ++i) {
+    diagonal.push_back({100.0 + 100.0 * i, 100.0 + 100.0 * i});
+  }
+  for (const auto& sites : {horizontal, diagonal}) {
+    auto sub_r = BuildVoronoiSubdivision(sites, area);
+    ASSERT_TRUE(sub_r.ok()) << sub_r.status().ToString();
+    EXPECT_OK(sub_r.value().Validate());
+    EXPECT_EQ(sub_r.value().NumRegions(), 8);
+  }
+}
+
+TEST(VoronoiTest, CollinearNearCoincidentPairRejected) {
+  const BBox area{0, 0, 1000, 1000};
+  std::vector<Point> sites;
+  for (int i = 0; i < 6; ++i) sites.push_back({100.0 + 100.0 * i, 500.0});
+  sites.push_back({sites[3].x + 3e-6, 500.0});  // just under the threshold
+  auto r = VoronoiCells(sites, area);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(VoronoiTest, CellsContainTheirSites) {
   Rng rng(3);
   const BBox area = workload::DefaultServiceArea();
@@ -361,6 +408,56 @@ TEST(BorderDistanceTest, GridMatchesBruteForce) {
   }
   // On a region vertex the distance is exactly zero.
   EXPECT_EQ(sub.DistanceToNearestBorder(sub.vertices()[0]), 0.0);
+}
+
+// Property audit of the expanding-ring early exit: the scan breaks after
+// ring r once best <= r * min_cell — exactly the clearance of the first
+// uncovered ring (r + 1), which is min_cell * ((r + 1) - 1). The bound
+// relies only on the query point lying in its own *closed* grid cell, so it
+// must also hold for points exactly on a grid-cell boundary, where the
+// clamp+floor cell assignment picks one of the two touching cells. Pits the
+// grid path against BorderDistanceFullScan on 10k random and
+// boundary-aligned points; both paths call the same DistanceToSegment on
+// the optimal edge, so the agreement is exact, not approximate.
+TEST(BorderDistanceTest, RingEarlyExitExactOn10kRandomAndAlignedPoints) {
+  const Subdivision sub = test::RandomVoronoi(200, 71);
+  ASSERT_GT(sub.border_grid_dim(), 0);
+  const BBox& box = sub.border_grid_box();
+  const int dim = sub.border_grid_dim();
+  const double cw = sub.border_cell_w();
+  const double ch = sub.border_cell_h();
+  Rng rng(17);
+  auto grid_x = [&] {
+    return box.min_x + cw * static_cast<double>(rng.UniformInt(0, dim));
+  };
+  auto grid_y = [&] {
+    return box.min_y + ch * static_cast<double>(rng.UniformInt(0, dim));
+  };
+  for (int i = 0; i < 10000; ++i) {
+    Point p;
+    switch (i % 4) {
+      case 0:  // fully random
+        p = {rng.Uniform(box.min_x, box.max_x),
+             rng.Uniform(box.min_y, box.max_y)};
+        break;
+      case 1:  // exactly on a vertical grid-cell boundary
+        p = {grid_x(), rng.Uniform(box.min_y, box.max_y)};
+        break;
+      case 2:  // exactly on a horizontal grid-cell boundary
+        p = {rng.Uniform(box.min_x, box.max_x), grid_y()};
+        break;
+      default:  // exactly on a grid-cell corner
+        p = {grid_x(), grid_y()};
+        break;
+    }
+    ASSERT_EQ(sub.DistanceToNearestBorder(p), sub.BorderDistanceFullScan(p))
+        << "point (" << p.x << ", " << p.y << ") at i=" << i;
+  }
+  // Region vertices are themselves often boundary-aligned after clamping;
+  // they must all report an exact zero.
+  for (size_t v = 0; v < sub.vertices().size(); v += 7) {
+    ASSERT_EQ(sub.DistanceToNearestBorder(sub.vertices()[v]), 0.0);
+  }
 }
 
 TEST(TriangulateTest, RectAnnulusRejectsBadInput) {
