@@ -2,16 +2,38 @@
 // in-memory query throughput for all four structures, plus the Voronoi
 // substrate. These measure wall-clock performance of this implementation
 // (the paper's metrics are packet counts, covered by the figure benches).
+//
+// Flat-arena probe throughput (EXPERIMENTS.md E14): passing
+// --bench-json=PATH switches on a self-verifying measurement pass that
+// pits the per-probe byte decoders against the flat-arena engines
+// (DESIGN.md §12) on SCALE-U subdivisions up to N=100k, then writes the
+// ns/probe table to PATH. Before any timing, every configuration is
+// checked query-by-query against the byte decoder — the bit-identical
+// oracle — and any mismatch exits nonzero, so a CI bench run doubles as
+// a correctness gate. Remaining arguments pass through to
+// google-benchmark (use --benchmark_filter=NONE to run only the
+// measurement pass).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/kirkpatrick/arena.h"
 #include "baselines/kirkpatrick/kirkpatrick.h"
+#include "baselines/rstar/arena.h"
 #include "baselines/rstar/rstar.h"
+#include "baselines/trapmap/arena.h"
 #include "baselines/trapmap/trapmap.h"
 #include "broadcast/experiment.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "dtree/arena.h"
 #include "dtree/dtree.h"
+#include "dtree/serialize.h"
 #include "subdivision/voronoi.h"
 #include "workload/datasets.h"
 
@@ -94,16 +116,23 @@ void BM_TrianTreeBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_TrianTreeBuild)->Arg(100)->Arg(500)->Arg(1000);
 
-template <typename Index>
-void QueryLoop(benchmark::State& state, const Index& index,
-               const sub::Subdivision& sub) {
+std::vector<geom::Point> SampleQueries(const sub::Subdivision& sub,
+                                       size_t count) {
   Rng rng(5);
   const geom::BBox& a = sub.service_area();
   std::vector<geom::Point> queries;
-  for (int i = 0; i < 1024; ++i) {
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
     queries.push_back({rng.Uniform(a.min_x, a.max_x),
                        rng.Uniform(a.min_y, a.max_y)});
   }
+  return queries;
+}
+
+template <typename Index>
+void QueryLoop(benchmark::State& state, const Index& index,
+               const sub::Subdivision& sub) {
+  const std::vector<geom::Point> queries = SampleQueries(sub, 1024);
   size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(index.Locate(queries[i & 1023]));
@@ -152,6 +181,54 @@ void BM_TrianTreeQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_TrianTreeQuery)->Arg(100)->Arg(1000);
 
+// Per-probe byte decoding vs the flat arena on the same serialized cycle.
+// Small-N spot checks for interactive runs; the --bench-json measurement
+// pass covers the N=100k headline numbers with full verification.
+void BM_DTreeProbeDecode(benchmark::State& state) {
+  const sub::Subdivision& sub = SharedSubdivision(
+      static_cast<int>(state.range(0)));
+  core::DTree::Options o;
+  o.packet_capacity = 256;
+  auto tree = core::DTree::Build(sub, o).value();
+  auto packets = core::SerializeDTreeFlat(tree).value();
+  const std::vector<geom::Point> queries = SampleQueries(sub, 1024);
+  std::vector<int> read;
+  size_t i = 0;
+  for (auto _ : state) {
+    read.clear();
+    benchmark::DoNotOptimize(core::QueryFromPackets(
+        packets, 256, tree.options().early_termination, queries[i & 1023],
+        &read));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DTreeProbeDecode)->Arg(1000);
+
+void BM_DTreeProbeArena(benchmark::State& state) {
+  const sub::Subdivision& sub = SharedSubdivision(
+      static_cast<int>(state.range(0)));
+  core::DTree::Options o;
+  o.packet_capacity = 256;
+  auto tree = core::DTree::Build(sub, o).value();
+  auto packets = core::SerializeDTreeFlat(tree).value();
+  auto arena =
+      core::DTreeArena::Build(packets, 256, /*framed=*/false,
+                              tree.options().early_termination,
+                              tree.num_regions())
+          .value();
+  const std::vector<geom::Point> queries = SampleQueries(sub, 1024);
+  bcast::ProbeTrace trace;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arena.ProbeInto(queries[i & 1023], &trace));
+    benchmark::DoNotOptimize(trace.region);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DTreeProbeArena)->Arg(1000);
+
 // Sharded experiment driver end to end; Arg = thread count. Compares the
 // pool dispatch overhead and scaling of the full query loop (sample ->
 // probe -> channel simulation) at a fixed 500-region workload.
@@ -186,6 +263,295 @@ void BM_ThreadPoolParallelFor(benchmark::State& state) {
 }
 BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// ---------------------------------------------------------------------------
+// --bench-json measurement pass: decode-per-probe vs flat arena, verified.
+// ---------------------------------------------------------------------------
+
+struct ProbeMeasurement {
+  std::string index;
+  int n = 0;
+  size_t arena_bytes = 0;
+  int verified_queries = 0;
+  double decode_ns = 0.0;
+  double arena_ns = 0.0;
+  double speedup = 0.0;
+};
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times fn(query) over the query set until ~0.25 s has elapsed; returns
+/// mean ns per call.
+template <typename Fn>
+double TimeProbeNs(const std::vector<geom::Point>& queries, Fn&& fn) {
+  const size_t nq = queries.size();
+  for (size_t i = 0; i < nq; ++i) fn(queries[i]);  // warm caches
+  int64_t calls = 0;
+  const double start = NowSeconds();
+  double elapsed = 0.0;
+  do {
+    for (size_t i = 0; i < nq; ++i) fn(queries[i]);
+    calls += static_cast<int64_t>(nq);
+    elapsed = NowSeconds() - start;
+  } while (elapsed < 0.25);
+  return elapsed * 1e9 / static_cast<double>(calls);
+}
+
+/// Compares the byte decoder (oracle) against the arena engine on every
+/// query, then times both. `decode` returns the region via Result and
+/// appends the read-log to its vector argument. When `compare_packets` is
+/// false only the region is pinned (the R*-tree arena intentionally logs
+/// memory-Probe-style packets, not the wire walk's header peeks).
+template <typename DecodeFn>
+bool GuardAndMeasure(const std::string& index_name, int n,
+                     DecodeFn&& decode, const bcast::FlatProbeEngine& engine,
+                     bool compare_packets,
+                     const std::vector<geom::Point>& queries,
+                     ProbeMeasurement* out) {
+  std::vector<int> read;
+  bcast::ProbeTrace trace;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const geom::Point& p = queries[i];
+    read.clear();
+    Result<int> oracle = decode(p, &read);
+    const Status st = engine.ProbeInto(p, &trace);
+    if (!oracle.ok() || !st.ok()) {
+      if (oracle.ok() != st.ok() ||
+          oracle.status().code() != st.code()) {
+        std::fprintf(stderr,
+                     "FAIL %s n=%d query %zu: oracle '%s' vs arena '%s'\n",
+                     index_name.c_str(), n, i,
+                     oracle.ok() ? "ok" : oracle.status().ToString().c_str(),
+                     st.ok() ? "ok" : st.ToString().c_str());
+        return false;
+      }
+      continue;  // both failed identically (e.g. NotFound outside area)
+    }
+    if (oracle.value() != trace.region) {
+      std::fprintf(stderr,
+                   "FAIL %s n=%d query %zu (%.17g, %.17g): oracle region %d "
+                   "vs arena region %d\n",
+                   index_name.c_str(), n, i, p.x, p.y, oracle.value(),
+                   trace.region);
+      return false;
+    }
+    if (compare_packets && read != trace.packets) {
+      std::fprintf(stderr,
+                   "FAIL %s n=%d query %zu: packet log diverges "
+                   "(oracle %zu packets, arena %zu)\n",
+                   index_name.c_str(), n, i, read.size(),
+                   trace.packets.size());
+      return false;
+    }
+  }
+
+  out->index = index_name;
+  out->n = n;
+  out->arena_bytes = engine.ArenaBytes();
+  out->verified_queries = static_cast<int>(queries.size());
+  out->decode_ns = TimeProbeNs(queries, [&](const geom::Point& p) {
+    read.clear();
+    benchmark::DoNotOptimize(decode(p, &read));
+  });
+  out->arena_ns = TimeProbeNs(queries, [&](const geom::Point& p) {
+    benchmark::DoNotOptimize(engine.ProbeInto(p, &trace));
+  });
+  out->speedup = out->decode_ns / out->arena_ns;
+  std::printf("%-10s n=%-7d decode %8.1f ns/probe   arena %8.1f ns/probe   "
+              "speedup %5.2fx   arena %zu bytes\n",
+              index_name.c_str(), n, out->decode_ns, out->arena_ns,
+              out->speedup, out->arena_bytes);
+  std::fflush(stdout);
+  return true;
+}
+
+constexpr int kVerifyQueries = 4096;
+constexpr int kPacketCapacity = 256;
+
+bool MeasureDTree(const sub::Subdivision& sub, int n,
+                  std::vector<ProbeMeasurement>* results) {
+  core::DTree::Options o;
+  o.packet_capacity = kPacketCapacity;
+  auto tree_r = core::DTree::Build(sub, o);
+  if (!tree_r.ok()) return false;
+  const core::DTree& tree = tree_r.value();
+  auto packets_r = core::SerializeDTreeFlat(tree);
+  if (!packets_r.ok()) return false;
+  const bcast::PacketBuffer& packets = packets_r.value();
+  auto arena_r = core::DTreeArena::Build(
+      packets, kPacketCapacity, /*framed=*/false,
+      tree.options().early_termination, tree.num_regions());
+  if (!arena_r.ok()) return false;
+  const auto queries = SampleQueries(sub, kVerifyQueries);
+  ProbeMeasurement m;
+  if (!GuardAndMeasure(
+          "dtree", n,
+          [&](const geom::Point& p, std::vector<int>* read) {
+            return core::QueryFromPackets(packets, kPacketCapacity,
+                                          tree.options().early_termination,
+                                          p, read);
+          },
+          arena_r.value(), /*compare_packets=*/true, queries, &m)) {
+    return false;
+  }
+  results->push_back(m);
+  return true;
+}
+
+bool MeasureBaselines(const sub::Subdivision& sub, int n,
+                      std::vector<ProbeMeasurement>* results) {
+  const auto queries = SampleQueries(sub, kVerifyQueries);
+  const int num_regions = sub.NumRegions();
+  {
+    baselines::TrapMap::Options o;
+    o.packet_capacity = kPacketCapacity;
+    auto map_r = baselines::TrapMap::Build(sub, o);
+    if (!map_r.ok()) return false;
+    auto packets_r = map_r.value().SerializePackets();
+    if (!packets_r.ok()) return false;
+    const auto& packets = packets_r.value();
+    auto arena_r = baselines::TrapMapArena::Build(
+        packets, kPacketCapacity, /*framed=*/false, num_regions);
+    if (!arena_r.ok()) return false;
+    ProbeMeasurement m;
+    if (!GuardAndMeasure(
+            "trapmap", n,
+            [&](const geom::Point& p, std::vector<int>* read) {
+              return baselines::TrapMap::QueryFromPackets(
+                  packets, kPacketCapacity, /*framed=*/false, num_regions, p,
+                  read);
+            },
+            arena_r.value(), /*compare_packets=*/true, queries, &m)) {
+      return false;
+    }
+    results->push_back(m);
+  }
+  {
+    baselines::TrianTree::Options o;
+    o.packet_capacity = kPacketCapacity;
+    auto tree_r = baselines::TrianTree::Build(sub, o);
+    if (!tree_r.ok()) return false;
+    auto packets_r = tree_r.value().SerializePackets();
+    if (!packets_r.ok()) return false;
+    const auto& packets = packets_r.value();
+    const auto roots = tree_r.value().RootLocations();
+    auto arena_r = baselines::TrianTreeArena::Build(
+        packets, kPacketCapacity, /*framed=*/false, roots, num_regions);
+    if (!arena_r.ok()) return false;
+    ProbeMeasurement m;
+    if (!GuardAndMeasure(
+            "kirkpatrick", n,
+            [&](const geom::Point& p, std::vector<int>* read) {
+              return baselines::TrianTree::QueryFromPackets(
+                  packets, kPacketCapacity, /*framed=*/false, roots,
+                  num_regions, p, read);
+            },
+            arena_r.value(), /*compare_packets=*/true, queries, &m)) {
+      return false;
+    }
+    results->push_back(m);
+  }
+  {
+    baselines::RStarTree::Options o;
+    o.packet_capacity = kPacketCapacity;
+    auto tree_r = baselines::RStarTree::Build(sub, o);
+    if (!tree_r.ok()) return false;
+    auto packets_r = tree_r.value().SerializePackets();
+    if (!packets_r.ok()) return false;
+    const auto& packets = packets_r.value();
+    auto arena_r = baselines::RStarArena::Build(
+        packets, kPacketCapacity, /*framed=*/false, num_regions);
+    if (!arena_r.ok()) return false;
+    ProbeMeasurement m;
+    if (!GuardAndMeasure(
+            "rstar", n,
+            [&](const geom::Point& p, std::vector<int>* read) {
+              return baselines::RStarTree::QueryFromPackets(
+                  packets, kPacketCapacity, /*framed=*/false, num_regions, p,
+                  read);
+            },
+            arena_r.value(), /*compare_packets=*/false, queries, &m)) {
+      return false;
+    }
+    results->push_back(m);
+  }
+  return true;
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<ProbeMeasurement>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_micro probe throughput\",\n");
+  std::fprintf(f, "  \"packet_capacity\": %d,\n", kPacketCapacity);
+  std::fprintf(f, "  \"verify_queries\": %d,\n", kVerifyQueries);
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ProbeMeasurement& m = results[i];
+    std::fprintf(f,
+                 "    {\"index\": \"%s\", \"n\": %d, "
+                 "\"decode_ns_per_probe\": %.1f, "
+                 "\"arena_ns_per_probe\": %.1f, \"speedup\": %.2f, "
+                 "\"arena_bytes\": %zu, \"verified_queries\": %d}%s\n",
+                 m.index.c_str(), m.n, m.decode_ns, m.arena_ns, m.speedup,
+                 m.arena_bytes, m.verified_queries,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+/// Runs the verified decode-vs-arena measurement matrix and writes the
+/// JSON table. Returns false (-> nonzero exit) on any verification
+/// failure: the arena engines must agree with the byte decoders on every
+/// sampled query before a single number is reported.
+bool RunProbeThroughputPass(const std::string& json_path) {
+  std::vector<ProbeMeasurement> results;
+  for (int n : {1000, 20000, 100000}) {
+    auto ds = workload::MakeScaleDataset(
+        n, workload::ScaleDistribution::kUniform);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "SCALE-U%d build failed: %s\n", n,
+                   ds.status().ToString().c_str());
+      return false;
+    }
+    if (!MeasureDTree(ds.value().subdivision, n, &results)) return false;
+    if (n <= 20000 &&
+        !MeasureBaselines(ds.value().subdivision, n, &results)) {
+      return false;
+    }
+  }
+  return WriteJson(json_path, results);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  // Strip --bench-json=PATH before google-benchmark sees the arguments.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char kFlag[] = "--bench-json=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      json_path = argv[i] + sizeof(kFlag) - 1;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!json_path.empty() && !RunProbeThroughputPass(json_path)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

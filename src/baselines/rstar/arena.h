@@ -1,0 +1,80 @@
+// Flat-arena probe engine for the R*-tree baseline (DESIGN.md §12): the
+// whole broadcast cycle — tree nodes and the shape objects trailing each
+// leaf — decoded once (CRC-verified in framed mode) into contiguous
+// entry/ring arrays, so probes run MBR tests over typed memory and ring
+// tests over SoA coordinate arrays instead of re-walking the shape
+// placement cursor per query.
+//
+// ProbeInto replicates RStarTree::QueryFromPackets' exact decision
+// arithmetic (promoted outward-rounded wire MBRs, the same DFS order,
+// the same ring containment and nearest-boundary fallback) while
+// emitting RStarTree::Probe-style packet accounting: the visited nodes'
+// packets plus the wanted shapes' spans, not the placement walk's header
+// peeks. The differential test therefore pins the region for this
+// engine; the trace shape matches the in-memory Probe.
+
+#ifndef DTREE_BASELINES_RSTAR_ARENA_H_
+#define DTREE_BASELINES_RSTAR_ARENA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/rstar/rstar.h"
+#include "broadcast/arena.h"
+#include "broadcast/frame.h"
+#include "common/status.h"
+#include "geom/point.h"
+
+namespace dtree::baselines {
+
+class RStarArena final : public bcast::FlatProbeEngine {
+ public:
+  /// Decodes every node reachable from packet 0 plus every leaf's shape
+  /// objects (the placement-cursor walk is query-independent, so it runs
+  /// once here instead of once per probe). In framed mode each packet's
+  /// CRC is verified as the build first touches it; malformed counts,
+  /// non-forward child pointers, mismatched shape headers, or
+  /// out-of-range region labels fail with kDataLoss, so the arena is
+  /// never built over unverified bytes.
+  static Result<RStarArena> Build(bcast::PacketSource packets,
+                                  int packet_capacity, bool framed,
+                                  int num_regions);
+
+  Status ProbeInto(const geom::Point& p,
+                   bcast::ProbeTrace* trace) const override;
+  size_t ArenaBytes() const override;
+
+  int num_nodes() const { return static_cast<int>(leaf_.size()); }
+
+ private:
+  RStarArena() = default;
+
+  int budget_ = 0;  ///< DecodeBudget(num_packets), as the wire decoder
+
+  // --- per-node records (index = arena node id; root = 0) ---------------
+  std::vector<uint8_t> leaf_;
+  std::vector<int32_t> packet_;       ///< the node's wire packet
+  std::vector<uint32_t> entry_begin_; ///< size num_nodes + 1
+
+  // --- per-entry records, flattened across all nodes --------------------
+  std::vector<geom::BBox> ebox_;      ///< promoted outward-rounded wire MBR
+  std::vector<uint32_t> child_;       ///< internal: arena node id
+  std::vector<int32_t> region_;       ///< leaf: the shape's region id
+  std::vector<int32_t> shape_first_;  ///< leaf: shape span start packet
+  std::vector<int32_t> shape_num_;    ///< leaf: shape span packet count
+  std::vector<uint8_t> attempts_;     ///< leaf: placement-walk budget cost
+  std::vector<uint32_t> ring_begin_;  ///< size num_entries + 1
+
+  // --- shape rings (promoted wire f32), flattened -----------------------
+  std::vector<double> rx_, ry_;
+};
+
+/// Server-side arena for a built R*-tree: serializes and decodes back.
+/// The ArenaIndex reports the tree's identity, so experiment output is
+/// byte-identical with the arena enabled.
+Result<bcast::ArenaIndex> BuildRStarArenaIndex(const RStarTree& tree,
+                                               int num_regions);
+
+}  // namespace dtree::baselines
+
+#endif  // DTREE_BASELINES_RSTAR_ARENA_H_

@@ -2,6 +2,13 @@
 
 namespace dtree::bcast {
 
+Status AirIndex::ProbeInto(const geom::Point& p, ProbeTrace* trace) const {
+  Result<ProbeTrace> r = Probe(p);
+  if (!r.ok()) return r.status();
+  *trace = std::move(r).value();
+  return Status::OK();
+}
+
 Status ValidateTrace(const ProbeTrace& trace, int num_index_packets,
                      int num_regions, bool require_forward) {
   if (trace.region < 0 || trace.region >= num_regions) {

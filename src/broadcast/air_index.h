@@ -87,6 +87,14 @@ class AirIndex {
   /// repository (D-tree, R*-tree, trap-tree, trian-tree) satisfy it by
   /// being immutable after Build().
   virtual Result<ProbeTrace> Probe(const geom::Point& p) const = 0;
+
+  /// Allocation-light variant: fills `*trace` (clearing any previous
+  /// contents but keeping its vectors' capacity), so a caller probing many
+  /// queries can reuse one trace instead of constructing fresh vectors per
+  /// query. Same semantics and concurrency contract as Probe; `*trace` is
+  /// unspecified on error. The default forwards to Probe; hot-path
+  /// implementations override it.
+  virtual Status ProbeInto(const geom::Point& p, ProbeTrace* trace) const;
 };
 
 /// Validates a trace: region resolved, packet ids within range, and — when

@@ -1,0 +1,11 @@
+#include "broadcast/arena.h"
+
+namespace dtree::bcast {
+
+Result<ProbeTrace> ArenaIndex::Probe(const geom::Point& p) const {
+  ProbeTrace trace;
+  DTREE_RETURN_IF_ERROR(engine_->ProbeInto(p, &trace));
+  return trace;
+}
+
+}  // namespace dtree::bcast

@@ -160,14 +160,16 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
     Histogram* h_corrupted = sums.metrics.histogram(kCorruptedPacketsHist);
     const bool tracing = options.trace_sink != nullptr;
     if (tracing) sums.traces.reserve(static_cast<size_t>(shard_queries));
+    // Hoisted out of the query loop: ProbeInto refills the same trace, so
+    // arena-backed indexes run the loop without per-query heap churn.
+    ProbeTrace trace;
     for (int q = 0; q < shard_queries; ++q) {
       const geom::Point p = sampler.Draw(&rng);
-      Result<ProbeTrace> trace_r = index.Probe(p);
-      if (!trace_r.ok()) {
-        sums.error = trace_r.status();
+      const Status probe_st = index.ProbeInto(p, &trace);
+      if (!probe_st.ok()) {
+        sums.error = probe_st;
         return;
       }
-      const ProbeTrace& trace = trace_r.value();
 
       if (oracle != nullptr) {
         const int expect = oracle->Locate(p);

@@ -10,8 +10,7 @@ namespace dtree::bcast {
 
 namespace {
 
-uint32_t FrameTrailer(const std::vector<uint8_t>& frame) {
-  const size_t n = frame.size();
+uint32_t FrameTrailer(const uint8_t* frame, size_t n) {
   return static_cast<uint32_t>(frame[n - 4]) |
          static_cast<uint32_t>(frame[n - 3]) << 8 |
          static_cast<uint32_t>(frame[n - 2]) << 16 |
@@ -52,7 +51,7 @@ Status VerifyFrame(const std::vector<uint8_t>& frame) {
     return Status::DataLoss("frame shorter than its CRC trailer");
   }
   const size_t payload = frame.size() - kFrameCrcBytes;
-  if (Crc32(frame.data(), payload) != FrameTrailer(frame)) {
+  if (Crc32(frame.data(), payload) != FrameTrailer(frame.data(), frame.size())) {
     return Status::DataLoss("frame failed its CRC check");
   }
   return Status::OK();
@@ -128,36 +127,38 @@ Status PacketReader::ReadF32(float* out) {
 }
 
 Status PacketReader::ReadByte(uint8_t* out) {
-  if (!entered_) DTREE_RETURN_IF_ERROR(EnterPacket());
+  if (cur_ == nullptr) DTREE_RETURN_IF_ERROR(EnterPacket());
   if (offset_ == static_cast<size_t>(capacity_)) {
     ++packet_;
     offset_ = 0;
     DTREE_RETURN_IF_ERROR(EnterPacket());
   }
-  *out = packets_[packet_][offset_];
+  *out = cur_[offset_];
   ++offset_;
   return Status::OK();
 }
 
 Status PacketReader::EnterPacket() {
-  entered_ = true;
-  if (packet_ < 0 || packet_ >= static_cast<int>(packets_.size())) {
+  if (packet_ < 0 ||
+      packet_ >= static_cast<int>(packets_.num_packets())) {
     return Status::OutOfRange("decoder ran off the packet stream");
   }
-  const std::vector<uint8_t>& pkt = packets_[packet_];
+  const size_t pkt_size = packets_.size(static_cast<size_t>(packet_));
+  const uint8_t* pkt = packets_.data(static_cast<size_t>(packet_));
   const size_t expect = static_cast<size_t>(capacity_) +
                         (framed_ ? kFrameCrcBytes : 0);
-  if (pkt.size() != expect) {
+  if (pkt_size != expect) {
     return Status::DataLoss("packet " + std::to_string(packet_) + " is " +
-                            std::to_string(pkt.size()) +
+                            std::to_string(pkt_size) +
                             " bytes, expected " + std::to_string(expect));
   }
   if (framed_ &&
-      Crc32(pkt.data(), static_cast<size_t>(capacity_)) !=
-          FrameTrailer(pkt)) {
+      Crc32(pkt, static_cast<size_t>(capacity_)) !=
+          FrameTrailer(pkt, pkt_size)) {
     return Status::DataLoss("packet " + std::to_string(packet_) +
                             " failed its CRC check");
   }
+  cur_ = pkt;
   if (offset_ > static_cast<size_t>(capacity_)) {
     return Status::DataLoss("read offset " + std::to_string(offset_) +
                             " outside packet " + std::to_string(packet_));

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "broadcast/packet_buffer.h"
 #include "common/status.h"
 
 namespace dtree::bcast {
@@ -100,9 +101,10 @@ uint8_t ExpectedDataBucketByte(int region, size_t j);
 /// verified the first time the reader enters it.
 class PacketReader {
  public:
-  PacketReader(const std::vector<std::vector<uint8_t>>& packets, int capacity,
-               bool framed, int packet, size_t offset,
-               std::vector<int>* read_log)
+  /// `packets` is a PacketSource view; a vector-of-vectors packet set
+  /// converts implicitly, so legacy call sites read exactly as before.
+  PacketReader(PacketSource packets, int capacity, bool framed, int packet,
+               size_t offset, std::vector<int>* read_log)
       : packets_(packets), capacity_(capacity), framed_(framed),
         packet_(packet), offset_(offset), read_log_(read_log) {}
 
@@ -115,16 +117,17 @@ class PacketReader {
 
   /// Validates the packet the reader is about to consume: it must exist,
   /// carry exactly the advertised capacity (+ trailer when framed), and in
-  /// framed mode its CRC must match. Also appends it to the read log.
+  /// framed mode its CRC must match. Also appends it to the read log and
+  /// caches its payload pointer for the per-byte fast path.
   Status EnterPacket();
 
-  const std::vector<std::vector<uint8_t>>& packets_;
+  PacketSource packets_;
   int capacity_;
   bool framed_;
   int packet_;
   size_t offset_;
   std::vector<int>* read_log_;
-  bool entered_ = false;
+  const uint8_t* cur_ = nullptr;  ///< payload of the entered packet
 };
 
 /// Sequential byte sink that spills across consecutive packets.

@@ -1,0 +1,124 @@
+// Flat packet storage: one contiguous byte buffer holding every packet of
+// a broadcast cycle, plus a non-owning view type the hardened readers use.
+//
+// The legacy representation — std::vector<std::vector<uint8_t>> — costs
+// one heap allocation per packet and scatters consecutive packets across
+// the heap, which the flat-arena probe work (DESIGN.md §12) measured as a
+// real fraction of decode-per-probe time. PacketBuffer keeps the whole
+// cycle in a single allocation (packet i occupies bytes
+// [i * packet_bytes, (i+1) * packet_bytes)); PacketSource abstracts over
+// both representations so decoders written against it serve either without
+// copying. PacketSource also supports a strided view, letting a decoder
+// read index packets in place inside larger framed records (e.g. the
+// 5-byte-headered radio frames of dtree::core::BroadcastProgram) without
+// materializing per-packet copies.
+
+#ifndef DTREE_BROADCAST_PACKET_BUFFER_H_
+#define DTREE_BROADCAST_PACKET_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dtree::bcast {
+
+/// Owning flat packet store: `num_packets` packets of exactly
+/// `packet_bytes` bytes each, contiguous and zero-initialized.
+class PacketBuffer {
+ public:
+  PacketBuffer() = default;
+  PacketBuffer(size_t num_packets, size_t packet_bytes)
+      : packet_bytes_(packet_bytes), num_packets_(num_packets),
+        bytes_(num_packets * packet_bytes, 0) {}
+
+  size_t num_packets() const { return num_packets_; }
+  size_t packet_bytes() const { return packet_bytes_; }
+  size_t size_bytes() const { return bytes_.size(); }
+  bool empty() const { return num_packets_ == 0; }
+
+  const uint8_t* data() const { return bytes_.data(); }
+  uint8_t* data() { return bytes_.data(); }
+  const uint8_t* packet(size_t i) const {
+    DTREE_DCHECK(i < num_packets_);
+    return bytes_.data() + i * packet_bytes_;
+  }
+  uint8_t* packet(size_t i) {
+    DTREE_DCHECK(i < num_packets_);
+    return bytes_.data() + i * packet_bytes_;
+  }
+
+  /// Writes `n` bytes starting at (packet, offset), spilling across packet
+  /// boundaries exactly like PacketCursor (packets are contiguous, so the
+  /// spill is a single memcpy). The target range is trusted
+  /// (serialization-side); overruns are CHECK-failures.
+  void Write(size_t packet, size_t offset, const uint8_t* src, size_t n);
+
+  /// Legacy-format adapters (copying), for call sites that still exchange
+  /// vector-of-vectors packet sets.
+  std::vector<std::vector<uint8_t>> ToVectors() const;
+  static PacketBuffer FromVectors(
+      const std::vector<std::vector<uint8_t>>& packets);
+
+ private:
+  size_t packet_bytes_ = 0;
+  size_t num_packets_ = 0;
+  std::vector<uint8_t> bytes_;
+};
+
+/// Non-owning packet view over either representation. Cheap to copy; the
+/// underlying storage must outlive the view.
+class PacketSource {
+ public:
+  PacketSource() = default;
+
+  /// View over the legacy vector-of-vectors representation (implicit: lets
+  /// existing PacketReader call sites compile unchanged).
+  PacketSource(const std::vector<std::vector<uint8_t>>& packets)  // NOLINT
+      : vecs_(&packets), count_(packets.size()) {}
+
+  /// View over a PacketBuffer.
+  PacketSource(const PacketBuffer& buf)  // NOLINT
+      : base_(buf.data()), packet_bytes_(buf.packet_bytes()),
+        stride_(buf.packet_bytes()), count_(buf.num_packets()) {}
+
+  /// Strided flat view: packet i is the `packet_bytes`-byte range at
+  /// `base + i * stride + body_offset`. Lets decoders read packet bodies
+  /// embedded in larger fixed-size records (radio frames) in place.
+  static PacketSource Strided(const uint8_t* base, size_t count,
+                              size_t stride, size_t body_offset,
+                              size_t packet_bytes) {
+    PacketSource s;
+    s.base_ = base + body_offset;
+    s.packet_bytes_ = packet_bytes;
+    s.stride_ = stride;
+    s.count_ = count;
+    return s;
+  }
+
+  size_t num_packets() const { return count_; }
+
+  const uint8_t* data(size_t i) const {
+    DTREE_DCHECK(i < count_);
+    return vecs_ != nullptr ? (*vecs_)[i].data() : base_ + i * stride_;
+  }
+  /// Actual byte size of packet i (flat views are fixed-size by
+  /// construction; vector views report the real, possibly truncated,
+  /// vector length so hardened readers can reject it).
+  size_t size(size_t i) const {
+    DTREE_DCHECK(i < count_);
+    return vecs_ != nullptr ? (*vecs_)[i].size() : packet_bytes_;
+  }
+
+ private:
+  const std::vector<std::vector<uint8_t>>* vecs_ = nullptr;
+  const uint8_t* base_ = nullptr;
+  size_t packet_bytes_ = 0;
+  size_t stride_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace dtree::bcast
+
+#endif  // DTREE_BROADCAST_PACKET_BUFFER_H_

@@ -11,16 +11,16 @@ namespace dtree::core {
 
 namespace {
 
-void PutU32(std::vector<uint8_t>* buf, size_t at, uint32_t v) {
+void PutU32(uint8_t* buf, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
-    (*buf)[at + i] = static_cast<uint8_t>((v >> (8 * i)) & 0xff);
+    buf[i] = static_cast<uint8_t>((v >> (8 * i)) & 0xff);
   }
 }
 
-uint32_t GetU32(const std::vector<uint8_t>& buf, size_t at) {
+uint32_t GetU32(const uint8_t* buf) {
   uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(buf[at + i]) << (8 * i);
+    v |= static_cast<uint32_t>(buf[i]) << (8 * i);
   }
   return v;
 }
@@ -33,10 +33,9 @@ Result<BroadcastProgram> BroadcastProgram::Materialize(
     return Status::InvalidArgument(
         "channel layout does not match the tree's packet count");
   }
-  Result<std::vector<std::vector<uint8_t>>> index_r =
-      SerializeDTree(tree);
+  Result<bcast::PacketBuffer> index_r = SerializeDTreeFlat(tree);
   if (!index_r.ok()) return index_r.status();
-  const auto& index_packets = index_r.value();
+  const bcast::PacketBuffer& index_packets = index_r.value();
 
   BroadcastProgram prog;
   prog.capacity_ = tree.PacketCapacity();
@@ -48,8 +47,8 @@ Result<BroadcastProgram> BroadcastProgram::Materialize(
 
   const size_t cap = static_cast<size_t>(prog.capacity_);
   const int64_t cycle = channel.cycle_packets();
-  prog.frames_.assign(static_cast<size_t>(cycle),
-                      std::vector<uint8_t>(kHeaderSize + cap, 0));
+  prog.frames_ =
+      bcast::PacketBuffer(static_cast<size_t>(cycle), kHeaderSize + cap);
   prog.bucket_starts_.assign(prog.num_regions_, -1);
 
   for (int j = 0; j < prog.m_; ++j) {
@@ -60,9 +59,10 @@ Result<BroadcastProgram> BroadcastProgram::Materialize(
   for (int j = 0; j < prog.m_; ++j) {
     const int64_t base = channel.IndexSegmentStart(j);
     for (int k = 0; k < prog.index_packets_; ++k) {
-      auto& f = prog.frames_[base + k];
+      uint8_t* f = prog.frames_.packet(static_cast<size_t>(base + k));
       f[0] = kIndexFrame;
-      std::memcpy(f.data() + kHeaderSize, index_packets[k].data(), cap);
+      std::memcpy(f + kHeaderSize,
+                  index_packets.packet(static_cast<size_t>(k)), cap);
     }
   }
   // Lay down data buckets: each 1 KB instance is stamped with its region
@@ -71,10 +71,10 @@ Result<BroadcastProgram> BroadcastProgram::Materialize(
     const int64_t base = channel.BucketStart(r);
     prog.bucket_starts_[r] = base;
     for (int k = 0; k < prog.bucket_packets_; ++k) {
-      auto& f = prog.frames_[base + k];
+      uint8_t* f = prog.frames_.packet(static_cast<size_t>(base + k));
       f[0] = kDataFrame;
-      for (size_t off = kHeaderSize; off + 4 <= f.size(); off += 4) {
-        PutU32(&f, off, static_cast<uint32_t>(r));
+      for (size_t off = kHeaderSize; off + 4 <= kHeaderSize + cap; off += 4) {
+        PutU32(f + off, static_cast<uint32_t>(r));
       }
     }
   }
@@ -89,7 +89,8 @@ Result<BroadcastProgram> BroadcastProgram::Materialize(
       }
     }
     if (next < 0) next = cycle + prog.segment_starts_[0];
-    PutU32(&prog.frames_[i], 1, static_cast<uint32_t>(next - i));
+    PutU32(prog.frames_.packet(static_cast<size_t>(i)) + 1,
+           static_cast<uint32_t>(next - i));
   }
   return prog;
 }
@@ -99,9 +100,9 @@ Status BroadcastProgram::ParseHeader(int64_t frame, uint8_t* type,
   if (frame < 0 || frame >= num_frames()) {
     return Status::OutOfRange("frame index outside the cycle");
   }
-  const auto& f = frames_[frame];
+  const uint8_t* f = frames_.packet(static_cast<size_t>(frame));
   *type = f[0];
-  *next_index = GetU32(f, 1);
+  *next_index = GetU32(f + 1);
   return Status::OK();
 }
 
@@ -123,21 +124,25 @@ Result<BroadcastProgram::SessionResult> BroadcastProgram::RunClient(
   int64_t pos = probe + 1;
   DTREE_CHECK(seg_start >= pos);
 
-  // --- Index search from the raw frames of that segment.
-  // Strip the frame headers of this segment's index packets.
+  // --- Index search from the raw frames of that segment, read in place:
+  // a strided view exposes each frame's body without materializing
+  // per-packet copies.
   const int64_t seg_in_cycle = seg_start % cycle;
-  std::vector<std::vector<uint8_t>> bodies;
-  bodies.reserve(index_packets_);
+  const size_t cap = static_cast<size_t>(capacity_);
   for (int k = 0; k < index_packets_; ++k) {
-    const auto& f = frames_[seg_in_cycle + k];
-    if (f[0] != kIndexFrame) {
+    if (frames_.packet(static_cast<size_t>(seg_in_cycle + k))[0] !=
+        kIndexFrame) {
       return Status::Internal("expected an index frame inside the segment");
     }
-    bodies.emplace_back(f.begin() + kHeaderSize, f.end());
   }
-  std::vector<int> read;
-  Result<int> region_r = QueryFromPackets(
-      bodies, capacity_, early_termination_, p, &read);
+  const bcast::PacketSource bodies = bcast::PacketSource::Strided(
+      frames_.packet(static_cast<size_t>(seg_in_cycle)),
+      static_cast<size_t>(index_packets_), frames_.packet_bytes(),
+      kHeaderSize, cap);
+  thread_local std::vector<int> read;
+  read.clear();
+  Result<int> region_r =
+      QueryFromPackets(bodies, capacity_, early_termination_, p, &read);
   if (!region_r.ok()) return region_r.status();
   const int region = region_r.value();
   if (region < 0 || region >= num_regions_) {
@@ -155,12 +160,13 @@ Result<BroadcastProgram::SessionResult> BroadcastProgram::RunClient(
   int64_t data_at = (pos / cycle) * cycle + bucket_in_cycle;
   if (data_at < pos) data_at += cycle;
   for (int k = 0; k < bucket_packets_; ++k) {
-    const auto& f = frames_[(data_at + k) % cycle];
+    const uint8_t* f =
+        frames_.packet(static_cast<size_t>((data_at + k) % cycle));
     if (f[0] != kDataFrame) {
       return Status::Internal("expected a data frame in the bucket");
     }
-    for (size_t off = kHeaderSize; off + 4 <= f.size(); off += 4) {
-      if (GetU32(f, off) != static_cast<uint32_t>(region)) {
+    for (size_t off = kHeaderSize; off + 4 <= kHeaderSize + cap; off += 4) {
+      if (GetU32(f + off) != static_cast<uint32_t>(region)) {
         return Status::Internal("data payload stamp mismatch");
       }
     }

@@ -21,9 +21,11 @@
 #define DTREE_DTREE_PROGRAM_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "broadcast/channel.h"
+#include "broadcast/packet_buffer.h"
 #include "common/status.h"
 #include "dtree/dtree.h"
 
@@ -38,8 +40,14 @@ class BroadcastProgram {
       const DTree& tree, const bcast::BroadcastChannel& channel);
 
   int capacity() const { return capacity_; }
-  int64_t num_frames() const { return static_cast<int64_t>(frames_.size()); }
-  const std::vector<uint8_t>& frame(int64_t i) const { return frames_[i]; }
+  int64_t num_frames() const {
+    return static_cast<int64_t>(frames_.num_packets());
+  }
+  /// One radio frame (header + body), in place inside the flat cycle
+  /// buffer — the whole cycle is a single contiguous allocation.
+  std::span<const uint8_t> frame(int64_t i) const {
+    return {frames_.packet(static_cast<size_t>(i)), frames_.packet_bytes()};
+  }
 
   /// Frame-header constants.
   static constexpr size_t kHeaderSize = 5;
@@ -77,7 +85,8 @@ class BroadcastProgram {
   int bucket_packets_ = 0;
   int num_regions_ = 0;
   bool early_termination_ = true;
-  std::vector<std::vector<uint8_t>> frames_;
+  bcast::PacketBuffer frames_;  ///< one contiguous kHeaderSize+capacity
+                                ///< record per packet slot of the cycle
   std::vector<int64_t> segment_starts_;
   std::vector<int64_t> bucket_starts_;  ///< region -> first data frame
 };

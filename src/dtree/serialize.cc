@@ -7,6 +7,8 @@
 #include "common/bytes.h"
 #include "common/check.h"
 #include "common/crc32.h"
+#include "dtree/wire.h"
+#include "geom/predicates.h"
 
 namespace dtree::core {
 
@@ -20,123 +22,98 @@ using bcast::PacketReader;
 
 constexpr int kMaxScalarCoords = (1 << 14) - 1;
 
-Result<int> QueryImpl(const std::vector<std::vector<uint8_t>>& packets,
-                      int packet_capacity, bool framed, bool early_termination,
+Result<int> QueryImpl(bcast::PacketSource packets, int packet_capacity,
+                      bool framed, bool early_termination,
                       const geom::Point& p, std::vector<int>* packets_read) {
-  if (packets.empty()) return Status::InvalidArgument("no packets");
+  if (packets.num_packets() == 0) return Status::InvalidArgument("no packets");
   if (packet_capacity < 1) {
     return Status::InvalidArgument("packet capacity must be positive");
   }
   int packet = 0;
   size_t offset = 0;
-  const int budget = bcast::DecodeBudget(packets.size());
+  const int budget = bcast::DecodeBudget(packets.num_packets());
+  // Polyline point scratch, reused across chains, nodes, and queries:
+  // the descent itself never heap-allocates once the scratch is warm.
+  thread_local std::vector<double> sx, sy;
   for (int hops = 0; hops < budget; ++hops) {
     PacketReader r(packets, packet_capacity, framed, packet, offset,
                    packets_read);
-    uint16_t bid, header;
-    DTREE_RETURN_IF_ERROR(r.ReadU16(&bid));
-    DTREE_RETURN_IF_ERROR(r.ReadU16(&header));
-    const PartitionDim dim =
-        (header & 1) ? PartitionDim::kXDim : PartitionDim::kYDim;
-    const bool has_bounds = (header & 2) != 0;
-    const int total_coords = header >> 2;
-    uint32_t left_ptr, right_ptr;
-    DTREE_RETURN_IF_ERROR(r.ReadU32(&left_ptr));
-    DTREE_RETURN_IF_ERROR(r.ReadU32(&right_ptr));
+    WireNodePrefix n;
+    DTREE_RETURN_IF_ERROR(ReadWireNodePrefix(&r, &n));
 
     bool go_left = false;
     bool decided = false;
-    bool bounds_known = false;
-    float rmc = 0.0f, lmc = 0.0f;
-    if (has_bounds) {
-      DTREE_RETURN_IF_ERROR(r.ReadF32(&rmc));
-      DTREE_RETURN_IF_ERROR(r.ReadF32(&lmc));
-      bounds_known = true;
-      // Only stop reading mid-node when early termination is enabled —
-      // otherwise fall through and read the whole node like a client
-      // without the §4.4 arrangement would.
-      if (early_termination) {
-        if (dim == PartitionDim::kYDim) {
-          if (p.x <= lmc) {
-            go_left = true;
-            decided = true;
-          } else if (p.x >= rmc) {
-            go_left = false;
-            decided = true;
-          }
-        } else {
-          if (p.y >= lmc) {
-            go_left = true;
-            decided = true;
-          } else if (p.y <= rmc) {
-            go_left = false;
-            decided = true;
-          }
+    // Only stop reading mid-node when early termination is enabled —
+    // otherwise fall through and read the whole node like a client
+    // without the §4.4 arrangement would.
+    if (n.has_bounds && early_termination) {
+      if (n.dim == PartitionDim::kYDim) {
+        if (p.x <= n.lmc) {
+          go_left = true;
+          decided = true;
+        } else if (p.x >= n.rmc) {
+          go_left = false;
+          decided = true;
+        }
+      } else {
+        if (p.y >= n.lmc) {
+          go_left = true;
+          decided = true;
+        } else if (p.y <= n.rmc) {
+          go_left = false;
+          decided = true;
         }
       }
     }
     if (!decided) {
-      // Read the partition and run Algorithm 2 in full.
-      std::vector<geom::Polyline> polylines;
-      polylines.reserve(4);  // partitions are nearly always a few chains
-      int coords = 0;
-      double min_c = 1e300, max_c = -1e300;
-      while (coords < total_coords) {
-        uint16_t count;
-        DTREE_RETURN_IF_ERROR(r.ReadU16(&count));
-        if (count < 2) return Status::DataLoss("polyline with < 2 points");
-        if (coords + 2 * static_cast<int>(count) > total_coords) {
-          return Status::DataLoss(
-              "polyline overruns the node's coordinate count");
+      // Read the partition and run Algorithm 2 in full. The ray-crossing
+      // parity accumulates per chain while streaming; the D1/D3 shortcut
+      // against the (possibly reconstructed) bounds is applied after,
+      // exactly as PointInSubspaceTest orders its checks.
+      double min_c, max_c;
+      int crossings = 0;
+      DTREE_RETURN_IF_ERROR(ReadWirePolylines(
+          &r, n.dim, n.total_coords, &sx, &sy, &min_c, &max_c,
+          [&](const double* xs, const double* ys, size_t cnt, bool closed) {
+            if (cnt < 2) return;
+            const size_t nseg = closed ? cnt : cnt - 1;
+            for (size_t i = 0; i < nseg; ++i) {
+              const size_t j = (i + 1) % cnt;
+              const geom::Point a{xs[i], ys[i]}, b{xs[j], ys[j]};
+              if (n.dim == PartitionDim::kYDim) {
+                crossings += geom::RayRightCrossesSegment(p, a, b) ? 1 : 0;
+              } else {
+                crossings += geom::RayDownCrossesSegment(p, a, b) ? 1 : 0;
+              }
+            }
+          }));
+      const auto [near_b, far_b] = WireShortcutBounds(n, min_c, max_c);
+      if (n.dim == PartitionDim::kYDim) {
+        if (p.x <= near_b) {
+          go_left = true;   // D1: all-left
+        } else if (p.x >= far_b) {
+          go_left = false;  // D3: all-right
+        } else {
+          go_left = (crossings % 2) == 1;
         }
-        geom::Polyline pl;
-        pl.pts.reserve(count);
-        for (int i = 0; i < count; ++i) {
-          float x, y;
-          DTREE_RETURN_IF_ERROR(r.ReadF32(&x));
-          DTREE_RETURN_IF_ERROR(r.ReadF32(&y));
-          pl.pts.push_back({x, y});
-          const double c = dim == PartitionDim::kYDim ? x : y;
-          min_c = std::min(min_c, c);
-          max_c = std::max(max_c, c);
-        }
-        coords += 2 * count;
-        if (pl.pts.size() > 3 &&
-            geom::NearlyEqual(pl.pts.front(), pl.pts.back(),
-                              geom::kGeomEps)) {
-          pl.pts.pop_back();
-          pl.closed = true;
-        }
-        polylines.push_back(std::move(pl));
-      }
-      if (coords != total_coords) {
-        return Status::DataLoss("partition coordinate count mismatch");
-      }
-      // Shortcut bounds: explicit when the header carried them, otherwise
-      // reconstructed from the partition's extreme coordinates (valid —
-      // the encoder sets the explicit-bounds flag exactly when they would
-      // not be recoverable this way).
-      double near_b, far_b;
-      if (bounds_known) {
-        near_b = lmc;
-        far_b = rmc;
-      } else if (dim == PartitionDim::kYDim) {
-        near_b = min_c;
-        far_b = max_c;
       } else {
-        near_b = max_c;  // lower_umc: the truncation line (max y)
-        far_b = min_c;   // upper_lwc
+        if (p.y >= near_b) {
+          go_left = true;   // all-upper
+        } else if (p.y <= far_b) {
+          go_left = false;  // all-lower
+        } else {
+          go_left = (crossings % 2) == 1;
+        }
       }
-      go_left = PointInSubspaceTest(dim, near_b, far_b, polylines, p);
     }
 
-    const uint32_t ptr = go_left ? left_ptr : right_ptr;
+    const uint32_t ptr = go_left ? n.left_ptr : n.right_ptr;
     if (ptr & kDataPtrBit) {
       return static_cast<int>(ptr & ~kDataPtrBit);
     }
     packet = static_cast<int>(ptr >> kOffsetBits);
     offset = ptr & kOffsetMask;
-    if (packet >= static_cast<int>(packets.size())) {
+    if (packet >= static_cast<int>(packets.num_packets())) {
       return Status::DataLoss("node pointer outside the packet stream");
     }
     if (offset >= static_cast<size_t>(packet_capacity)) {
@@ -148,11 +125,10 @@ Result<int> QueryImpl(const std::vector<std::vector<uint8_t>>& packets,
 
 }  // namespace
 
-Result<std::vector<std::vector<uint8_t>>> SerializeDTree(const DTree& tree) {
+Result<bcast::PacketBuffer> SerializeDTreeFlat(const DTree& tree) {
   const int capacity = tree.PacketCapacity();
-  std::vector<std::vector<uint8_t>> packets(
-      tree.NumIndexPackets(),
-      std::vector<uint8_t>(static_cast<size_t>(capacity), 0));
+  bcast::PacketBuffer packets(static_cast<size_t>(tree.NumIndexPackets()),
+                              static_cast<size_t>(capacity));
   if (tree.root() < 0) return packets;  // single-region: empty index
 
   for (int bfs = 0; bfs < tree.num_nodes(); ++bfs) {
@@ -231,24 +207,32 @@ Result<std::vector<std::vector<uint8_t>>> SerializeDTree(const DTree& tree) {
                               " != accounted size " +
                               std::to_string(n.byte_size));
     }
-    bcast::PacketCursor cursor(&packets, capacity, s.first_packet, s.offset);
-    cursor.Write(w.bytes());
+    // Packets are contiguous in the flat buffer, so a node that spills
+    // into the following packet(s) is still one straight copy.
+    packets.Write(static_cast<size_t>(s.first_packet), s.offset,
+                  w.bytes().data(), w.size());
   }
   return packets;
 }
 
-Result<int> QueryFromPackets(const std::vector<std::vector<uint8_t>>& packets,
-                             int packet_capacity, bool early_termination,
-                             const geom::Point& p,
+Result<std::vector<std::vector<uint8_t>>> SerializeDTree(const DTree& tree) {
+  Result<bcast::PacketBuffer> flat = SerializeDTreeFlat(tree);
+  if (!flat.ok()) return flat.status();
+  return flat.value().ToVectors();
+}
+
+Result<int> QueryFromPackets(bcast::PacketSource packets, int packet_capacity,
+                             bool early_termination, const geom::Point& p,
                              std::vector<int>* packets_read) {
   return QueryImpl(packets, packet_capacity, /*framed=*/false,
                    early_termination, p, packets_read);
 }
 
-Result<int> QueryFromFramedPackets(
-    const std::vector<std::vector<uint8_t>>& frames, int packet_capacity,
-    bool early_termination, const geom::Point& p,
-    std::vector<int>* packets_read) {
+Result<int> QueryFromFramedPackets(bcast::PacketSource frames,
+                                   int packet_capacity,
+                                   bool early_termination,
+                                   const geom::Point& p,
+                                   std::vector<int>* packets_read) {
   return QueryImpl(frames, packet_capacity, /*framed=*/true,
                    early_termination, p, packets_read);
 }

@@ -46,15 +46,23 @@ using bcast::FramePackets;
 using bcast::VerifyFrame;
 using bcast::UnframePackets;
 
-/// One broadcast cycle's worth of index packets, each exactly
-/// `packet_capacity` bytes (zero-padded).
+/// One broadcast cycle's worth of index packets in flat storage: a single
+/// contiguous allocation of `NumIndexPackets() * packet_capacity` bytes
+/// (zero-padded), packet i at byte offset i * capacity.
+Result<bcast::PacketBuffer> SerializeDTreeFlat(const DTree& tree);
+
+/// Legacy vector-of-vectors form of the same bytes (copies out of the
+/// flat buffer).
 Result<std::vector<std::vector<uint8_t>>> SerializeDTree(const DTree& tree);
 
 /// Client-side query over raw packets: descends from packet 0 offset 0,
 /// decoding nodes as it goes. Returns the region id and (out parameter)
 /// the ordered list of packet ids read, applying the same early-
-/// termination rule a real client would. Intended for round-trip tests.
-Result<int> QueryFromPackets(const std::vector<std::vector<uint8_t>>& packets,
+/// termination rule a real client would. Accepts any packet
+/// representation PacketSource can view (vector-of-vectors and
+/// PacketBuffer convert implicitly). Intended for round-trip tests and as
+/// the flat-arena engines' bit-identical oracle.
+Result<int> QueryFromPackets(bcast::PacketSource packets,
                              int packet_capacity, bool early_termination,
                              const geom::Point& p,
                              std::vector<int>* packets_read);
@@ -63,10 +71,11 @@ Result<int> QueryFromPackets(const std::vector<std::vector<uint8_t>>& packets,
 /// packet's CRC is verified when the decoder first touches it, so any
 /// corruption on the read path surfaces as kDataLoss — the signal the
 /// lossy-channel client uses to trigger re-tune recovery.
-Result<int> QueryFromFramedPackets(
-    const std::vector<std::vector<uint8_t>>& frames, int packet_capacity,
-    bool early_termination, const geom::Point& p,
-    std::vector<int>* packets_read);
+Result<int> QueryFromFramedPackets(bcast::PacketSource frames,
+                                   int packet_capacity,
+                                   bool early_termination,
+                                   const geom::Point& p,
+                                   std::vector<int>* packets_read);
 
 }  // namespace dtree::core
 

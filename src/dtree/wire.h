@@ -1,0 +1,123 @@
+// Shared D-tree wire-format decode helpers, used by the per-probe packet
+// decoder (serialize.cc) and the flat-arena builder (arena.cc). Keeping
+// the byte-level parse in one place is what lets the arena guarantee
+// bit-identical results: both paths read the same fields in the same
+// order with the same f32→double promotions and the same hardening
+// checks.
+
+#ifndef DTREE_DTREE_WIRE_H_
+#define DTREE_DTREE_WIRE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "broadcast/frame.h"
+#include "common/status.h"
+#include "dtree/partition.h"
+#include "geom/point.h"
+
+namespace dtree::core {
+
+/// Fixed-size leading fields of a serialized node (Table 2). When
+/// `has_bounds`, the RMC/LMC shortcut bounds follow the pointers and are
+/// included here; the variable-length partition polylines come after.
+struct WireNodePrefix {
+  uint16_t bid = 0;
+  PartitionDim dim = PartitionDim::kYDim;
+  bool has_bounds = false;
+  int total_coords = 0;  ///< partition size in scalar coordinates
+  uint32_t left_ptr = 0;
+  uint32_t right_ptr = 0;
+  float rmc = 0.0f;  ///< far shortcut bound (valid when has_bounds)
+  float lmc = 0.0f;  ///< near shortcut bound (valid when has_bounds)
+};
+
+inline Status ReadWireNodePrefix(bcast::PacketReader* r,
+                                 WireNodePrefix* out) {
+  uint16_t header;
+  DTREE_RETURN_IF_ERROR(r->ReadU16(&out->bid));
+  DTREE_RETURN_IF_ERROR(r->ReadU16(&header));
+  out->dim = (header & 1) ? PartitionDim::kXDim : PartitionDim::kYDim;
+  out->has_bounds = (header & 2) != 0;
+  out->total_coords = header >> 2;
+  DTREE_RETURN_IF_ERROR(r->ReadU32(&out->left_ptr));
+  DTREE_RETURN_IF_ERROR(r->ReadU32(&out->right_ptr));
+  if (out->has_bounds) {
+    DTREE_RETURN_IF_ERROR(r->ReadF32(&out->rmc));
+    DTREE_RETURN_IF_ERROR(r->ReadF32(&out->lmc));
+  }
+  return Status::OK();
+}
+
+/// Streams the node's partition polylines out of the reader. Points land
+/// in the caller-provided scratch arrays (reused across calls, so the hot
+/// path never reallocates once warmed); after each chain is read — and
+/// its closing vertex popped when it repeats the first one within
+/// kGeomEps, exactly as the decoder always has — `on_polyline(xs, ys, n,
+/// closed)` is invoked with the chain's points. `min_c`/`max_c`
+/// accumulate the partition-dimension extreme over EVERY point read,
+/// including a popped closing vertex (the bound-reconstruction rule the
+/// serializer counts on).
+template <typename F>
+Status ReadWirePolylines(bcast::PacketReader* r, PartitionDim dim,
+                         int total_coords, std::vector<double>* sx,
+                         std::vector<double>* sy, double* min_c,
+                         double* max_c, F&& on_polyline) {
+  *min_c = 1e300;
+  *max_c = -1e300;
+  int coords = 0;
+  while (coords < total_coords) {
+    uint16_t count;
+    DTREE_RETURN_IF_ERROR(r->ReadU16(&count));
+    if (count < 2) return Status::DataLoss("polyline with < 2 points");
+    if (coords + 2 * static_cast<int>(count) > total_coords) {
+      return Status::DataLoss(
+          "polyline overruns the node's coordinate count");
+    }
+    sx->clear();
+    sy->clear();
+    sx->reserve(count);
+    sy->reserve(count);
+    for (int i = 0; i < count; ++i) {
+      float x, y;
+      DTREE_RETURN_IF_ERROR(r->ReadF32(&x));
+      DTREE_RETURN_IF_ERROR(r->ReadF32(&y));
+      sx->push_back(x);
+      sy->push_back(y);
+      const double c = static_cast<double>(dim == PartitionDim::kYDim ? x : y);
+      *min_c = std::min(*min_c, c);
+      *max_c = std::max(*max_c, c);
+    }
+    coords += 2 * count;
+    bool closed = false;
+    size_t n = sx->size();
+    if (n > 3 &&
+        geom::NearlyEqual({(*sx)[0], (*sy)[0]},
+                          {(*sx)[n - 1], (*sy)[n - 1]}, geom::kGeomEps)) {
+      --n;  // pop the repeated closing vertex
+      closed = true;
+    }
+    on_polyline(sx->data(), sy->data(), n, closed);
+  }
+  if (coords != total_coords) {
+    return Status::DataLoss("partition coordinate count mismatch");
+  }
+  return Status::OK();
+}
+
+/// Shortcut bounds for the full Algorithm 2 test: explicit when the
+/// header carried them, otherwise reconstructed from the partition's
+/// extreme coordinates (valid — the encoder sets the explicit-bounds flag
+/// exactly when they would not be recoverable this way).
+inline std::pair<double, double> WireShortcutBounds(
+    const WireNodePrefix& prefix, double min_c, double max_c) {
+  if (prefix.has_bounds) return {prefix.lmc, prefix.rmc};
+  if (prefix.dim == PartitionDim::kYDim) return {min_c, max_c};
+  return {max_c, min_c};  // lower_umc (max y), upper_lwc (min y)
+}
+
+}  // namespace dtree::core
+
+#endif  // DTREE_DTREE_WIRE_H_

@@ -60,4 +60,30 @@ bool RayDownCrossesSegment(const Point& p, const Point& a, const Point& b) {
   return y_int < p.y;
 }
 
+int CountRayRightCrossings(const double* ax, const double* ay,
+                           const double* bx, const double* by, size_t n,
+                           const Point& p) {
+  int crossings = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if ((ay[i] > p.y) == (by[i] > p.y)) continue;
+    const double t = (p.y - ay[i]) / (by[i] - ay[i]);
+    const double x_int = ax[i] + t * (bx[i] - ax[i]);
+    crossings += x_int > p.x ? 1 : 0;
+  }
+  return crossings;
+}
+
+int CountRayDownCrossings(const double* ax, const double* ay,
+                          const double* bx, const double* by, size_t n,
+                          const Point& p) {
+  int crossings = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if ((ax[i] > p.x) == (bx[i] > p.x)) continue;
+    const double t = (p.x - ax[i]) / (bx[i] - ax[i]);
+    const double y_int = ay[i] + t * (by[i] - ay[i]);
+    crossings += y_int < p.y ? 1 : 0;
+  }
+  return crossings;
+}
+
 }  // namespace dtree::geom

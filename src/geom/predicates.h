@@ -46,6 +46,19 @@ bool RayRightCrossesSegment(const Point& p, const Point& a, const Point& b);
 /// the *left* endpoint).
 bool RayDownCrossesSegment(const Point& p, const Point& a, const Point& b);
 
+/// Crossing counts over `n` independent segments stored structure-of-
+/// arrays (segment i is (ax[i], ay[i]) -> (bx[i], by[i])). Exactly
+/// equivalent to calling the predicates above per segment, but the
+/// branch-light contiguous loop is what the flat-arena probe engines
+/// (DESIGN.md §12) run per query, so it must stay bit-identical to the
+/// scalar forms: same division-based intercept, same strict comparisons.
+int CountRayRightCrossings(const double* ax, const double* ay,
+                           const double* bx, const double* by, size_t n,
+                           const Point& p);
+int CountRayDownCrossings(const double* ax, const double* ay,
+                          const double* bx, const double* by, size_t n,
+                          const Point& p);
+
 }  // namespace dtree::geom
 
 #endif  // DTREE_GEOM_PREDICATES_H_

@@ -1,0 +1,596 @@
+// Differential tests for the flat-arena probe engines (DESIGN.md §12).
+//
+// The per-probe byte decoders (dtree QueryFromPackets, baselines
+// QueryFromPackets) are the bit-identical oracle: for every query the
+// arena must return the same region and — where the arena replicates the
+// wire read-log (D-tree, trap-tree, trian-tree) — the same packet list.
+// The R*-tree arena pins the region only (its packet log mirrors the
+// memory Probe, not the decoder's placement-walk peeks; see
+// baselines/rstar/arena.h).
+//
+// Corruption tests pin the safety contract: a framed arena build touches
+// every packet through the CRC-verifying reader, so a flipped bit fails
+// the build with kDataLoss — the degradation ladder's trigger — and the
+// arena is never constructed over unverified bytes.
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "baselines/kirkpatrick/arena.h"
+#include "baselines/kirkpatrick/kirkpatrick.h"
+#include "baselines/rstar/arena.h"
+#include "baselines/rstar/rstar.h"
+#include "baselines/trapmap/arena.h"
+#include "baselines/trapmap/trapmap.h"
+#include "broadcast/arena.h"
+#include "broadcast/experiment.h"
+#include "broadcast/frame.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "dtree/arena.h"
+#include "dtree/dtree.h"
+#include "dtree/serialize.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+
+#include "gtest/gtest.h"
+
+namespace dtree {
+namespace {
+
+using geom::Point;
+
+// Uniform points over the service area: the differential contract is
+// bit-identity, so ambiguous near-border points are fair game — both
+// sides must take exactly the same branch on them.
+std::vector<Point> AreaQueries(const sub::Subdivision& sub, int n,
+                               uint64_t seed) {
+  Rng rng(seed);
+  const geom::BBox& a = sub.service_area();
+  std::vector<Point> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(
+        {rng.Uniform(a.min_x, a.max_x), rng.Uniform(a.min_y, a.max_y)});
+  }
+  return out;
+}
+
+// Compares the arena probe against an oracle outcome for one query.
+// Either both succeed with the same region (and packet list when
+// `compare_packets`) or both fail with the same status code.
+void ExpectSameOutcome(const Result<int>& oracle,
+                       const std::vector<int>& oracle_packets,
+                       const Status& arena_st,
+                       const bcast::ProbeTrace& trace, bool compare_packets,
+                       const Point& p) {
+  if (!oracle.ok()) {
+    ASSERT_FALSE(arena_st.ok())
+        << "arena succeeded where the decoder failed at (" << p.x << ", "
+        << p.y << "): " << oracle.status().ToString();
+    EXPECT_EQ(static_cast<int>(oracle.status().code()),
+              static_cast<int>(arena_st.code()))
+        << oracle.status().ToString() << " vs " << arena_st.ToString();
+    return;
+  }
+  ASSERT_TRUE(arena_st.ok())
+      << "arena failed where the decoder succeeded at (" << p.x << ", "
+      << p.y << "): " << arena_st.ToString();
+  EXPECT_EQ(oracle.value(), trace.region)
+      << "region mismatch at (" << p.x << ", " << p.y << ")";
+  if (compare_packets) {
+    EXPECT_EQ(oracle_packets, trace.packets)
+        << "packet-log mismatch at (" << p.x << ", " << p.y << ")";
+  }
+}
+
+// --- D-tree ---------------------------------------------------------------
+
+void RunDTreeDifferential(const sub::Subdivision& sub, int capacity,
+                          bool early_termination, int num_queries,
+                          uint64_t seed) {
+  core::DTree::Options o;
+  o.packet_capacity = capacity;
+  o.early_termination = early_termination;
+  auto tree_r = core::DTree::Build(sub, o);
+  ASSERT_TRUE(tree_r.ok()) << tree_r.status().ToString();
+  auto packets_r = core::SerializeDTreeFlat(tree_r.value());
+  ASSERT_TRUE(packets_r.ok()) << packets_r.status().ToString();
+  auto arena_r = core::DTreeArena::Build(packets_r.value(), capacity,
+                                         /*framed=*/false, early_termination,
+                                         sub.NumRegions());
+  ASSERT_TRUE(arena_r.ok()) << arena_r.status().ToString();
+  const core::DTreeArena& arena = arena_r.value();
+
+  std::vector<int> read;
+  bcast::ProbeTrace trace;
+  for (const Point& p : AreaQueries(sub, num_queries, seed)) {
+    read.clear();
+    const Result<int> oracle = core::QueryFromPackets(
+        packets_r.value(), capacity, early_termination, p, &read);
+    const Status st = arena.ProbeInto(p, &trace);
+    ExpectSameOutcome(oracle, read, st, trace, /*compare_packets=*/true, p);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DTreeArenaTest, MatchesDecoderOnPaperDatasets) {
+  auto sets_r = workload::MakePaperDatasets();
+  ASSERT_TRUE(sets_r.ok()) << sets_r.status().ToString();
+  for (const workload::Dataset& d : sets_r.value()) {
+    SCOPED_TRACE(d.name);
+    RunDTreeDifferential(d.subdivision, 128, /*early_termination=*/true,
+                         2000, 101);
+  }
+}
+
+TEST(DTreeArenaTest, MatchesDecoderWithoutEarlyTermination) {
+  auto d_r = workload::MakeUniformDataset();
+  ASSERT_TRUE(d_r.ok()) << d_r.status().ToString();
+  RunDTreeDifferential(d_r.value().subdivision, 64,
+                       /*early_termination=*/false, 2000, 102);
+}
+
+TEST(DTreeArenaTest, MatchesDecoderOnScaleDatasets) {
+  for (auto dist : {workload::ScaleDistribution::kUniform,
+                    workload::ScaleDistribution::kClustered}) {
+    auto d_r = workload::MakeScaleDataset(5000, dist);
+    ASSERT_TRUE(d_r.ok()) << d_r.status().ToString();
+    SCOPED_TRACE(d_r.value().name);
+    RunDTreeDifferential(d_r.value().subdivision, 256,
+                         /*early_termination=*/true, 1000, 103);
+  }
+}
+
+TEST(DTreeArenaTest, MatchesDecoderAtScale100k) {
+  auto d_r =
+      workload::MakeScaleDataset(100000, workload::ScaleDistribution::kUniform);
+  ASSERT_TRUE(d_r.ok()) << d_r.status().ToString();
+  RunDTreeDifferential(d_r.value().subdivision, 256,
+                       /*early_termination=*/true, 512, 104);
+}
+
+// --- Baselines ------------------------------------------------------------
+
+void RunBaselineDifferentials(const sub::Subdivision& sub, int capacity,
+                              int num_queries, uint64_t seed) {
+  const int n = sub.NumRegions();
+  const std::vector<Point> queries = AreaQueries(sub, num_queries, seed);
+  std::vector<int> read;
+  bcast::ProbeTrace trace;
+
+  {
+    SCOPED_TRACE("trapmap");
+    baselines::TrapMap::Options o;
+    o.packet_capacity = capacity;
+    auto map_r = baselines::TrapMap::Build(sub, o);
+    ASSERT_TRUE(map_r.ok()) << map_r.status().ToString();
+    auto pk_r = map_r.value().SerializePackets();
+    ASSERT_TRUE(pk_r.ok()) << pk_r.status().ToString();
+    auto ar_r = baselines::TrapMapArena::Build(pk_r.value(), capacity,
+                                               /*framed=*/false, n);
+    ASSERT_TRUE(ar_r.ok()) << ar_r.status().ToString();
+    for (const Point& p : queries) {
+      read.clear();
+      const Result<int> oracle = baselines::TrapMap::QueryFromPackets(
+          pk_r.value(), capacity, /*framed=*/false, n, p, &read);
+      const Status st = ar_r.value().ProbeInto(p, &trace);
+      ExpectSameOutcome(oracle, read, st, trace, /*compare_packets=*/true, p);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  {
+    SCOPED_TRACE("kirkpatrick");
+    baselines::TrianTree::Options o;
+    o.packet_capacity = capacity;
+    auto tree_r = baselines::TrianTree::Build(sub, o);
+    ASSERT_TRUE(tree_r.ok()) << tree_r.status().ToString();
+    auto pk_r = tree_r.value().SerializePackets();
+    ASSERT_TRUE(pk_r.ok()) << pk_r.status().ToString();
+    const auto roots = tree_r.value().RootLocations();
+    auto ar_r = baselines::TrianTreeArena::Build(pk_r.value(), capacity,
+                                                 /*framed=*/false, roots, n);
+    ASSERT_TRUE(ar_r.ok()) << ar_r.status().ToString();
+    for (const Point& p : queries) {
+      read.clear();
+      const Result<int> oracle = baselines::TrianTree::QueryFromPackets(
+          pk_r.value(), capacity, /*framed=*/false, roots, n, p, &read);
+      const Status st = ar_r.value().ProbeInto(p, &trace);
+      ExpectSameOutcome(oracle, read, st, trace, /*compare_packets=*/true, p);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  {
+    SCOPED_TRACE("rstar");
+    baselines::RStarTree::Options o;
+    o.packet_capacity = capacity;
+    auto tree_r = baselines::RStarTree::Build(sub, o);
+    ASSERT_TRUE(tree_r.ok()) << tree_r.status().ToString();
+    auto pk_r = tree_r.value().SerializePackets();
+    ASSERT_TRUE(pk_r.ok()) << pk_r.status().ToString();
+    auto ar_r = baselines::RStarArena::Build(pk_r.value(), capacity,
+                                             /*framed=*/false, n);
+    ASSERT_TRUE(ar_r.ok()) << ar_r.status().ToString();
+    for (const Point& p : queries) {
+      read.clear();
+      const Result<int> oracle = baselines::RStarTree::QueryFromPackets(
+          pk_r.value(), capacity, /*framed=*/false, n, p, &read);
+      const Status st = ar_r.value().ProbeInto(p, &trace);
+      // Region only: the R* arena's packet log mirrors the memory Probe.
+      ExpectSameOutcome(oracle, read, st, trace, /*compare_packets=*/false,
+                        p);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(BaselineArenaTest, MatchDecoderOnPaperDataset) {
+  auto d_r = workload::MakeUniformDataset();
+  ASSERT_TRUE(d_r.ok()) << d_r.status().ToString();
+  RunBaselineDifferentials(d_r.value().subdivision, 128, 1500, 201);
+}
+
+TEST(BaselineArenaTest, MatchDecoderOnClustered) {
+  const sub::Subdivision sub = test::ClusteredVoronoi(400, 17);
+  RunBaselineDifferentials(sub, 256, 1000, 202);
+}
+
+TEST(BaselineArenaTest, MatchDecoderOnScaleDatasets) {
+  for (auto dist : {workload::ScaleDistribution::kUniform,
+                    workload::ScaleDistribution::kClustered}) {
+    auto d_r = workload::MakeScaleDataset(5000, dist);
+    ASSERT_TRUE(d_r.ok()) << d_r.status().ToString();
+    SCOPED_TRACE(d_r.value().name);
+    RunBaselineDifferentials(d_r.value().subdivision, 256, 500, 203);
+  }
+}
+
+// --- Thread safety --------------------------------------------------------
+
+// The arenas are immutable after Build and ProbeInto keeps per-call state
+// on the stack (or in thread_local scratch), so concurrent probes from
+// 1/4/8 threads must reproduce the single-threaded outcomes exactly.
+TEST(ArenaThreadTest, ConcurrentProbesMatchDecoder) {
+  auto d_r = workload::MakeUniformDataset();
+  ASSERT_TRUE(d_r.ok()) << d_r.status().ToString();
+  const sub::Subdivision& sub = d_r.value().subdivision;
+  const int capacity = 128;
+  const int n = sub.NumRegions();
+
+  core::DTree::Options dopt;
+  dopt.packet_capacity = capacity;
+  auto tree_r = core::DTree::Build(sub, dopt);
+  ASSERT_TRUE(tree_r.ok()) << tree_r.status().ToString();
+  auto packets_r = core::SerializeDTreeFlat(tree_r.value());
+  ASSERT_TRUE(packets_r.ok()) << packets_r.status().ToString();
+  auto dtree_arena_r =
+      core::DTreeArena::Build(packets_r.value(), capacity, /*framed=*/false,
+                              dopt.early_termination, n);
+  ASSERT_TRUE(dtree_arena_r.ok()) << dtree_arena_r.status().ToString();
+
+  baselines::RStarTree::Options ropt;
+  ropt.packet_capacity = capacity;
+  auto rtree_r = baselines::RStarTree::Build(sub, ropt);
+  ASSERT_TRUE(rtree_r.ok()) << rtree_r.status().ToString();
+  auto rpk_r = rtree_r.value().SerializePackets();
+  ASSERT_TRUE(rpk_r.ok()) << rpk_r.status().ToString();
+  auto rstar_arena_r = baselines::RStarArena::Build(rpk_r.value(), capacity,
+                                                    /*framed=*/false, n);
+  ASSERT_TRUE(rstar_arena_r.ok()) << rstar_arena_r.status().ToString();
+
+  // Single-threaded expectations from the byte decoders.
+  const std::vector<Point> queries = AreaQueries(sub, 2048, 301);
+  struct Expected {
+    int dtree_region;
+    std::vector<int> dtree_packets;
+    int rstar_region;
+  };
+  std::vector<Expected> expected;
+  expected.reserve(queries.size());
+  for (const Point& p : queries) {
+    Expected e;
+    std::vector<int> read;
+    auto d = core::QueryFromPackets(packets_r.value(), capacity,
+                                    dopt.early_termination, p, &read);
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    e.dtree_region = d.value();
+    e.dtree_packets = read;
+    read.clear();
+    auto r = baselines::RStarTree::QueryFromPackets(
+        rpk_r.value(), capacity, /*framed=*/false, n, p, &read);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    e.rstar_region = r.value();
+    expected.push_back(std::move(e));
+  }
+
+  for (int threads : {1, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool pool(threads);
+    std::atomic<int> mismatches{0};
+    constexpr int kShards = 16;
+    pool.ParallelFor(kShards, [&](int shard) {
+      bcast::ProbeTrace trace;
+      for (size_t i = static_cast<size_t>(shard); i < queries.size();
+           i += kShards) {
+        const Point& p = queries[i];
+        if (!dtree_arena_r.value().ProbeInto(p, &trace).ok() ||
+            trace.region != expected[i].dtree_region ||
+            trace.packets != expected[i].dtree_packets) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!rstar_arena_r.value().ProbeInto(p, &trace).ok() ||
+            trace.region != expected[i].rstar_region) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    EXPECT_EQ(mismatches.load(), 0);
+  }
+}
+
+// --- CRC verification during build ---------------------------------------
+
+// A framed build reads every packet through the CRC-verifying reader: a
+// single flipped bit anywhere the build touches fails with kDataLoss (the
+// degradation ladder's re-tune trigger), so an arena can never be
+// constructed over corrupted frames.
+TEST(ArenaCorruptionTest, FramedBuildRejectsFlippedBit) {
+  auto d_r = workload::MakeUniformDataset();
+  ASSERT_TRUE(d_r.ok()) << d_r.status().ToString();
+  const sub::Subdivision& sub = d_r.value().subdivision;
+  const int capacity = 128;
+  const int n = sub.NumRegions();
+
+  // D-tree.
+  {
+    SCOPED_TRACE("dtree");
+    core::DTree::Options o;
+    o.packet_capacity = capacity;
+    auto tree_r = core::DTree::Build(sub, o);
+    ASSERT_TRUE(tree_r.ok());
+    auto pk_r = core::SerializeDTree(tree_r.value());
+    ASSERT_TRUE(pk_r.ok());
+    auto frames = bcast::FramePackets(pk_r.value());
+    ASSERT_TRUE(core::DTreeArenaFromFrames(frames, capacity,
+                                           o.early_termination, n)
+                    .ok());
+    bcast::FlipBit(&frames[0], 37);
+    auto bad = core::DTreeArenaFromFrames(frames, capacity,
+                                          o.early_termination, n);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(static_cast<int>(bad.status().code()),
+              static_cast<int>(StatusCode::kDataLoss))
+        << bad.status().ToString();
+  }
+  // Trap-tree.
+  {
+    SCOPED_TRACE("trapmap");
+    baselines::TrapMap::Options o;
+    o.packet_capacity = capacity;
+    auto map_r = baselines::TrapMap::Build(sub, o);
+    ASSERT_TRUE(map_r.ok());
+    auto pk_r = map_r.value().SerializePackets();
+    ASSERT_TRUE(pk_r.ok());
+    auto frames = bcast::FramePackets(pk_r.value());
+    ASSERT_TRUE(baselines::TrapMapArena::Build(frames, capacity,
+                                               /*framed=*/true, n)
+                    .ok());
+    bcast::FlipBit(&frames[0], 11);
+    auto bad = baselines::TrapMapArena::Build(frames, capacity,
+                                              /*framed=*/true, n);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(static_cast<int>(bad.status().code()),
+              static_cast<int>(StatusCode::kDataLoss))
+        << bad.status().ToString();
+  }
+  // Trian-tree.
+  {
+    SCOPED_TRACE("kirkpatrick");
+    baselines::TrianTree::Options o;
+    o.packet_capacity = capacity;
+    auto tree_r = baselines::TrianTree::Build(sub, o);
+    ASSERT_TRUE(tree_r.ok());
+    auto pk_r = tree_r.value().SerializePackets();
+    ASSERT_TRUE(pk_r.ok());
+    const auto roots = tree_r.value().RootLocations();
+    auto frames = bcast::FramePackets(pk_r.value());
+    ASSERT_TRUE(baselines::TrianTreeArena::Build(frames, capacity,
+                                                 /*framed=*/true, roots, n)
+                    .ok());
+    bcast::FlipBit(&frames[0], 53);
+    auto bad = baselines::TrianTreeArena::Build(frames, capacity,
+                                                /*framed=*/true, roots, n);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(static_cast<int>(bad.status().code()),
+              static_cast<int>(StatusCode::kDataLoss))
+        << bad.status().ToString();
+  }
+  // R*-tree.
+  {
+    SCOPED_TRACE("rstar");
+    baselines::RStarTree::Options o;
+    o.packet_capacity = capacity;
+    auto tree_r = baselines::RStarTree::Build(sub, o);
+    ASSERT_TRUE(tree_r.ok());
+    auto pk_r = tree_r.value().SerializePackets();
+    ASSERT_TRUE(pk_r.ok());
+    auto frames = bcast::FramePackets(pk_r.value());
+    ASSERT_TRUE(baselines::RStarArena::Build(frames, capacity,
+                                             /*framed=*/true, n)
+                    .ok());
+    bcast::FlipBit(&frames[0], 29);
+    auto bad = baselines::RStarArena::Build(frames, capacity,
+                                            /*framed=*/true, n);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(static_cast<int>(bad.status().code()),
+              static_cast<int>(StatusCode::kDataLoss))
+        << bad.status().ToString();
+  }
+}
+
+// A framed (CRC-verified) build must decode to the same arena as the
+// unframed build: probing both over the same queries gives identical
+// outcomes.
+TEST(ArenaCorruptionTest, FramedBuildMatchesUnframed) {
+  auto d_r = workload::MakeUniformDataset();
+  ASSERT_TRUE(d_r.ok()) << d_r.status().ToString();
+  const sub::Subdivision& sub = d_r.value().subdivision;
+  const int capacity = 128;
+  core::DTree::Options o;
+  o.packet_capacity = capacity;
+  auto tree_r = core::DTree::Build(sub, o);
+  ASSERT_TRUE(tree_r.ok());
+  auto pk_r = core::SerializeDTree(tree_r.value());
+  ASSERT_TRUE(pk_r.ok());
+  const auto frames = bcast::FramePackets(pk_r.value());
+  auto plain_r = core::DTreeArena::Build(pk_r.value(), capacity,
+                                         /*framed=*/false,
+                                         o.early_termination,
+                                         sub.NumRegions());
+  ASSERT_TRUE(plain_r.ok());
+  auto framed_r = core::DTreeArenaFromFrames(frames, capacity,
+                                             o.early_termination,
+                                             sub.NumRegions());
+  ASSERT_TRUE(framed_r.ok());
+  bcast::ProbeTrace a, b;
+  for (const Point& p : AreaQueries(sub, 500, 401)) {
+    ASSERT_OK(plain_r.value().ProbeInto(p, &a));
+    ASSERT_OK(framed_r.value().ProbeInto(p, &b));
+    EXPECT_EQ(a.region, b.region);
+    EXPECT_EQ(a.packets, b.packets);
+  }
+}
+
+// --- Simulate byte-identity -----------------------------------------------
+
+void ExpectResultsIdentical(const bcast::ExperimentResult& a,
+                            const bcast::ExperimentResult& b) {
+  EXPECT_EQ(a.index_name, b.index_name);
+  EXPECT_EQ(a.packet_capacity, b.packet_capacity);
+  EXPECT_EQ(a.m, b.m);
+  EXPECT_EQ(a.index_packets, b.index_packets);
+  EXPECT_EQ(a.index_bytes, b.index_bytes);
+  EXPECT_EQ(a.data_packets, b.data_packets);
+  EXPECT_EQ(a.cycle_packets, b.cycle_packets);
+  EXPECT_EQ(a.mean_latency, b.mean_latency);
+  EXPECT_EQ(a.optimal_latency, b.optimal_latency);
+  EXPECT_EQ(a.normalized_latency, b.normalized_latency);
+  EXPECT_EQ(a.mean_tuning_index, b.mean_tuning_index);
+  EXPECT_EQ(a.mean_tuning_total, b.mean_tuning_total);
+  EXPECT_EQ(a.mean_tuning_noindex, b.mean_tuning_noindex);
+  EXPECT_EQ(a.indexing_efficiency, b.indexing_efficiency);
+  EXPECT_EQ(a.normalized_index_size, b.normalized_index_size);
+  EXPECT_EQ(a.mean_retries, b.mean_retries);
+  EXPECT_EQ(a.mean_lost_packets, b.mean_lost_packets);
+  EXPECT_EQ(a.mean_corrupted_packets, b.mean_corrupted_packets);
+  EXPECT_EQ(a.total_retries, b.total_retries);
+  EXPECT_EQ(a.total_corrupted_packets, b.total_corrupted_packets);
+  EXPECT_EQ(a.unrecoverable_queries, b.unrecoverable_queries);
+  EXPECT_EQ(a.fallback_queries, b.fallback_queries);
+  EXPECT_EQ(a.min_latency, b.min_latency);
+  EXPECT_EQ(a.max_latency, b.max_latency);
+  EXPECT_EQ(a.min_tuning_total, b.min_tuning_total);
+  EXPECT_EQ(a.max_tuning_total, b.max_tuning_total);
+  for (const char* name :
+       {bcast::kLatencyHist, bcast::kTuningIndexHist,
+        bcast::kTuningTotalHist, bcast::kRetriesHist,
+        bcast::kLostPacketsHist, bcast::kCorruptedPacketsHist}) {
+    SCOPED_TRACE(name);
+    const Histogram* ha = a.metrics.FindHistogram(name);
+    const Histogram* hb = b.metrics.FindHistogram(name);
+    ASSERT_NE(ha, nullptr);
+    ASSERT_NE(hb, nullptr);
+    EXPECT_EQ(ha->TotalCount(), hb->TotalCount());
+    EXPECT_EQ(ha->Sum(), hb->Sum());
+    EXPECT_EQ(ha->Min(), hb->Min());
+    EXPECT_EQ(ha->Max(), hb->Max());
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      ASSERT_EQ(ha->BucketCount(i), hb->BucketCount(i)) << "bucket " << i;
+    }
+  }
+}
+
+// The tentpole's end-to-end contract: RunExperiment (Simulate latency,
+// tuning, retries, histograms — every bit) is identical whether probes go
+// through DTree::Probe or the arena, including under a faulty channel
+// where the retry/fallback ladder is active.
+TEST(ArenaSimulateTest, DTreeExperimentByteIdenticalWithArena) {
+  auto d_r = workload::MakeUniformDataset();
+  ASSERT_TRUE(d_r.ok()) << d_r.status().ToString();
+  const sub::Subdivision& sub = d_r.value().subdivision;
+  core::DTree::Options o;
+  o.packet_capacity = 128;
+  auto tree_r = core::DTree::Build(sub, o);
+  ASSERT_TRUE(tree_r.ok()) << tree_r.status().ToString();
+  auto arena_r = core::BuildDTreeArenaIndex(tree_r.value());
+  ASSERT_TRUE(arena_r.ok()) << arena_r.status().ToString();
+
+  // The ArenaIndex reports the tree's own identity.
+  EXPECT_EQ(arena_r.value().name(), tree_r.value().name());
+  EXPECT_EQ(arena_r.value().NumIndexPackets(),
+            tree_r.value().NumIndexPackets());
+  EXPECT_EQ(arena_r.value().IndexBytes(), tree_r.value().IndexBytes());
+  EXPECT_EQ(arena_r.value().PacketCapacity(),
+            tree_r.value().PacketCapacity());
+
+  bcast::ExperimentOptions opt;
+  opt.packet_capacity = 128;
+  opt.num_queries = 4000;
+  opt.seed = 42;
+  opt.num_threads = 4;
+  opt.loss.model = bcast::LossModel::kIid;
+  opt.loss.loss_rate = 0.02;
+  opt.loss.max_retries = 8;
+  opt.loss.fallback_scan_cycles = 1;
+  opt.loss.corruption.model = bcast::CorruptionModel::kIidBits;
+  opt.loss.corruption.bit_error_rate = 1e-5;
+
+  auto base_r = bcast::RunExperiment(tree_r.value(), sub, nullptr, opt);
+  ASSERT_TRUE(base_r.ok()) << base_r.status().ToString();
+  auto arena_res_r = bcast::RunExperiment(arena_r.value(), sub, nullptr, opt);
+  ASSERT_TRUE(arena_res_r.ok()) << arena_res_r.status().ToString();
+  ExpectResultsIdentical(base_r.value(), arena_res_r.value());
+  EXPECT_GT(base_r.value().total_retries, 0);  // the ladder actually fired
+}
+
+// Baseline ArenaIndexes report the wrapped index's identity, so the
+// experiment's size/layout columns are unchanged with the arena enabled.
+TEST(ArenaSimulateTest, BaselineArenaIndexesReportBaseIdentity) {
+  auto d_r = workload::MakeUniformDataset();
+  ASSERT_TRUE(d_r.ok()) << d_r.status().ToString();
+  const sub::Subdivision& sub = d_r.value().subdivision;
+  const int n = sub.NumRegions();
+
+  baselines::TrapMap::Options to;
+  to.packet_capacity = 128;
+  auto map_r = baselines::TrapMap::Build(sub, to);
+  ASSERT_TRUE(map_r.ok());
+  auto ta_r = baselines::BuildTrapMapArenaIndex(map_r.value(), n);
+  ASSERT_TRUE(ta_r.ok()) << ta_r.status().ToString();
+  EXPECT_EQ(ta_r.value().name(), map_r.value().name());
+  EXPECT_EQ(ta_r.value().NumIndexPackets(), map_r.value().NumIndexPackets());
+  EXPECT_EQ(ta_r.value().IndexBytes(), map_r.value().IndexBytes());
+
+  baselines::TrianTree::Options ko;
+  ko.packet_capacity = 128;
+  auto kt_r = baselines::TrianTree::Build(sub, ko);
+  ASSERT_TRUE(kt_r.ok());
+  auto ka_r = baselines::BuildTrianTreeArenaIndex(kt_r.value(), n);
+  ASSERT_TRUE(ka_r.ok()) << ka_r.status().ToString();
+  EXPECT_EQ(ka_r.value().name(), kt_r.value().name());
+  EXPECT_EQ(ka_r.value().NumIndexPackets(), kt_r.value().NumIndexPackets());
+
+  baselines::RStarTree::Options ro;
+  ro.packet_capacity = 128;
+  auto rt_r = baselines::RStarTree::Build(sub, ro);
+  ASSERT_TRUE(rt_r.ok());
+  auto ra_r = baselines::BuildRStarArenaIndex(rt_r.value(), n);
+  ASSERT_TRUE(ra_r.ok()) << ra_r.status().ToString();
+  EXPECT_EQ(ra_r.value().name(), rt_r.value().name());
+  EXPECT_EQ(ra_r.value().NumIndexPackets(), rt_r.value().NumIndexPackets());
+}
+
+}  // namespace
+}  // namespace dtree
