@@ -1,0 +1,232 @@
+// Fleet-engine bench: one broadcast cycle clock, a million concurrent
+// clients. Measures how fast the event-driven engine (broadcast/fleet.h)
+// chews through wake-ups and verifies, with a nonzero exit on violation,
+// the two properties the engine is built on:
+//
+//   1. Determinism: FleetResult is bit-identical at 1, 4, and 8 worker
+//      threads (fixed 64-shard layout, shard-ordered merge).
+//   2. Differential anchor: a one-client fleet reproduces
+//      BroadcastChannel::Simulate field-for-field when the query is
+//      replayed through the synchronous simulator with the same streams.
+//
+// Extra flags (on top of the shared ones):
+//   --clients=N      concurrent clients (default 1000000)
+//   --cycles=C       simulated horizon in broadcast cycles (default 2)
+//   --rate=R         per-client queries per cycle (default 1)
+//   --churn=P        per-query departure probability (default 0.05)
+//   --loss-rate=L    i.i.d. packet loss rate (default 0.1; 0 = lossless)
+//   --capacity=N     packet capacity (default 256)
+// The shared --threads flag is ignored: the bench always sweeps 1/4/8.
+
+#include "bench_util.h"
+
+#include "broadcast/fleet.h"
+
+namespace {
+
+using dtree::bcast::FleetResult;
+
+bool SameFleetResult(const FleetResult& a, const FleetResult& b) {
+  return a.queries == b.queries && a.sessions == b.sessions &&
+         a.departures == b.departures &&
+         a.mean_latency == b.mean_latency &&
+         a.mean_tuning_index == b.mean_tuning_index &&
+         a.mean_tuning_total == b.mean_tuning_total &&
+         a.mean_retries == b.mean_retries &&
+         a.mean_lost_packets == b.mean_lost_packets &&
+         a.mean_corrupted_packets == b.mean_corrupted_packets &&
+         a.total_retries == b.total_retries &&
+         a.total_lost_packets == b.total_lost_packets &&
+         a.total_corrupted_packets == b.total_corrupted_packets &&
+         a.unrecoverable_queries == b.unrecoverable_queries &&
+         a.fallback_queries == b.fallback_queries &&
+         a.min_latency == b.min_latency && a.max_latency == b.max_latency &&
+         a.min_tuning_total == b.min_tuning_total &&
+         a.max_tuning_total == b.max_tuning_total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dtree::bench;
+  namespace bcast = dtree::bcast;
+  int64_t clients = 1000000;
+  double cycles = 2.0;
+  double rate = 1.0;
+  double churn = 0.05;
+  double loss_rate = 0.1;
+  int capacity = 256;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      clients = std::strtoll(argv[i] + 10, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--cycles=", 9) == 0) {
+      cycles = std::atof(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--rate=", 7) == 0) {
+      rate = std::atof(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--churn=", 8) == 0) {
+      churn = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--loss-rate=", 12) == 0) {
+      loss_rate = std::atof(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--capacity=", 11) == 0) {
+      capacity = std::atoi(argv[i] + 11);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  BenchFlags flags =
+      ParseFlags(static_cast<int>(passthrough.size()), passthrough.data());
+  if (flags.bench_json == "BENCH_experiment.json") {
+    flags.bench_json = "BENCH_fleet.json";
+  }
+
+  auto ds = dtree::workload::MakeUniformDataset();
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  auto index = BuildIndex(IndexKind::kDTree, ds.value().subdivision,
+                          capacity);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+
+  bcast::FleetOptions fopt;
+  fopt.packet_capacity = capacity;
+  fopt.num_clients = clients;
+  fopt.sim_cycles = cycles;
+  fopt.queries_per_cycle = rate;
+  fopt.churn = churn;
+  fopt.seed = flags.seed;
+  if (loss_rate > 0.0) {
+    fopt.loss.model = bcast::LossModel::kIid;
+    fopt.loss.loss_rate = loss_rate;
+    fopt.loss.seed = flags.seed + 1;
+  }
+
+  bool ok = true;
+
+  // --- Differential anchor: one client, one query, replayed by hand
+  // through the public stream helpers and the synchronous simulator.
+  {
+    bcast::FleetOptions one = fopt;
+    one.num_clients = 1;
+    one.sim_cycles = 1.0;
+    one.queries_per_cycle = 1e-6;  // exactly the join-time query
+    one.churn = 0.0;
+    auto fleet = bcast::RunFleet(*index.value(), ds.value().subdivision,
+                                 one);
+    if (!fleet.ok() || fleet.value().queries != 1) {
+      std::fprintf(stderr, "FAIL: single-client fleet did not run\n");
+      return 1;
+    }
+    bcast::ChannelOptions copt;
+    copt.packet_capacity = one.packet_capacity;
+    copt.m = one.m;
+    copt.loss = one.loss;
+    auto ch = bcast::BroadcastChannel::Create(
+        index.value()->NumIndexPackets(),
+        ds.value().subdivision.NumRegions(), copt);
+    auto sampler = bcast::QuerySampler::Create(ds.value().subdivision,
+                                               one.distribution, {});
+    DTREE_CHECK(ch.ok() && sampler.ok());
+    const uint64_t key = bcast::FleetClientKey(one.seed, 0);
+    dtree::Rng join_rng =
+        dtree::Rng::ForStream(key, bcast::FleetJoinStream());
+    const double arrival = join_rng.Uniform(
+        0.0, static_cast<double>(ch.value().cycle_packets()));
+    dtree::Rng point_rng =
+        dtree::Rng::ForStream(key, bcast::FleetPointStream(0));
+    bcast::ProbeTrace trace;
+    DTREE_CHECK(
+        index.value()->ProbeInto(sampler.value().Draw(&point_rng), &trace)
+            .ok());
+    auto out = ch.value().Simulate(trace, arrival,
+                                   bcast::FleetQueryLossStream(key, 0));
+    DTREE_CHECK(out.ok());
+    const FleetResult& fr = fleet.value();
+    const auto& o = out.value();
+    if (fr.mean_latency != o.latency ||
+        fr.mean_tuning_index != static_cast<double>(o.tuning_index) ||
+        fr.mean_tuning_total != static_cast<double>(o.tuning_total()) ||
+        fr.total_retries != o.retries ||
+        fr.total_lost_packets != o.lost_packets ||
+        fr.total_corrupted_packets != o.corrupted_packets ||
+        fr.unrecoverable_queries != (o.unrecoverable ? 1 : 0) ||
+        fr.fallback_queries != (o.fallback_scan ? 1 : 0)) {
+      std::fprintf(stderr,
+                   "FAIL: single-client fleet does not reproduce Simulate "
+                   "(latency %.17g vs %.17g)\n",
+                   fr.mean_latency, o.latency);
+      ok = false;
+    } else {
+      std::printf("differential anchor: fleet(1 client) == Simulate ✓\n");
+    }
+  }
+
+  // --- The fleet itself, swept over worker threads.
+  std::printf("== Fleet bench ==\n");
+  std::printf(
+      "dataset %s, cap %d, %lld clients, %.3g cycles, rate %.3g/cycle, "
+      "churn %.3g, loss %.3g\n",
+      ds.value().name.c_str(), capacity, static_cast<long long>(clients),
+      cycles, rate, churn, loss_rate);
+  std::printf("%-8s %12s %12s %10s %10s %8s %10s %12s\n", "threads",
+              "queries", "sessions", "latency", "tuning", "unrec",
+              "wall_s", "clients/s");
+
+  BenchRecorder recorder("bench_fleet", flags);
+  FleetResult reference;
+  bool have_reference = false;
+  for (int threads : {1, 4, 8}) {
+    bcast::FleetOptions run = fopt;
+    run.num_threads = threads;
+    const std::string cell = ds.value().name + "/fleet/c" +
+                             std::to_string(clients) + "/t" +
+                             std::to_string(threads);
+    bcast::JsonlTraceSink* trace = GlobalTraceSink(flags);
+    if (trace != nullptr) {
+      trace->set_label(cell);
+      run.trace_sink = trace;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto res = bcast::RunFleet(*index.value(), ds.value().subdivision, run);
+    const double wall_s = SecondsSince(t0);
+    if (!res.ok()) {
+      std::fprintf(stderr, "fleet run failed: %s\n",
+                   res.status().ToString().c_str());
+      return 1;
+    }
+    const FleetResult& r = res.value();
+    recorder.Record(cell, wall_s,
+                    static_cast<double>(r.queries) /
+                        std::max(wall_s, 1e-12),
+                    threads);
+    std::printf("%-8d %12lld %12lld %10.2f %10.3f %8lld %10.2f %12.0f\n",
+                threads, static_cast<long long>(r.queries),
+                static_cast<long long>(r.sessions), r.mean_latency,
+                r.mean_tuning_total,
+                static_cast<long long>(r.unrecoverable_queries), wall_s,
+                static_cast<double>(clients) / std::max(wall_s, 1e-12));
+    if (!have_reference) {
+      reference = r;
+      have_reference = true;
+    } else if (!SameFleetResult(reference, r)) {
+      std::fprintf(stderr,
+                   "FAIL: FleetResult at %d threads diverges from the "
+                   "1-thread run (queries %lld vs %lld, latency %.17g vs "
+                   "%.17g)\n",
+                   threads, static_cast<long long>(r.queries),
+                   static_cast<long long>(reference.queries),
+                   r.mean_latency, reference.mean_latency);
+      ok = false;
+    }
+  }
+
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: fleet invariants violated\n");
+    return 1;
+  }
+  return 0;
+}

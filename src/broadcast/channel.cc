@@ -94,7 +94,11 @@ int64_t BroadcastChannel::BucketStart(int r) const {
 Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
     const ProbeTrace& trace, double arrival, uint64_t loss_stream,
     QueryTrace* trace_out) const {
-  if (arrival < 0.0 || arrival >= static_cast<double>(cycle_packets_)) {
+  // NaN compares false against both bounds, so the finiteness check is
+  // load-bearing: without it a NaN arrival would flow into floor() and
+  // int64 casts below (undefined behavior), not an error.
+  if (!std::isfinite(arrival) || arrival < 0.0 ||
+      arrival >= static_cast<double>(cycle_packets_)) {
     return Status::InvalidArgument("arrival outside the broadcast cycle");
   }
   DTREE_RETURN_IF_ERROR(ValidateTrace(trace, std::max(index_packets_, 1),
@@ -395,8 +399,9 @@ Result<BroadcastChannel::QueryOutcome> BroadcastChannel::Simulate(
 }
 
 BroadcastChannel::QueryOutcome BroadcastChannel::SimulateNoIndex(
-    int region, double arrival) const {
+    int region, double arrival, uint64_t loss_stream) const {
   DTREE_CHECK(region >= 0 && region < num_regions_);
+  DTREE_CHECK(std::isfinite(arrival) && arrival >= 0.0);
   // Pure-data cycle: buckets back to back, no index segments. Same packet
   // boundary rule as Simulate: a packet that started exactly at the
   // arrival instant is already in flight, so listening begins at the next
@@ -409,12 +414,59 @@ BroadcastChannel::QueryOutcome BroadcastChannel::SimulateNoIndex(
   if (data_at < start_listen) data_at += cycle;
   QueryOutcome out;
   out.tuning_probe = 0;
-  out.tuning_data = bucket_packets_;
-  // Without an index the client listens to every packet until its bucket
-  // completes.
-  const int64_t done = data_at + bucket_packets_;
-  out.tuning_index = static_cast<int>(data_at - start_listen);
-  out.latency = static_cast<double>(done) - a;
+  if (!loss_.any_fault()) {
+    // Reliable medium: the client listens to every packet until its
+    // bucket completes. No RNG is constructed, so this path is
+    // bit-identical to the pre-loss baseline.
+    out.tuning_data = bucket_packets_;
+    const int64_t done = data_at + bucket_packets_;
+    out.tuning_index = static_cast<int>(data_at - start_listen);
+    out.latency = static_cast<double>(done) - a;
+    return out;
+  }
+  // Faulty medium: the indexless client is listening continuously, so a
+  // lost or corrupted packet only matters when it is one of the client's
+  // own bucket packets — everything else was going to be discarded
+  // anyway. A failed bucket costs another full pure-data cycle of
+  // listening until the bucket comes around again (counted in retries,
+  // mirroring the indexed client's re-tunes), bounded by the same
+  // max_retries budget. Each pass draws from its own sub-stream keyed by
+  // (seed, loss_stream), like Simulate's attempts, so the baseline is a
+  // pure function of (channel, region, arrival, loss_stream).
+  LossProcess loss(loss_, loss_stream);
+  CorruptionProcess corrupt(loss_.corruption, frame_bits_, loss_stream);
+  int64_t listen_from = start_listen;
+  for (int pass = 0; pass <= loss_.max_retries; ++pass) {
+    if (pass > 0) ++out.retries;
+    loss.StartStream(LossProcess::NoIndexStream(pass));
+    corrupt.StartStream(LossProcess::NoIndexStream(pass));
+    out.tuning_index += static_cast<int>(data_at - listen_from);
+    bool failed = false;
+    int bucket_read = 0;
+    for (int b = 0; b < bucket_packets_; ++b) {
+      ++out.tuning_data;
+      ++bucket_read;
+      if (loss.enabled() && loss.NextLost()) {
+        ++out.lost_packets;
+        failed = true;
+        break;
+      }
+      if (corrupt.enabled() && corrupt.NextCorrupted()) {
+        ++out.corrupted_packets;
+        failed = true;
+        break;
+      }
+    }
+    if (!failed) {
+      out.latency = static_cast<double>(data_at + bucket_packets_) - a;
+      return out;
+    }
+    listen_from = data_at + bucket_read;  // listen past the bad packet
+    data_at += cycle;
+  }
+  out.unrecoverable = true;
+  out.give_up = GiveUpStage::kRetryBudget;
+  out.latency = static_cast<double>(listen_from) - a;
   return out;
 }
 

@@ -106,6 +106,9 @@ class BroadcastChannel {
 
   /// Simulates the full access protocol for a client arriving at continuous
   /// time `arrival` in [0, cycle) whose index search produced `trace`.
+  /// The precondition is validated: a non-finite arrival (NaN, ±inf) or one
+  /// outside [0, cycle) returns InvalidArgument — callers replaying
+  /// absolute fleet time must wrap with fmod(t, cycle_packets()) first.
   ///
   /// When ChannelOptions::loss is enabled, each packet read may be lost;
   /// when loss.corruption is enabled, each *delivered* read may carry bit
@@ -140,7 +143,28 @@ class BroadcastChannel {
 
   /// Baseline without any index: the client listens from arrival until its
   /// bucket has gone by, on a pure-data cycle of the same database.
-  QueryOutcome SimulateNoIndex(int region, double arrival) const;
+  ///
+  /// `arrival` must be finite and non-negative (checked); it is canonically
+  /// wrapped mod the pure-data cycle, so callers may pass absolute time.
+  ///
+  /// When ChannelOptions::loss is enabled the baseline plays the same
+  /// erasure / corruption processes as the indexed client — the client
+  /// listens continuously, so only its own bucket packets are exposed to
+  /// faults; a failed bucket forces another full pure-data cycle of
+  /// listening (counted in retries), up to loss.max_retries extra passes,
+  /// after which the query is unrecoverable (give_up = kRetryBudget).
+  /// Each pass draws from its own sub-stream
+  /// (LossProcess::NoIndexStream(pass), keyed by `loss_stream` like
+  /// Simulate), disjoint from every indexed-path stream. With loss and
+  /// corruption disabled the outcome is bit-identical to the pre-loss
+  /// baseline and no RNG is constructed.
+  QueryOutcome SimulateNoIndex(int region, double arrival,
+                               uint64_t loss_stream) const;
+
+  /// Convenience overload: loss stream 0.
+  QueryOutcome SimulateNoIndex(int region, double arrival) const {
+    return SimulateNoIndex(region, arrival, 0);
+  }
 
   const LossOptions& loss_options() const { return loss_; }
 

@@ -119,8 +119,8 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
                                        const sub::Subdivision& subdivision,
                                        const sub::PointLocator* oracle,
                                        const ExperimentOptions& options) {
-  if (options.num_queries < 1) {
-    return Status::InvalidArgument("need at least one query");
+  if (options.num_queries < 0) {
+    return Status::InvalidArgument("negative query count");
   }
   ChannelOptions copt;
   copt.packet_capacity = options.packet_capacity;
@@ -138,8 +138,11 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
   const QuerySampler& sampler = sampler_r.value();
 
   // Shard layout: fixed count, queries split as evenly as possible, shard
-  // s always owning the same contiguous slice regardless of threads.
-  const int num_shards = std::min(kQueryShards, options.num_queries);
+  // s always owning the same contiguous slice regardless of threads. At
+  // least one (possibly empty) shard so the zero-query degenerate run
+  // still produces a fully-formed result.
+  const int num_shards =
+      std::max(1, std::min(kQueryShards, options.num_queries));
   const int per_shard = options.num_queries / num_shards;
   const int remainder = options.num_queries % num_shards;
 
@@ -217,7 +220,12 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
       h_lost->Add(out.lost_packets);
       h_corrupted->Add(out.corrupted_packets);
 
-      const auto base = ch.SimulateNoIndex(trace.region, arrival);
+      // The indexless strawman plays the same fault processes as the
+      // indexed client, keyed by the same global query index (its draws
+      // come from the disjoint NoIndexStream family, so neither
+      // simulation perturbs the other).
+      const auto base = ch.SimulateNoIndex(
+          trace.region, arrival, static_cast<uint64_t>(shard_first + q));
       sums.tuning_noindex += base.tuning_total();
     }
   };
@@ -264,7 +272,12 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
     }
   }
 
+  // num_queries == 0 is a legal degenerate run (an empty load is what a
+  // fleet between arrivals looks like): every sum is zero, so every mean
+  // below must be guarded against 0/0 — the pinned behavior is all-zero
+  // means, not NaN. Min/max come from empty histograms, which report 0.
   const double n = static_cast<double>(options.num_queries);
+  const auto mean = [&](double sum) { return n > 0.0 ? sum / n : 0.0; };
   ExperimentResult res;
   res.index_name = index.name();
   res.packet_capacity = options.packet_capacity;
@@ -273,12 +286,12 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
   res.index_bytes = index.IndexBytes();
   res.data_packets = ch.data_packets();
   res.cycle_packets = ch.cycle_packets();
-  res.mean_latency = sum_latency / n;
+  res.mean_latency = mean(sum_latency);
   res.optimal_latency = ch.OptimalLatency();
   res.normalized_latency = res.mean_latency / res.optimal_latency;
-  res.mean_tuning_index = sum_tuning_index / n;
-  res.mean_tuning_total = sum_tuning_total / n;
-  res.mean_tuning_noindex = sum_tuning_noindex / n;
+  res.mean_tuning_index = mean(sum_tuning_index);
+  res.mean_tuning_total = mean(sum_tuning_total);
+  res.mean_tuning_noindex = mean(sum_tuning_noindex);
   const double saved = res.mean_tuning_noindex - res.mean_tuning_total;
   const double overhead = res.mean_latency - res.optimal_latency;
   res.indexing_efficiency = overhead > 0.0 ? saved / overhead : 0.0;
@@ -290,9 +303,9 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
   res.total_corrupted_packets = sum_corrupted;
   res.unrecoverable_queries = sum_unrecoverable;
   res.fallback_queries = sum_fallback;
-  res.mean_retries = static_cast<double>(sum_retries) / n;
-  res.mean_lost_packets = static_cast<double>(sum_lost) / n;
-  res.mean_corrupted_packets = static_cast<double>(sum_corrupted) / n;
+  res.mean_retries = mean(static_cast<double>(sum_retries));
+  res.mean_lost_packets = mean(static_cast<double>(sum_lost));
+  res.mean_corrupted_packets = mean(static_cast<double>(sum_corrupted));
   res.min_latency = merged.histogram(kLatencyHist)->Min();
   res.max_latency = merged.histogram(kLatencyHist)->Max();
   res.min_tuning_total = merged.histogram(kTuningTotalHist)->Min();

@@ -40,6 +40,9 @@ enum class QueryDistribution {
 
 struct ExperimentOptions {
   int packet_capacity = 0;
+  /// Queries to run. 0 is a legal degenerate load: the run returns the
+  /// channel-layout fields with every sum, mean, min and max pinned to
+  /// zero (never NaN). Negative is InvalidArgument.
   int num_queries = 100000;
   uint64_t seed = 42;
   QueryDistribution distribution = QueryDistribution::kUniformRegion;

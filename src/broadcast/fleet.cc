@@ -1,0 +1,781 @@
+#include "broadcast/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "broadcast/frame.h"
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace dtree::bcast {
+
+namespace {
+
+/// Protocol phase a dozing client wakes up into. Probe bursts, bucket
+/// retrievals and the fallback scan are contiguous listening, so each is
+/// processed inside a single wake-up; the index descent dozes between
+/// packets (the paper's core energy mechanism), so each index read is its
+/// own wake-up.
+enum class Phase : uint8_t {
+  kJoin,        ///< session start; issue the first query
+  kProbe,       ///< initial probe burst at floor(arrival) + 1
+  kIndexRead,   ///< read packets[step] of the current descent
+  kBucketRead,  ///< contiguous bucket retrieval
+  kDone,        ///< retired (horizon reached); never scheduled again
+};
+
+/// One client slot. The per-query protocol state mirrors the locals of
+/// BroadcastChannel::Simulate; everything else is the client's identity
+/// and arrival process. Kept small on purpose: a million clients is a few
+/// hundred MB. The fault processes are NOT resident (a mt19937_64 is
+/// ~2.5 KB): every draw sequence is reconstructed from its (seed, client,
+/// purpose) stream key exactly when needed — see FirstFailure below.
+struct Client {
+  uint64_t key = 0;          ///< FleetClientKey(seed, client_id)
+  uint64_t loss_stream = 0;  ///< FleetQueryLossStream of in-flight query
+  double arrival = 0.0;      ///< absolute arrival of in-flight query
+  int64_t pos = 0;           ///< Simulate's `pos` (re-tune restart point)
+  int64_t seg_start = 0;     ///< current index-segment start
+  int64_t probe_packet = 0;  ///< next probe read position
+  BroadcastChannel::QueryOutcome out;
+  std::vector<int> packets;  ///< current descent's index packet ids
+  /// Probe-path annotation, filled only when tracing (empty otherwise).
+  std::vector<ProbePacketOrigin> origins;
+  /// In-flight query's trace; allocated per query only when tracing.
+  std::unique_ptr<QueryTrace> qt;
+  uint32_t generation = 0;   ///< churn generation occupying this slot
+  uint32_t query_index = 0;  ///< queries issued by this session
+  int32_t region = -1;
+  /// Read ordinal (0-based, within the current attempt's fixed draw
+  /// sequence) of the first failed read; -1 = attempt fully succeeds.
+  int32_t fail_at = -1;
+  int32_t reads_done = 0;    ///< successful reads so far this attempt
+  int32_t step = 0;          ///< next index of `packets` to read
+  uint8_t attempt = 0;
+  bool fail_corrupt = false; ///< failing read is a CRC reject, not a loss
+  Phase phase = Phase::kJoin;
+};
+
+/// Private per-shard accumulator, merged in shard order (the same
+/// determinism pattern as RunExperiment's ShardSums).
+struct FleetShard {
+  double latency = 0.0;
+  double tuning_index = 0.0;
+  double tuning_total = 0.0;
+  int64_t retries = 0;
+  int64_t lost_packets = 0;
+  int64_t corrupted_packets = 0;
+  int64_t unrecoverable = 0;
+  int64_t fallback = 0;
+  int64_t queries = 0;
+  int64_t sessions = 0;
+  int64_t departures = 0;
+  MetricsRegistry metrics;
+  std::vector<QueryTrace> traces;
+  Status error = Status::OK();
+};
+
+/// Wake-up entry; min-heap by (time, slot). The slot tie-break pins the
+/// pop order when many clients wake at the same packet start, so shard
+/// sums accumulate in one fixed order regardless of anything external.
+struct WakeUp {
+  double t = 0.0;
+  int32_t slot = 0;  ///< shard-local client index
+};
+struct WakeUpLater {
+  bool operator()(const WakeUp& a, const WakeUp& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    return a.slot > b.slot;
+  }
+};
+
+/// Read ordinal of the first failed read in one attempt's fixed draw
+/// sequence, or -1 when all `num_reads` reads succeed. Reconstructs the
+/// fault processes from their stream keys and replays Simulate's exact
+/// draw order (loss first; corruption only for delivered packets; no
+/// draws after the first failure — which is also why the attempt's
+/// remaining draws never being made keeps this equivalent to drawing
+/// lazily at each read). Valid because LossProcess::StartStream fully
+/// re-keys the process: its state is a pure function of (options, query
+/// stream, sub-stream), never of what an earlier phase drew.
+int FirstFailure(const LossOptions& lopt, int frame_bits,
+                 uint64_t query_stream, uint64_t sub_stream, int num_reads,
+                 bool* fail_corrupt) {
+  LossProcess loss(lopt, query_stream);
+  CorruptionProcess corrupt(lopt.corruption, frame_bits, query_stream);
+  loss.StartStream(sub_stream);
+  corrupt.StartStream(sub_stream);
+  for (int i = 0; i < num_reads; ++i) {
+    if (loss.enabled() && loss.NextLost()) {
+      *fail_corrupt = false;
+      return i;
+    }
+    if (corrupt.enabled() && corrupt.NextCorrupted()) {
+      *fail_corrupt = true;
+      return i;
+    }
+  }
+  return -1;
+}
+
+/// Everything one shard needs to run its event loop. Shards never share
+/// mutable state; the channel, index and sampler are probed concurrently
+/// under AirIndex's const-probe contract.
+class ShardEngine {
+ public:
+  ShardEngine(const AirIndex& index, const BroadcastChannel& ch,
+              const QuerySampler& sampler, const FleetOptions& options,
+              const std::vector<int64_t>& bucket_start, double horizon,
+              int64_t shard_first, int64_t shard_clients, FleetShard* sums)
+      : index_(index),
+        ch_(ch),
+        sampler_(sampler),
+        opt_(options),
+        lopt_(options.loss),
+        bucket_start_(bucket_start),
+        horizon_(horizon),
+        shard_first_(shard_first),
+        shard_clients_(shard_clients),
+        sums_(sums),
+        cycle_(ch.cycle_packets()),
+        bucket_packets_(ch.bucket_packets()),
+        frame_bits_(static_cast<int>(
+            8 * (static_cast<size_t>(options.packet_capacity) +
+                 kFrameCrcBytes))),
+        faults_(options.loss.any_fault()),
+        max_attempts_(faults_ ? options.loss.max_retries + 1 : 1),
+        mean_think_(static_cast<double>(ch.cycle_packets()) /
+                    options.queries_per_cycle),
+        tracing_(options.trace_sink != nullptr) {
+    segment_start_.reserve(static_cast<size_t>(ch.m()));
+    for (int j = 0; j < ch.m(); ++j) {
+      segment_start_.push_back(ch.IndexSegmentStart(j));
+    }
+    h_latency_ = sums_->metrics.histogram(kLatencyHist);
+    h_tuning_index_ = sums_->metrics.histogram(kTuningIndexHist);
+    h_tuning_total_ = sums_->metrics.histogram(kTuningTotalHist);
+    h_retries_ = sums_->metrics.histogram(kRetriesHist);
+    h_lost_ = sums_->metrics.histogram(kLostPacketsHist);
+    h_corrupted_ = sums_->metrics.histogram(kCorruptedPacketsHist);
+  }
+
+  void Run() {
+    clients_.resize(static_cast<size_t>(shard_clients_));
+    for (int32_t i = 0; i < shard_clients_; ++i) {
+      Client& c = clients_[static_cast<size_t>(i)];
+      c.key = FleetClientKey(opt_.seed, ClientId(i, /*generation=*/0));
+      // Generation 0 joins at a uniform point of the first cycle — the
+      // steady-state phase distribution of a population that has been
+      // listening forever.
+      Rng rng = Rng::ForStream(c.key, FleetJoinStream());
+      const double t_join =
+          rng.Uniform(0.0, static_cast<double>(cycle_));
+      if (t_join >= horizon_) {
+        c.phase = Phase::kDone;
+        continue;
+      }
+      c.phase = Phase::kJoin;
+      queue_.push({t_join, i});
+    }
+    while (!queue_.empty() && sums_->error.ok()) {
+      const WakeUp w = queue_.top();
+      queue_.pop();
+      Client& c = clients_[static_cast<size_t>(w.slot)];
+      switch (c.phase) {
+        case Phase::kJoin:
+          ++sums_->sessions;
+          IssueQuery(w.slot, c, w.t);
+          break;
+        case Phase::kProbe:
+          HandleProbe(w.slot, c);
+          break;
+        case Phase::kIndexRead:
+          HandleIndexRead(w.slot, c, static_cast<int64_t>(w.t));
+          break;
+        case Phase::kBucketRead:
+          HandleBucketRead(w.slot, c, static_cast<int64_t>(w.t));
+          break;
+        case Phase::kDone:
+          DTREE_CHECK(false);  // retired clients are never scheduled
+          break;
+      }
+    }
+  }
+
+ private:
+  uint64_t ClientId(int32_t slot, uint32_t generation) const {
+    return static_cast<uint64_t>(shard_first_ + slot) +
+           static_cast<uint64_t>(generation) *
+               static_cast<uint64_t>(opt_.num_clients);
+  }
+
+  /// Smallest absolute index-segment start >= t; Simulate's
+  /// next_segment_start, verbatim.
+  int64_t NextSegmentStart(int64_t t) const {
+    DTREE_CHECK(t >= 0);
+    const int64_t base = (t / cycle_) * cycle_;
+    const int64_t in_cycle = t - base;
+    for (size_t j = 0; j < segment_start_.size(); ++j) {
+      if (segment_start_[j] >= in_cycle) return base + segment_start_[j];
+    }
+    return base + cycle_ + segment_start_[0];
+  }
+
+  // --- Trace emitters, mirroring Simulate's (no-ops when not tracing).
+  void EmitDoze(Client& c, int64_t resume_at, double dur) {
+    if (c.qt != nullptr && dur > 0.0) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kDoze;
+      e.pos = resume_at;
+      e.dur = dur;
+      c.qt->events.push_back(e);
+    }
+  }
+  void EmitRead(Client& c, TraceEventKind kind, int64_t pos) {
+    if (c.qt != nullptr) {
+      TraceEvent e;
+      e.kind = kind;
+      e.pos = pos;
+      c.qt->events.push_back(e);
+    }
+  }
+
+  /// Issues the next query of client c arriving at absolute time A, or
+  /// retires the client when A falls past the horizon. Draws the query
+  /// point, runs the index probe, and schedules the initial-probe wake-up
+  /// at floor(A) + 1 (Simulate's packet-boundary rule).
+  void IssueQuery(int32_t slot, Client& c, double arrival) {
+    if (arrival >= horizon_) {
+      c.phase = Phase::kDone;
+      return;
+    }
+    const uint64_t q = c.query_index;
+    Rng rng = Rng::ForStream(c.key, FleetPointStream(q));
+    const geom::Point p = sampler_.Draw(&rng);
+    const Status probe_st = index_.ProbeInto(p, &probe_scratch_);
+    if (!probe_st.ok()) {
+      sums_->error = probe_st;
+      return;
+    }
+    const Status trace_st =
+        ValidateTrace(probe_scratch_, std::max(ch_.index_packets(), 1),
+                      ch_.num_regions(), /*require_forward=*/false);
+    if (!trace_st.ok()) {
+      sums_->error = trace_st;
+      return;
+    }
+    c.arrival = arrival;
+    c.out = BroadcastChannel::QueryOutcome{};
+    c.region = probe_scratch_.region;
+    c.packets.assign(probe_scratch_.packets.begin(),
+                     probe_scratch_.packets.end());
+    c.loss_stream = FleetQueryLossStream(c.key, q);
+    if (tracing_) {
+      c.qt = std::make_unique<QueryTrace>();
+      c.qt->query_index = q;
+      c.qt->client_id =
+          static_cast<int64_t>(ClientId(slot, c.generation));
+      c.qt->x = p.x;
+      c.qt->y = p.y;
+      c.qt->region = c.region;
+      c.qt->arrival = arrival;
+      c.origins = probe_scratch_.origins;
+    }
+    c.probe_packet = static_cast<int64_t>(std::floor(arrival)) + 1;
+    EmitDoze(c, c.probe_packet,
+             static_cast<double>(c.probe_packet) - arrival);
+    c.phase = Phase::kProbe;
+    queue_.push({static_cast<double>(c.probe_packet), slot});
+  }
+
+  /// Initial probe burst: consecutive packets are read back to back (the
+  /// client is awake throughout), so the whole burst — and, on budget
+  /// exhaustion, the fallback conclusion — runs inside this one wake-up.
+  /// The fault processes live only for this frame, reconstructed from the
+  /// query's stream key (kProbeStream is their construction state).
+  void HandleProbe(int32_t slot, Client& c) {
+    c.out.tuning_probe = 1;
+    EmitRead(c, TraceEventKind::kProbe, c.probe_packet);
+    if (faults_) {
+      LossProcess loss(lopt_, c.loss_stream);
+      CorruptionProcess corrupt(lopt_.corruption, frame_bits_,
+                                c.loss_stream);
+      auto read_failed = [&](int64_t at) {
+        if (loss.enabled() && loss.NextLost()) {
+          ++c.out.lost_packets;
+          EmitRead(c, TraceEventKind::kLoss, at);
+          return true;
+        }
+        if (corrupt.enabled() && corrupt.NextCorrupted()) {
+          ++c.out.corrupted_packets;
+          EmitRead(c, TraceEventKind::kCorruption, at);
+          return true;
+        }
+        return false;
+      };
+      while (read_failed(c.probe_packet)) {
+        if (c.out.tuning_probe > lopt_.max_retries) {
+          Conclude(slot, c, c.probe_packet + 1, GiveUpStage::kProbeBudget);
+          return;
+        }
+        ++c.out.tuning_probe;
+        ++c.probe_packet;
+        EmitRead(c, TraceEventKind::kProbe, c.probe_packet);
+      }
+    }
+    c.pos = c.probe_packet + 1;
+    c.attempt = 0;
+    StartAttempt(slot, c);
+  }
+
+  /// Begins attempt `c.attempt` at position c.pos: precomputes where the
+  /// attempt's fixed read sequence first fails, locates the next index
+  /// segment, and schedules the first wake-up of the descent (or goes
+  /// straight to the bucket for an empty index).
+  void StartAttempt(int32_t slot, Client& c) {
+    if (c.attempt > 0) {
+      ++c.out.retries;
+      if (c.qt != nullptr) {
+        TraceEvent e;
+        e.kind = TraceEventKind::kRetune;
+        e.pos = c.pos;
+        e.attempt = c.attempt;
+        c.qt->events.push_back(e);
+      }
+    }
+    c.reads_done = 0;
+    c.fail_at = -1;
+    if (faults_) {
+      c.fail_at = FirstFailure(
+          lopt_, frame_bits_, c.loss_stream,
+          LossProcess::AttemptStream(c.attempt),
+          static_cast<int>(c.packets.size()) + bucket_packets_,
+          &c.fail_corrupt);
+    }
+    int64_t p = c.pos;
+    c.seg_start = NextSegmentStart(p);
+    DTREE_CHECK(c.seg_start >= p);
+    c.step = 0;
+    if (c.packets.empty()) {
+      p = std::max(p, c.seg_start);  // degenerate: empty index
+      ScheduleBucket(slot, c, p);
+      return;
+    }
+    ScheduleIndexRead(slot, c, p);
+  }
+
+  /// Schedules the wake-up for packets[c.step], handling a backward
+  /// pointer by waiting for the next index repetition (Simulate's
+  /// DAG-shaped-index rule, including the p - packet_id positivity
+  /// argument audited there).
+  void ScheduleIndexRead(int32_t slot, Client& c, int64_t p) {
+    const int packet_id = c.packets[c.step];
+    int64_t at = c.seg_start + packet_id;
+    if (at < p) {
+      c.seg_start = NextSegmentStart(p - packet_id);
+      at = c.seg_start + packet_id;
+      DTREE_CHECK(at >= p);
+    }
+    EmitDoze(c, at, static_cast<double>(at - p));
+    c.phase = Phase::kIndexRead;
+    queue_.push({static_cast<double>(at), slot});
+  }
+
+  void HandleIndexRead(int32_t slot, Client& c, int64_t at) {
+    const int packet_id = c.packets[c.step];
+    if (c.qt != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kIndexRead;
+      e.pos = at;
+      e.packet = packet_id;
+      if (c.origins.size() == c.packets.size()) {
+        e.node = c.origins[c.step].node;
+        e.depth = c.origins[c.step].depth;
+      }
+      c.qt->events.push_back(e);
+    }
+    const int64_t p = at + 1;
+    ++c.out.tuning_index;
+    if (c.fail_at >= 0 && c.reads_done == c.fail_at) {
+      if (c.fail_corrupt) {
+        ++c.out.corrupted_packets;
+        EmitRead(c, TraceEventKind::kCorruption, at);
+      } else {
+        ++c.out.lost_packets;
+        EmitRead(c, TraceEventKind::kLoss, at);
+      }
+      FailAttempt(slot, c, p);
+      return;
+    }
+    ++c.reads_done;
+    ++c.step;
+    if (static_cast<size_t>(c.step) < c.packets.size()) {
+      ScheduleIndexRead(slot, c, p);
+    } else {
+      ScheduleBucket(slot, c, p);
+    }
+  }
+
+  /// Next occurrence of the client's bucket at or after p.
+  void ScheduleBucket(int32_t slot, Client& c, int64_t p) {
+    const int64_t bucket_in_cycle =
+        bucket_start_[static_cast<size_t>(c.region)];
+    const int64_t cycle_base = (p / cycle_) * cycle_;
+    int64_t data_at = cycle_base + bucket_in_cycle;
+    if (data_at < p) data_at += cycle_;
+    EmitDoze(c, data_at, static_cast<double>(data_at - p));
+    c.phase = Phase::kBucketRead;
+    queue_.push({static_cast<double>(data_at), slot});
+  }
+
+  /// Bucket retrieval: contiguous reads, one wake-up.
+  void HandleBucketRead(int32_t slot, Client& c, int64_t data_at) {
+    int bucket_read = 0;
+    bool lost = false;
+    bool corrupted_here = false;
+    int64_t p = 0;
+    for (int b = 0; b < bucket_packets_; ++b) {
+      ++c.out.tuning_data;
+      ++bucket_read;
+      if (c.fail_at >= 0 && c.reads_done == c.fail_at) {
+        if (c.fail_corrupt) {
+          ++c.out.corrupted_packets;
+          corrupted_here = true;
+        } else {
+          ++c.out.lost_packets;
+        }
+        lost = true;
+        p = data_at + b + 1;  // failure detected at the packet's end
+        break;
+      }
+      ++c.reads_done;
+    }
+    if (c.qt != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kBucketRead;
+      e.pos = data_at;
+      e.packet = bucket_read;
+      c.qt->events.push_back(e);
+      if (lost) {
+        EmitRead(c,
+                 corrupted_here ? TraceEventKind::kCorruption
+                                : TraceEventKind::kLoss,
+                 data_at + bucket_read - 1);
+      }
+    }
+    if (!lost) {
+      const int64_t done = data_at + bucket_packets_;
+      c.out.latency = static_cast<double>(done) - c.arrival;
+      CompleteQuery(slot, c, static_cast<double>(done));
+      return;
+    }
+    FailAttempt(slot, c, p);
+  }
+
+  /// A read of the current attempt failed at position p - 1: re-tune to
+  /// the next index repetition, or fall off the retry rung.
+  void FailAttempt(int32_t slot, Client& c, int64_t p) {
+    c.pos = p;
+    ++c.attempt;
+    if (c.attempt >= max_attempts_) {
+      Conclude(slot, c, c.pos, GiveUpStage::kRetryBudget);
+      return;
+    }
+    StartAttempt(slot, c);
+  }
+
+  /// Degradation ladder, final rung — Simulate's `conclude`, verbatim,
+  /// run inside the current wake-up (the fallback scan is continuous
+  /// listening). Only ever reached under faults.
+  void Conclude(int32_t slot, Client& c, int64_t give_up_pos,
+                GiveUpStage stage) {
+    if (lopt_.fallback_scan_cycles > 0) {
+      LossProcess loss(lopt_, c.loss_stream);
+      CorruptionProcess corrupt(lopt_.corruption, frame_bits_,
+                                c.loss_stream);
+      for (int cycle = 0; cycle < lopt_.fallback_scan_cycles; ++cycle) {
+        c.out.fallback_scan = true;
+        loss.StartStream(LossProcess::FallbackStream(cycle));
+        corrupt.StartStream(LossProcess::FallbackStream(cycle));
+        const int64_t bucket_in_cycle =
+            bucket_start_[static_cast<size_t>(c.region)];
+        const int64_t cycle_base = (give_up_pos / cycle_) * cycle_;
+        int64_t data_at = cycle_base + bucket_in_cycle;
+        if (data_at < give_up_pos) data_at += cycle_;
+        const int64_t listened = data_at - give_up_pos;
+        c.out.tuning_index += static_cast<int>(listened);
+        if (c.qt != nullptr) {
+          TraceEvent e;
+          e.kind = TraceEventKind::kFallbackScan;
+          e.pos = give_up_pos;
+          e.packet = static_cast<int>(listened);
+          e.attempt = cycle;
+          c.qt->events.push_back(e);
+        }
+        bool lost = false;
+        bool corrupted_here = false;
+        int bucket_read = 0;
+        for (int b = 0; b < bucket_packets_; ++b) {
+          ++c.out.tuning_data;
+          ++bucket_read;
+          if (loss.enabled() && loss.NextLost()) {
+            ++c.out.lost_packets;
+            lost = true;
+            break;
+          }
+          if (corrupt.enabled() && corrupt.NextCorrupted()) {
+            ++c.out.corrupted_packets;
+            corrupted_here = true;
+            lost = true;
+            break;
+          }
+        }
+        if (c.qt != nullptr) {
+          TraceEvent e;
+          e.kind = TraceEventKind::kBucketRead;
+          e.pos = data_at;
+          e.packet = bucket_read;
+          c.qt->events.push_back(e);
+          if (lost) {
+            EmitRead(c,
+                     corrupted_here ? TraceEventKind::kCorruption
+                                    : TraceEventKind::kLoss,
+                     data_at + bucket_read - 1);
+          }
+        }
+        if (!lost) {
+          c.out.latency =
+              static_cast<double>(data_at + bucket_packets_) - c.arrival;
+          CompleteQuery(slot, c,
+                        static_cast<double>(data_at + bucket_packets_));
+          return;
+        }
+        give_up_pos = data_at + bucket_read;  // listen past the bad packet
+      }
+    }
+    c.out.unrecoverable = true;
+    c.out.give_up =
+        c.out.fallback_scan ? GiveUpStage::kFallbackBudget : stage;
+    c.out.latency = static_cast<double>(give_up_pos) - c.arrival;
+    CompleteQuery(slot, c, static_cast<double>(give_up_pos));
+  }
+
+  /// The query is over (answered or explicitly given up) at absolute time
+  /// `done`: account it, then advance the client's arrival process —
+  /// possibly through churn, which retires this session and seats the
+  /// next generation in the slot after a re-join delay.
+  void CompleteQuery(int32_t slot, Client& c, double done) {
+    const auto& out = c.out;
+    if (c.qt != nullptr) {
+      c.qt->latency = out.latency;
+      c.qt->tuning_total = out.tuning_total();
+      c.qt->retries = out.retries;
+      c.qt->lost_packets = out.lost_packets;
+      c.qt->corrupted_packets = out.corrupted_packets;
+      c.qt->fallback_scan = out.fallback_scan;
+      c.qt->unrecoverable = out.unrecoverable;
+      sums_->traces.push_back(std::move(*c.qt));
+      c.qt.reset();
+    }
+    sums_->latency += out.latency;
+    sums_->tuning_index += out.tuning_index;
+    sums_->tuning_total += out.tuning_total();
+    sums_->retries += out.retries;
+    sums_->lost_packets += out.lost_packets;
+    sums_->corrupted_packets += out.corrupted_packets;
+    if (out.unrecoverable) ++sums_->unrecoverable;
+    if (out.fallback_scan) ++sums_->fallback;
+    ++sums_->queries;
+    h_latency_->Add(out.latency);
+    h_tuning_index_->Add(out.tuning_index);
+    h_tuning_total_->Add(out.tuning_total());
+    h_retries_->Add(out.retries);
+    h_lost_->Add(out.lost_packets);
+    h_corrupted_->Add(out.corrupted_packets);
+
+    Rng rng = Rng::ForStream(c.key, FleetScheduleStream(c.query_index));
+    ++c.query_index;
+    const double u_churn = rng.Uniform(0.0, 1.0);
+    if (u_churn < opt_.churn) {
+      ++sums_->departures;
+      const double delay = DrawExp(&rng);
+      c.generation += 1;
+      c.query_index = 0;
+      c.key = FleetClientKey(opt_.seed, ClientId(slot, c.generation));
+      const double t_join = done + delay;
+      if (t_join >= horizon_) {
+        c.phase = Phase::kDone;
+        return;
+      }
+      c.phase = Phase::kJoin;
+      queue_.push({t_join, slot});
+      return;
+    }
+    // Poisson thinking time from the *previous arrival* (an open-loop
+    // arrival process), clamped so the next query never starts before
+    // this one finished.
+    const double think = DrawExp(&rng);
+    IssueQuery(slot, c, std::max(c.arrival + think, done));
+  }
+
+  /// Exponential with mean mean_think_; u < 1 so the draw is finite.
+  double DrawExp(Rng* rng) {
+    return -mean_think_ * std::log1p(-rng->Uniform(0.0, 1.0));
+  }
+
+  const AirIndex& index_;
+  const BroadcastChannel& ch_;
+  const QuerySampler& sampler_;
+  const FleetOptions& opt_;
+  const LossOptions& lopt_;
+  const std::vector<int64_t>& bucket_start_;
+  const double horizon_;
+  const int64_t shard_first_;
+  const int64_t shard_clients_;
+  FleetShard* sums_;
+  const int64_t cycle_;
+  const int bucket_packets_;
+  const int frame_bits_;
+  const bool faults_;
+  const int max_attempts_;
+  const double mean_think_;
+  const bool tracing_;
+  std::vector<int64_t> segment_start_;
+  std::vector<Client> clients_;
+  std::priority_queue<WakeUp, std::vector<WakeUp>, WakeUpLater> queue_;
+  ProbeTrace probe_scratch_;
+  Histogram* h_latency_ = nullptr;
+  Histogram* h_tuning_index_ = nullptr;
+  Histogram* h_tuning_total_ = nullptr;
+  Histogram* h_retries_ = nullptr;
+  Histogram* h_lost_ = nullptr;
+  Histogram* h_corrupted_ = nullptr;
+};
+
+}  // namespace
+
+Result<FleetResult> RunFleet(const AirIndex& index,
+                             const sub::Subdivision& subdivision,
+                             const FleetOptions& options) {
+  if (options.num_clients < 1) {
+    return Status::InvalidArgument("fleet needs at least one client");
+  }
+  if (!(options.sim_cycles > 0.0) || !std::isfinite(options.sim_cycles)) {
+    return Status::InvalidArgument("sim_cycles must be positive and finite");
+  }
+  if (!(options.queries_per_cycle > 0.0) ||
+      !std::isfinite(options.queries_per_cycle)) {
+    return Status::InvalidArgument(
+        "queries_per_cycle must be positive and finite");
+  }
+  if (!(options.churn >= 0.0 && options.churn <= 1.0)) {
+    return Status::InvalidArgument("churn must be in [0, 1]");
+  }
+  ChannelOptions copt;
+  copt.packet_capacity = options.packet_capacity;
+  copt.data_instance_size = options.data_instance_size;
+  copt.m = options.m;
+  copt.loss = options.loss;
+  Result<BroadcastChannel> channel_r = BroadcastChannel::Create(
+      index.NumIndexPackets(), subdivision.NumRegions(), copt);
+  if (!channel_r.ok()) return channel_r.status();
+  const BroadcastChannel& ch = channel_r.value();
+
+  Result<QuerySampler> sampler_r = QuerySampler::Create(
+      subdivision, options.distribution, options.region_weights);
+  if (!sampler_r.ok()) return sampler_r.status();
+  const QuerySampler& sampler = sampler_r.value();
+
+  const double horizon =
+      options.sim_cycles * static_cast<double>(ch.cycle_packets());
+  std::vector<int64_t> bucket_start;
+  bucket_start.reserve(static_cast<size_t>(ch.num_regions()));
+  for (int r = 0; r < ch.num_regions(); ++r) {
+    bucket_start.push_back(ch.BucketStart(r));
+  }
+
+  // Shard layout: fixed count, contiguous slot ranges, shard s always
+  // owning the same slots regardless of threads.
+  const int num_shards = static_cast<int>(
+      std::min<int64_t>(kFleetShards, options.num_clients));
+  const int64_t per_shard = options.num_clients / num_shards;
+  const int64_t remainder = options.num_clients % num_shards;
+
+  std::vector<FleetShard> shards(static_cast<size_t>(num_shards));
+  auto run_shard = [&](int s) {
+    const int64_t shard_clients = per_shard + (s < remainder ? 1 : 0);
+    const int64_t shard_first =
+        s * per_shard + std::min<int64_t>(s, remainder);
+    ShardEngine engine(index, ch, sampler, options, bucket_start, horizon,
+                       shard_first, shard_clients,
+                       &shards[static_cast<size_t>(s)]);
+    engine.Run();
+  };
+  ThreadPool pool(options.num_threads);
+  pool.ParallelFor(num_shards, run_shard);
+
+  // Merge in shard order; first failing shard (by id) wins.
+  FleetShard total;
+  MetricsRegistry merged;
+  for (const FleetShard& sums : shards) {
+    if (!sums.error.ok()) return sums.error;
+    total.latency += sums.latency;
+    total.tuning_index += sums.tuning_index;
+    total.tuning_total += sums.tuning_total;
+    total.retries += sums.retries;
+    total.lost_packets += sums.lost_packets;
+    total.corrupted_packets += sums.corrupted_packets;
+    total.unrecoverable += sums.unrecoverable;
+    total.fallback += sums.fallback;
+    total.queries += sums.queries;
+    total.sessions += sums.sessions;
+    total.departures += sums.departures;
+    merged.MergeOrdered(sums.metrics);
+  }
+  if (options.trace_sink != nullptr) {
+    for (const FleetShard& sums : shards) {
+      for (const QueryTrace& qt : sums.traces) {
+        options.trace_sink->Consume(qt);
+      }
+    }
+  }
+
+  FleetResult res;
+  res.index_name = index.name();
+  res.packet_capacity = options.packet_capacity;
+  res.m = ch.m();
+  res.index_packets = index.NumIndexPackets();
+  res.data_packets = ch.data_packets();
+  res.cycle_packets = ch.cycle_packets();
+  res.horizon_packets = static_cast<int64_t>(std::llround(horizon));
+  res.num_clients = options.num_clients;
+  res.sessions = total.sessions;
+  res.departures = total.departures;
+  res.queries = total.queries;
+  const double n = static_cast<double>(total.queries);
+  const auto mean = [&](double sum) { return n > 0.0 ? sum / n : 0.0; };
+  res.mean_latency = mean(total.latency);
+  res.mean_tuning_index = mean(total.tuning_index);
+  res.mean_tuning_total = mean(total.tuning_total);
+  res.mean_retries = mean(static_cast<double>(total.retries));
+  res.mean_lost_packets = mean(static_cast<double>(total.lost_packets));
+  res.mean_corrupted_packets =
+      mean(static_cast<double>(total.corrupted_packets));
+  res.total_retries = total.retries;
+  res.total_lost_packets = total.lost_packets;
+  res.total_corrupted_packets = total.corrupted_packets;
+  res.unrecoverable_queries = total.unrecoverable;
+  res.fallback_queries = total.fallback;
+  res.min_latency = merged.histogram(kLatencyHist)->Min();
+  res.max_latency = merged.histogram(kLatencyHist)->Max();
+  res.min_tuning_total = merged.histogram(kTuningTotalHist)->Min();
+  res.max_tuning_total = merged.histogram(kTuningTotalHist)->Max();
+  res.metrics = std::move(merged);
+  return res;
+}
+
+}  // namespace dtree::bcast

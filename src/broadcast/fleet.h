@@ -1,0 +1,174 @@
+// Event-driven fleet engine: millions of concurrent clients sharing one
+// (1, m) broadcast cycle, simulated in a single process.
+//
+// The experiment driver (broadcast/experiment.h) replays independent
+// queries through BroadcastChannel::Simulate one at a time — there is no
+// notion of a population. RunFleet instead advances a single broadcast
+// clock and a priority queue of client wake-ups; each client is a
+// lightweight state machine that dozes between the packets it must hear
+// (doze -> probe -> index descent -> bucket read, plus the existing
+// retry / re-tune / fallback ladder rungs), issues queries from its own
+// Poisson arrival process, and may churn (leave, with a fresh client
+// re-occupying the slot).
+//
+// Protocol fidelity: the per-query state machine replays the exact packet
+// arithmetic, RNG draw order and trace-event order of
+// BroadcastChannel::Simulate, only spread across wake-up events in
+// absolute broadcast time instead of one synchronous call. Every packet
+// position of a query arriving at absolute time A is the position for
+// arrival fmod(A, cycle) shifted by the same whole number of cycles, and
+// both arithmetic forms are exact in double, so a fleet of one client
+// issuing one query reproduces Simulate's QueryOutcome field-for-field —
+// the differential anchor pinned in tests/fleet_test.cc.
+//
+// Determinism contract (same shape as RunExperiment's): clients are split
+// into kFleetShards fixed shards owning contiguous slot ranges; every
+// random draw comes from a stream keyed by (options.seed, client id,
+// purpose) via Rng::MixStream, never from shared state; each shard runs
+// its own event loop single-threaded and accumulates privately; shards
+// are merged in shard order. FleetResult is therefore bit-identical for
+// any num_threads. Client ids outlive churn: the g-th occupant of slot s
+// has client_id = s + g * num_clients, so a session's draws depend only
+// on (seed, slot, generation).
+
+#ifndef DTREE_BROADCAST_FLEET_H_
+#define DTREE_BROADCAST_FLEET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "broadcast/air_index.h"
+#include "broadcast/channel.h"
+#include "broadcast/experiment.h"
+#include "broadcast/trace.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "subdivision/subdivision.h"
+
+namespace dtree::bcast {
+
+/// Fixed shard count for the fleet event loops; like the experiment
+/// driver's kQueryShards, chosen once and never derived from thread
+/// count, so shard s always owns the same slots and the merged result is
+/// independent of how shards are scheduled onto threads.
+inline constexpr int kFleetShards = 64;
+
+struct FleetOptions {
+  int packet_capacity = 0;      ///< required, > 0
+  /// Concurrent client slots, >= 1. Memory is O(num_clients); one
+  /// process comfortably holds millions (the per-client footprint is a
+  /// few hundred bytes — see DESIGN.md §13).
+  int64_t num_clients = 1;
+  /// Simulation horizon in broadcast cycles, > 0. Queries *issued* before
+  /// the horizon run to completion past it and count fully; a client
+  /// whose next arrival falls at or beyond the horizon retires.
+  double sim_cycles = 4.0;
+  /// Mean queries a client issues per broadcast cycle, > 0: thinking
+  /// time between a query's arrival and the next is exponential with
+  /// mean cycle_packets / queries_per_cycle (clamped so a client never
+  /// issues its next query before the previous one finished).
+  double queries_per_cycle = 1.0;
+  /// Churn: probability in [0, 1] that a client leaves after completing
+  /// a query. The slot is re-occupied by a fresh client (next
+  /// generation, new RNG identity) after an exponential re-join delay of
+  /// the same mean as the thinking time.
+  double churn = 0.0;
+  uint64_t seed = 42;
+  QueryDistribution distribution = QueryDistribution::kUniformRegion;
+  /// Per-region access weights for kWeightedRegion.
+  std::vector<double> region_weights;
+  size_t data_instance_size = kDataInstanceSize;
+  int m = 0;  ///< index repetitions per cycle; 0 = optimal
+  /// Threads to run client shards on; 0 = hardware concurrency. Results
+  /// do not depend on this value — only wall-clock time does.
+  int num_threads = 0;
+  /// Channel fault injection; every query plays the same degradation
+  /// ladder as BroadcastChannel::Simulate.
+  LossOptions loss;
+  /// Opt-in per-query tracing (not owned). Each shard buffers privately;
+  /// traces are replayed into the sink in shard order after the parallel
+  /// section (ordered by slot, then by completion within the shard's
+  /// event loop — deterministic for any thread count). Fleet traces
+  /// carry QueryTrace::client_id and use the client's own query counter
+  /// as query_index.
+  TraceSink* trace_sink = nullptr;
+};
+
+/// Aggregated results of one fleet run. All means are per *completed*
+/// (or given-up) query; a run whose horizon is too short for any query
+/// to finish reports zero queries and all-zero means, never NaN.
+struct FleetResult {
+  std::string index_name;
+  int packet_capacity = 0;
+  int m = 0;
+  int index_packets = 0;
+  int64_t data_packets = 0;
+  int64_t cycle_packets = 0;
+  int64_t horizon_packets = 0;  ///< round(sim_cycles * cycle_packets)
+
+  int64_t num_clients = 0;  ///< concurrent slots simulated
+  int64_t sessions = 0;     ///< client sessions that joined (>= num_clients
+                            ///< when churn replaces departures in time)
+  int64_t departures = 0;   ///< sessions that left through churn
+  int64_t queries = 0;      ///< queries completed or explicitly given up
+
+  double mean_latency = 0.0;
+  double mean_tuning_index = 0.0;
+  double mean_tuning_total = 0.0;
+  double mean_retries = 0.0;
+  double mean_lost_packets = 0.0;
+  double mean_corrupted_packets = 0.0;
+  int64_t total_retries = 0;
+  int64_t total_lost_packets = 0;
+  int64_t total_corrupted_packets = 0;
+  int64_t unrecoverable_queries = 0;
+  int64_t fallback_queries = 0;
+  double min_latency = 0.0;
+  double max_latency = 0.0;
+  double min_tuning_total = 0.0;
+  double max_tuning_total = 0.0;
+  /// Per-query distributions under the same histogram names as
+  /// RunExperiment (kLatencyHist, kTuningIndexHist, kTuningTotalHist,
+  /// kRetriesHist, kLostPacketsHist, kCorruptedPacketsHist).
+  MetricsRegistry metrics;
+};
+
+/// RNG identity of one client session: MixStream(seed, client_id) with
+/// client_id = slot + generation * num_clients. Exposed so tests can
+/// reproduce a fleet client's draws independently of the engine.
+inline uint64_t FleetClientKey(uint64_t seed, uint64_t client_id) {
+  return Rng::MixStream(seed, client_id);
+}
+
+/// Per-client sub-stream ids, all keyed off FleetClientKey. Stream 0 is
+/// the generation-0 join draw; query q then owns streams 3q+1..3q+3:
+///   3q+1 — query point (rejection sampling, private ephemeral Rng)
+///   3q+2 — post-query schedule (thinking time, churn, re-join delay)
+///   3q+3 — the loss_stream passed to the channel's fault processes
+/// (the value Simulate would need to reproduce the query's ladder).
+inline uint64_t FleetJoinStream() { return 0; }
+inline uint64_t FleetPointStream(uint64_t query_index) {
+  return 3 * query_index + 1;
+}
+inline uint64_t FleetScheduleStream(uint64_t query_index) {
+  return 3 * query_index + 2;
+}
+inline uint64_t FleetQueryLossStream(uint64_t client_key,
+                                     uint64_t query_index) {
+  return Rng::MixStream(client_key, 3 * query_index + 3);
+}
+
+/// Runs the fleet. `index` must honor the AirIndex::Probe concurrency
+/// contract (shards probe from many threads at once); `subdivision` backs
+/// the query sampler. Returns InvalidArgument on malformed options and
+/// propagates any probe / trace-validation failure, first failing shard
+/// wins — exactly like RunExperiment.
+Result<FleetResult> RunFleet(const AirIndex& index,
+                             const sub::Subdivision& subdivision,
+                             const FleetOptions& options);
+
+}  // namespace dtree::bcast
+
+#endif  // DTREE_BROADCAST_FLEET_H_

@@ -127,6 +127,13 @@ class LossProcess {
   static constexpr uint64_t FallbackStream(int cycle) {
     return (uint64_t{1} << 32) + static_cast<uint64_t>(cycle);
   }
+  /// Sub-stream for pass k of the indexless baseline's bucket retrieval
+  /// (BroadcastChannel::SimulateNoIndex). Its own family, disjoint from
+  /// the probe / attempt / fallback streams, so a query's indexed and
+  /// indexless simulations never share a draw.
+  static constexpr uint64_t NoIndexStream(int pass) {
+    return (uint64_t{1} << 33) + static_cast<uint64_t>(pass);
+  }
 
   LossProcess(const LossOptions& options, uint64_t query_stream)
       : options_(options),

@@ -65,6 +65,10 @@ std::string FormatQueryTraceJson(const QueryTrace& trace,
   std::string out;
   out.reserve(128 + trace.events.size() * 48);
   AppendF(&out, "{\"q\": %" PRIu64, trace.query_index);
+  if (trace.client_id >= 0) {
+    AppendF(&out, ", \"client\": %lld",
+            static_cast<long long>(trace.client_id));
+  }
   if (!label.empty()) {
     out += ", \"cell\": ";
     AppendJsonString(&out, label);

@@ -74,7 +74,14 @@ struct TraceEvent {
 
 /// Everything observable about one simulated query.
 struct QueryTrace {
-  uint64_t query_index = 0;  ///< global (thread-count-independent) index
+  uint64_t query_index = 0;  ///< global (thread-count-independent) index;
+                             ///< fleet runs use the client's own query
+                             ///< counter (unique per client, not global)
+  /// Issuing client for fleet-engine traces (broadcast/fleet.h):
+  /// slot + generation * num_clients, thread-count-independent. -1 for
+  /// single-query simulations, which omits the "client" JSON field so
+  /// pre-fleet trace bytes are unchanged.
+  int64_t client_id = -1;
   double x = 0.0;            ///< query point
   double y = 0.0;
   int region = -1;

@@ -3,6 +3,8 @@
 // invariants.
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "broadcast/channel.h"
 #include "common/rng.h"
@@ -133,6 +135,159 @@ TEST(ChannelPropertyTest, NoIndexWorseOnAverageTuning) {
   }
   const double mean = total / kQueries;
   EXPECT_NEAR(mean, ch.data_packets() / 2.0, ch.data_packets() * 0.05);
+}
+
+TEST(ChannelPropertyTest, SimulateRejectsArrivalsOutsideTheCycle) {
+  // Pinned choice for the documented precondition arrival in [0, cycle):
+  // out-of-range and non-finite arrivals are InvalidArgument, never
+  // silently computed. NaN is the sharp edge — it compares false against
+  // both bounds, so only an explicit finiteness check catches it.
+  ChannelOptions opt;
+  opt.packet_capacity = 256;
+  opt.m = 2;
+  auto ch_r = BroadcastChannel::Create(8, 20, opt);
+  ASSERT_TRUE(ch_r.ok());
+  const BroadcastChannel& ch = ch_r.value();
+  ProbeTrace trace;
+  trace.region = 3;
+  trace.packets = {0, 4};
+  const double cycle = static_cast<double>(ch.cycle_packets());
+  const double bad[] = {-1.0,
+                        -1e-9,
+                        cycle,
+                        cycle + 0.5,
+                        2.0 * cycle,
+                        std::numeric_limits<double>::infinity(),
+                        -std::numeric_limits<double>::infinity(),
+                        std::numeric_limits<double>::quiet_NaN()};
+  for (double arrival : bad) {
+    auto out_r = ch.Simulate(trace, arrival);
+    ASSERT_FALSE(out_r.ok()) << "arrival=" << arrival;
+    EXPECT_EQ(out_r.status().code(), StatusCode::kInvalidArgument);
+  }
+  // The boundary cases inside the cycle remain valid.
+  EXPECT_TRUE(ch.Simulate(trace, 0.0).ok());
+  EXPECT_TRUE(ch.Simulate(trace, std::nextafter(cycle, 0.0)).ok());
+}
+
+TEST(ChannelPropertyTest, NoIndexWrapsArrivalModPureDataCycle) {
+  // SimulateNoIndex's pinned choice: absolute arrivals are canonically
+  // wrapped mod the pure-data cycle, so every field is bit-identical to
+  // the in-cycle arrival's outcome.
+  ChannelOptions opt;
+  opt.packet_capacity = 512;
+  opt.m = 3;
+  auto ch_r = BroadcastChannel::Create(6, 40, opt);
+  ASSERT_TRUE(ch_r.ok());
+  const BroadcastChannel& ch = ch_r.value();
+  const double data_cycle = static_cast<double>(ch.data_packets());
+  Rng rng(91);
+  for (int q = 0; q < 200; ++q) {
+    const int region = static_cast<int>(rng.UniformInt(0, 39));
+    // Snap the fractional part to a 1/1024 grid so a + k*data_cycle is
+    // exactly representable and fmod recovers `a` bit-for-bit. (For a
+    // full-precision mantissa the sum itself rounds, which is a property
+    // of the caller's arithmetic, not of the wrap.)
+    const double a =
+        std::floor(rng.Uniform(0.0, data_cycle) * 1024.0) / 1024.0;
+    const auto base = ch.SimulateNoIndex(region, a);
+    for (int k : {1, 2, 7}) {
+      const auto wrapped = ch.SimulateNoIndex(region, a + k * data_cycle);
+      EXPECT_EQ(base.latency, wrapped.latency);
+      EXPECT_EQ(base.tuning_index, wrapped.tuning_index);
+      EXPECT_EQ(base.tuning_data, wrapped.tuning_data);
+      EXPECT_EQ(base.retries, wrapped.retries);
+    }
+  }
+}
+
+TEST(ChannelPropertyTest, NoIndexZeroLossRateMatchesLosslessBitForBit) {
+  // The loss-0 guarantee of the lossy no-index baseline: enabling a fault
+  // model that never fires must not move a single bit (the lossless fast
+  // path constructs no RNG at all).
+  ChannelOptions lossless_opt;
+  lossless_opt.packet_capacity = 256;
+  lossless_opt.m = 2;
+  auto lossless_r = BroadcastChannel::Create(8, 30, lossless_opt);
+  ASSERT_TRUE(lossless_r.ok());
+  ChannelOptions zero_opt = lossless_opt;
+  zero_opt.loss.model = LossModel::kIid;
+  zero_opt.loss.loss_rate = 0.0;
+  zero_opt.loss.seed = 99;
+  auto zero_r = BroadcastChannel::Create(8, 30, zero_opt);
+  ASSERT_TRUE(zero_r.ok());
+  Rng rng(17);
+  for (int q = 0; q < 300; ++q) {
+    const int region = static_cast<int>(rng.UniformInt(0, 29));
+    const double arrival = rng.Uniform(
+        0.0, static_cast<double>(lossless_r.value().cycle_packets()));
+    const uint64_t stream = static_cast<uint64_t>(q);
+    const auto a = lossless_r.value().SimulateNoIndex(region, arrival,
+                                                      stream);
+    const auto b = zero_r.value().SimulateNoIndex(region, arrival, stream);
+    EXPECT_EQ(a.latency, b.latency);
+    EXPECT_EQ(a.tuning_index, b.tuning_index);
+    EXPECT_EQ(a.tuning_data, b.tuning_data);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(b.lost_packets, 0);
+    EXPECT_FALSE(b.unrecoverable);
+  }
+}
+
+TEST(ChannelPropertyTest, NoIndexUnderLossRetriesAndStaysConsistent) {
+  // Under real loss the indexless baseline pays for failed buckets with
+  // whole extra data cycles; the outcome obeys the same accounting
+  // invariants as the indexed ladder and is a pure function of
+  // (region, arrival, loss_stream).
+  ChannelOptions opt;
+  opt.packet_capacity = 64;  // multi-packet buckets: loss can hit mid-bucket
+  opt.m = 2;
+  opt.loss.model = LossModel::kIid;
+  opt.loss.loss_rate = 0.3;
+  opt.loss.seed = 5;
+  opt.loss.max_retries = 6;
+  auto ch_r = BroadcastChannel::Create(8, 25, opt);
+  ASSERT_TRUE(ch_r.ok());
+  const BroadcastChannel& ch = ch_r.value();
+  Rng rng(33);
+  int64_t total_retries = 0;
+  for (int q = 0; q < 500; ++q) {
+    const int region = static_cast<int>(rng.UniformInt(0, 24));
+    const double arrival =
+        rng.Uniform(0.0, static_cast<double>(ch.data_packets()));
+    const uint64_t stream = static_cast<uint64_t>(q);
+    const auto out = ch.SimulateNoIndex(region, arrival, stream);
+    const auto replay = ch.SimulateNoIndex(region, arrival, stream);
+    EXPECT_EQ(out.latency, replay.latency);  // deterministic replay
+    EXPECT_EQ(out.retries, replay.retries);
+    EXPECT_EQ(out.tuning_probe, 0);
+    EXPECT_GE(out.retries, 0);
+    EXPECT_LE(out.retries, opt.loss.max_retries);
+    EXPECT_GE(out.tuning_data, 1);
+    EXPECT_LE(out.tuning_data, (opt.loss.max_retries + 1) * ch.bucket_packets());
+    EXPECT_GE(out.lost_packets, out.retries);
+    // Tuning never exceeds the time spent listening.
+    EXPECT_LE(out.tuning_total(), out.latency + 1.0);
+    if (out.unrecoverable) {
+      EXPECT_EQ(out.retries, opt.loss.max_retries);
+      EXPECT_EQ(out.give_up, GiveUpStage::kRetryBudget);
+    } else {
+      EXPECT_EQ(out.give_up, GiveUpStage::kNone);
+    }
+    total_retries += out.retries;
+  }
+  // At 30% packet loss some bucket retrievals must have failed.
+  EXPECT_GT(total_retries, 0);
+
+  // Loss rate 1 burns the whole budget: every query is unrecoverable.
+  ChannelOptions sure = opt;
+  sure.loss.loss_rate = 1.0;
+  auto sure_r = BroadcastChannel::Create(8, 25, sure);
+  ASSERT_TRUE(sure_r.ok());
+  const auto dead = sure_r.value().SimulateNoIndex(7, 100.5, 3);
+  EXPECT_TRUE(dead.unrecoverable);
+  EXPECT_EQ(dead.give_up, GiveUpStage::kRetryBudget);
+  EXPECT_EQ(dead.retries, sure.loss.max_retries);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // metrics for every thread count, and QuerySampler must handle degenerate
 // weight vectors exactly as documented.
 
+#include <cmath>
 #include <limits>
 #include <set>
 
@@ -176,6 +177,82 @@ TEST(ParallelExperimentTest, FewerQueriesThanShardsStillDeterministic) {
   opt.num_threads = 1;
   auto serial = RunExperiment(tree.value(), sub, nullptr, opt);
   ASSERT_TRUE(serial.ok());
+  opt.num_threads = 8;
+  auto parallel = RunExperiment(tree.value(), sub, nullptr, opt);
+  ASSERT_TRUE(parallel.ok());
+  ExpectIdentical(serial.value(), parallel.value());
+}
+
+TEST(ParallelExperimentTest, ZeroQueriesIsALegalDegenerateRun) {
+  // Pinned behavior for the empty load: the run succeeds, layout fields
+  // are filled, and every aggregate is exactly zero — no division by the
+  // zero query count may surface as NaN. Negative counts stay rejected.
+  const sub::Subdivision sub = test::RandomVoronoi(20, 909);
+  core::DTree::Options topt;
+  topt.packet_capacity = 256;
+  auto tree = core::DTree::Build(sub, topt);
+  ASSERT_TRUE(tree.ok());
+  ExperimentOptions opt;
+  opt.packet_capacity = 256;
+  opt.num_queries = 0;
+  for (int threads : {1, 8}) {
+    opt.num_threads = threads;
+    auto res = RunExperiment(tree.value(), sub, nullptr, opt);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    const ExperimentResult& r = res.value();
+    EXPECT_GT(r.cycle_packets, 0);
+    EXPECT_GT(r.m, 0);
+    EXPECT_EQ(r.mean_latency, 0.0);
+    EXPECT_EQ(r.normalized_latency, 0.0);
+    EXPECT_EQ(r.mean_tuning_index, 0.0);
+    EXPECT_EQ(r.mean_tuning_total, 0.0);
+    EXPECT_EQ(r.mean_tuning_noindex, 0.0);
+    EXPECT_EQ(r.indexing_efficiency, 0.0);
+    EXPECT_EQ(r.mean_retries, 0.0);
+    EXPECT_EQ(r.mean_lost_packets, 0.0);
+    EXPECT_EQ(r.mean_corrupted_packets, 0.0);
+    EXPECT_EQ(r.min_latency, 0.0);
+    EXPECT_EQ(r.max_latency, 0.0);
+    EXPECT_EQ(r.min_tuning_total, 0.0);
+    EXPECT_EQ(r.max_tuning_total, 0.0);
+    EXPECT_EQ(r.unrecoverable_queries, 0);
+    EXPECT_EQ(r.fallback_queries, 0);
+    EXPECT_FALSE(std::isnan(r.mean_latency));
+    const Histogram* lat = r.metrics.FindHistogram(kLatencyHist);
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->TotalCount(), 0u);
+  }
+  opt.num_queries = -1;
+  EXPECT_FALSE(RunExperiment(tree.value(), sub, nullptr, opt).ok());
+}
+
+TEST(ParallelExperimentTest, AllUnrecoverableShardsAggregateSanely) {
+  // Loss rate 1 with the fallback disabled makes every query burn its
+  // whole retry budget: the pinned aggregation is
+  // unrecoverable_queries == num_queries with finite (latency-until-
+  // give-up) means, identical across thread counts.
+  const sub::Subdivision sub = test::RandomVoronoi(20, 910);
+  core::DTree::Options topt;
+  topt.packet_capacity = 256;
+  auto tree = core::DTree::Build(sub, topt);
+  ASSERT_TRUE(tree.ok());
+  ExperimentOptions opt;
+  opt.packet_capacity = 256;
+  opt.num_queries = 500;
+  opt.seed = 21;
+  opt.loss.model = LossModel::kIid;
+  opt.loss.loss_rate = 1.0;
+  opt.loss.seed = 6;
+  opt.loss.max_retries = 2;
+  opt.num_threads = 1;
+  auto serial = RunExperiment(tree.value(), sub, nullptr, opt);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  const ExperimentResult& r = serial.value();
+  EXPECT_EQ(r.unrecoverable_queries, opt.num_queries);
+  EXPECT_TRUE(std::isfinite(r.mean_latency));
+  EXPECT_GT(r.mean_latency, 0.0);  // time until giving up still counts
+  EXPECT_TRUE(std::isfinite(r.mean_tuning_noindex));
+  EXPECT_GT(r.mean_tuning_noindex, 0.0);  // lossy baseline gave up too
   opt.num_threads = 8;
   auto parallel = RunExperiment(tree.value(), sub, nullptr, opt);
   ASSERT_TRUE(parallel.ok());

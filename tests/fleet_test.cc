@@ -1,0 +1,421 @@
+// Tests for the event-driven fleet engine (broadcast/fleet.h).
+//
+// The load-bearing property is the differential anchor: every query a
+// fleet client completes must reproduce BroadcastChannel::Simulate
+// field-for-field when replayed through the synchronous simulator with
+// the same probe trace, the wrapped arrival, and the query's loss stream
+// (FleetQueryLossStream). On top of that: bitwise thread-count
+// invariance of FleetResult, option validation, churn accounting, and
+// the exhaustive GiveUpStageName round-trip.
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "broadcast/fleet.h"
+#include "dtree/dtree.h"
+#include "test_util.h"
+#include "workload/datasets.h"
+
+#include "gtest/gtest.h"
+
+namespace dtree::bcast {
+namespace {
+
+/// In-memory sink keeping full (unserialized) QueryTrace copies, so the
+/// differential can recover each query's exact point, arrival and
+/// outcome summary.
+class VectorTraceSink : public TraceSink {
+ public:
+  void Consume(const QueryTrace& trace) override {
+    traces.push_back(trace);
+  }
+  std::vector<QueryTrace> traces;
+};
+
+BroadcastChannel MakeFleetChannel(const AirIndex& index,
+                                  const sub::Subdivision& sub,
+                                  const FleetOptions& fopt) {
+  ChannelOptions copt;
+  copt.packet_capacity = fopt.packet_capacity;
+  copt.data_instance_size = fopt.data_instance_size;
+  copt.m = fopt.m;
+  copt.loss = fopt.loss;
+  auto ch_r =
+      BroadcastChannel::Create(index.NumIndexPackets(), sub.NumRegions(),
+                               copt);
+  EXPECT_TRUE(ch_r.ok()) << ch_r.status().ToString();
+  return std::move(ch_r).value();
+}
+
+/// Replays every traced fleet query through the synchronous Simulate and
+/// demands the identical outcome: same probe trace (recomputed from the
+/// query point), arrival wrapped mod the cycle, loss stream recomputed
+/// from (seed, client_id, query_index) via the public helpers.
+void ExpectFleetMatchesSimulate(const AirIndex& index,
+                                const BroadcastChannel& ch,
+                                uint64_t fleet_seed,
+                                const std::vector<QueryTrace>& traces) {
+  const double cycle = static_cast<double>(ch.cycle_packets());
+  ProbeTrace trace;
+  for (const QueryTrace& qt : traces) {
+    ASSERT_GE(qt.client_id, 0);
+    const uint64_t key =
+        FleetClientKey(fleet_seed, static_cast<uint64_t>(qt.client_id));
+    ASSERT_TRUE(index.ProbeInto({qt.x, qt.y}, &trace).ok());
+    ASSERT_EQ(trace.region, qt.region);
+    auto out_r =
+        ch.Simulate(trace, std::fmod(qt.arrival, cycle),
+                    FleetQueryLossStream(key, qt.query_index));
+    ASSERT_TRUE(out_r.ok()) << out_r.status().ToString();
+    const auto& out = out_r.value();
+    EXPECT_EQ(out.latency, qt.latency);  // bitwise, not approximate
+    EXPECT_EQ(out.tuning_total(), qt.tuning_total);
+    EXPECT_EQ(out.retries, qt.retries);
+    EXPECT_EQ(out.lost_packets, qt.lost_packets);
+    EXPECT_EQ(out.corrupted_packets, qt.corrupted_packets);
+    EXPECT_EQ(out.fallback_scan, qt.fallback_scan);
+    EXPECT_EQ(out.unrecoverable, qt.unrecoverable);
+  }
+}
+
+void ExpectIdenticalFleetResults(const FleetResult& a,
+                                 const FleetResult& b) {
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.sessions, b.sessions);
+  EXPECT_EQ(a.departures, b.departures);
+  EXPECT_EQ(a.mean_latency, b.mean_latency);  // bitwise
+  EXPECT_EQ(a.mean_tuning_index, b.mean_tuning_index);
+  EXPECT_EQ(a.mean_tuning_total, b.mean_tuning_total);
+  EXPECT_EQ(a.mean_retries, b.mean_retries);
+  EXPECT_EQ(a.mean_lost_packets, b.mean_lost_packets);
+  EXPECT_EQ(a.mean_corrupted_packets, b.mean_corrupted_packets);
+  EXPECT_EQ(a.total_retries, b.total_retries);
+  EXPECT_EQ(a.total_lost_packets, b.total_lost_packets);
+  EXPECT_EQ(a.total_corrupted_packets, b.total_corrupted_packets);
+  EXPECT_EQ(a.unrecoverable_queries, b.unrecoverable_queries);
+  EXPECT_EQ(a.fallback_queries, b.fallback_queries);
+  EXPECT_EQ(a.min_latency, b.min_latency);
+  EXPECT_EQ(a.max_latency, b.max_latency);
+  EXPECT_EQ(a.min_tuning_total, b.min_tuning_total);
+  EXPECT_EQ(a.max_tuning_total, b.max_tuning_total);
+  const Histogram* ha = a.metrics.FindHistogram(kLatencyHist);
+  const Histogram* hb = b.metrics.FindHistogram(kLatencyHist);
+  ASSERT_NE(ha, nullptr);
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(ha->TotalCount(), hb->TotalCount());
+  EXPECT_EQ(ha->Sum(), hb->Sum());  // bitwise: fixed shard merge order
+  EXPECT_EQ(ha->Min(), hb->Min());
+  EXPECT_EQ(ha->Max(), hb->Max());
+}
+
+TEST(FleetTest, SingleClientSingleQueryReproducesSimulateFieldForField) {
+  // The ISSUE's differential anchor in its purest form: a fleet of one
+  // client issuing one query IS one Simulate call, for every rung of the
+  // fault ladder.
+  auto ds = workload::MakeUniformDataset();
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  core::DTree::Options topt;
+  topt.packet_capacity = 256;
+  auto tree = core::DTree::Build(ds.value().subdivision, topt);
+  ASSERT_TRUE(tree.ok());
+
+  std::vector<LossOptions> configs(4);
+  // configs[0]: lossless.
+  configs[1].model = LossModel::kIid;
+  configs[1].loss_rate = 0.3;
+  configs[1].seed = 12;
+  configs[2].model = LossModel::kGilbertElliott;
+  configs[2].loss_bad = 0.9;
+  configs[2].seed = 13;
+  configs[2].corruption.model = CorruptionModel::kIidBits;
+  configs[2].corruption.bit_error_rate = 2e-5;
+  configs[2].corruption.seed = 14;
+  configs[2].fallback_scan_cycles = 2;
+  configs[3].model = LossModel::kIid;
+  configs[3].loss_rate = 1.0;  // everything fails: probe-budget give-up
+  configs[3].seed = 15;
+  configs[3].max_retries = 3;
+
+  for (size_t cfg = 0; cfg < configs.size(); ++cfg) {
+    for (uint64_t seed : {1u, 77u, 4242u}) {
+      FleetOptions fopt;
+      fopt.packet_capacity = 256;
+      fopt.num_clients = 1;
+      fopt.sim_cycles = 1.0;
+      // Mean thinking time of a million cycles: the one client issues
+      // exactly its join-time query inside the horizon.
+      fopt.queries_per_cycle = 1e-6;
+      fopt.seed = seed;
+      fopt.loss = configs[cfg];
+      auto fleet_r =
+          RunFleet(tree.value(), ds.value().subdivision, fopt);
+      ASSERT_TRUE(fleet_r.ok()) << fleet_r.status().ToString();
+      const FleetResult& fr = fleet_r.value();
+      ASSERT_EQ(fr.queries, 1) << "cfg=" << cfg << " seed=" << seed;
+      ASSERT_EQ(fr.sessions, 1);
+
+      // Replay the client's draws through the public stream helpers.
+      const BroadcastChannel ch =
+          MakeFleetChannel(tree.value(), ds.value().subdivision, fopt);
+      const uint64_t key = FleetClientKey(seed, 0);
+      Rng join_rng = Rng::ForStream(key, FleetJoinStream());
+      const double arrival = join_rng.Uniform(
+          0.0, static_cast<double>(ch.cycle_packets()));
+      auto sampler_r = QuerySampler::Create(
+          ds.value().subdivision, fopt.distribution, {});
+      ASSERT_TRUE(sampler_r.ok());
+      Rng point_rng = Rng::ForStream(key, FleetPointStream(0));
+      const geom::Point p = sampler_r.value().Draw(&point_rng);
+      ProbeTrace trace;
+      ASSERT_TRUE(tree.value().ProbeInto(p, &trace).ok());
+      auto out_r = ch.Simulate(
+          trace, std::fmod(arrival, static_cast<double>(ch.cycle_packets())),
+          FleetQueryLossStream(key, 0));
+      ASSERT_TRUE(out_r.ok()) << out_r.status().ToString();
+      const auto& out = out_r.value();
+
+      EXPECT_EQ(fr.mean_latency, out.latency);
+      EXPECT_EQ(fr.mean_tuning_index, static_cast<double>(out.tuning_index));
+      EXPECT_EQ(fr.mean_tuning_total,
+                static_cast<double>(out.tuning_total()));
+      EXPECT_EQ(fr.total_retries, out.retries);
+      EXPECT_EQ(fr.total_lost_packets, out.lost_packets);
+      EXPECT_EQ(fr.total_corrupted_packets, out.corrupted_packets);
+      EXPECT_EQ(fr.unrecoverable_queries, out.unrecoverable ? 1 : 0);
+      EXPECT_EQ(fr.fallback_queries, out.fallback_scan ? 1 : 0);
+      EXPECT_EQ(fr.min_latency, out.latency);
+      EXPECT_EQ(fr.max_latency, out.latency);
+      EXPECT_EQ(fr.min_tuning_total,
+                static_cast<double>(out.tuning_total()));
+      EXPECT_EQ(fr.max_tuning_total,
+                static_cast<double>(out.tuning_total()));
+    }
+  }
+}
+
+TEST(FleetTest, EveryFleetQueryMatchesSimulateOnPaperDataset) {
+  // Multi-query, multi-cycle single client: arrivals land in later
+  // broadcast cycles, exercising the absolute-time arithmetic against
+  // Simulate's in-cycle arithmetic for every completed query.
+  auto ds = workload::MakeUniformDataset();
+  ASSERT_TRUE(ds.ok());
+  core::DTree::Options topt;
+  topt.packet_capacity = 256;
+  auto tree = core::DTree::Build(ds.value().subdivision, topt);
+  ASSERT_TRUE(tree.ok());
+
+  FleetOptions fopt;
+  fopt.packet_capacity = 256;
+  fopt.num_clients = 1;
+  fopt.sim_cycles = 24.0;
+  fopt.queries_per_cycle = 0.5;
+  fopt.seed = 9;
+  fopt.loss.model = LossModel::kIid;
+  fopt.loss.loss_rate = 0.2;
+  fopt.loss.seed = 3;
+  fopt.loss.fallback_scan_cycles = 1;
+  VectorTraceSink sink;
+  fopt.trace_sink = &sink;
+  auto fleet_r = RunFleet(tree.value(), ds.value().subdivision, fopt);
+  ASSERT_TRUE(fleet_r.ok()) << fleet_r.status().ToString();
+  ASSERT_GT(fleet_r.value().queries, 3);
+  ASSERT_EQ(static_cast<int64_t>(sink.traces.size()),
+            fleet_r.value().queries);
+  const BroadcastChannel ch =
+      MakeFleetChannel(tree.value(), ds.value().subdivision, fopt);
+  ExpectFleetMatchesSimulate(tree.value(), ch, fopt.seed, sink.traces);
+}
+
+TEST(FleetTest, EveryFleetQueryMatchesSimulateOnScaleUWithChurn) {
+  // A populated fleet with churn on SCALE-U: later generations re-occupy
+  // slots under fresh RNG identities; the differential must hold for
+  // every query of every generation.
+  auto ds = workload::MakeScaleDataset(3000, workload::ScaleDistribution::kUniform);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  core::DTree::Options topt;
+  topt.packet_capacity = 256;
+  auto tree = core::DTree::Build(ds.value().subdivision, topt);
+  ASSERT_TRUE(tree.ok());
+
+  FleetOptions fopt;
+  fopt.packet_capacity = 256;
+  fopt.num_clients = 100;
+  fopt.sim_cycles = 4.0;
+  fopt.queries_per_cycle = 1.0;
+  fopt.churn = 0.4;
+  fopt.seed = 31;
+  fopt.loss.model = LossModel::kIid;
+  fopt.loss.loss_rate = 0.15;
+  fopt.loss.seed = 8;
+  fopt.loss.corruption.model = CorruptionModel::kIidBits;
+  fopt.loss.corruption.bit_error_rate = 1e-5;
+  fopt.loss.corruption.seed = 44;
+  VectorTraceSink sink;
+  fopt.trace_sink = &sink;
+  auto fleet_r = RunFleet(tree.value(), ds.value().subdivision, fopt);
+  ASSERT_TRUE(fleet_r.ok()) << fleet_r.status().ToString();
+  const FleetResult& fr = fleet_r.value();
+  ASSERT_GT(fr.queries, 100);
+  EXPECT_GT(fr.departures, 0);
+  EXPECT_GT(fr.sessions, fr.num_clients);  // churn seated new generations
+  ASSERT_EQ(static_cast<int64_t>(sink.traces.size()), fr.queries);
+  bool saw_later_generation = false;
+  for (const QueryTrace& qt : sink.traces) {
+    if (qt.client_id >= fopt.num_clients) saw_later_generation = true;
+  }
+  EXPECT_TRUE(saw_later_generation);
+  const BroadcastChannel ch =
+      MakeFleetChannel(tree.value(), ds.value().subdivision, fopt);
+  ExpectFleetMatchesSimulate(tree.value(), ch, fopt.seed, sink.traces);
+}
+
+TEST(FleetTest, ThreadCountDoesNotChangeFleetResult) {
+  const sub::Subdivision sub = test::RandomVoronoi(80, 404);
+  core::DTree::Options topt;
+  topt.packet_capacity = 256;
+  auto tree = core::DTree::Build(sub, topt);
+  ASSERT_TRUE(tree.ok());
+
+  FleetOptions fopt;
+  fopt.packet_capacity = 256;
+  fopt.num_clients = 20000;
+  fopt.sim_cycles = 2.0;
+  fopt.queries_per_cycle = 1.0;
+  fopt.churn = 0.1;
+  fopt.seed = 77;
+  fopt.loss.model = LossModel::kIid;
+  fopt.loss.loss_rate = 0.1;
+  fopt.loss.seed = 21;
+  fopt.num_threads = 1;
+  auto serial = RunFleet(tree.value(), sub, fopt);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_GT(serial.value().queries, 10000);
+  auto replay = RunFleet(tree.value(), sub, fopt);
+  ASSERT_TRUE(replay.ok());
+  ExpectIdenticalFleetResults(serial.value(), replay.value());
+  for (int threads : {4, 8}) {
+    fopt.num_threads = threads;
+    auto parallel = RunFleet(tree.value(), sub, fopt);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectIdenticalFleetResults(serial.value(), parallel.value());
+  }
+}
+
+TEST(FleetTest, TraceStreamIsThreadCountInvariant) {
+  // The serialized trace stream — order and bytes — must not depend on
+  // thread count (shard-ordered replay, completion-ordered within shard).
+  const sub::Subdivision sub = test::RandomVoronoi(30, 505);
+  core::DTree::Options topt;
+  topt.packet_capacity = 256;
+  auto tree = core::DTree::Build(sub, topt);
+  ASSERT_TRUE(tree.ok());
+  std::string jsonl[2];
+  int i = 0;
+  for (int threads : {1, 8}) {
+    FleetOptions fopt;
+    fopt.packet_capacity = 256;
+    fopt.num_clients = 500;
+    fopt.sim_cycles = 2.0;
+    fopt.seed = 5;
+    fopt.num_threads = threads;
+    fopt.loss.model = LossModel::kIid;
+    fopt.loss.loss_rate = 0.1;
+    fopt.loss.seed = 2;
+    JsonlTraceSink sink(&jsonl[i]);
+    fopt.trace_sink = &sink;
+    ASSERT_TRUE(RunFleet(tree.value(), sub, fopt).ok());
+    ++i;
+  }
+  EXPECT_FALSE(jsonl[0].empty());
+  EXPECT_EQ(jsonl[0], jsonl[1]);
+}
+
+TEST(FleetTest, ValidatesOptions) {
+  const sub::Subdivision sub = test::RandomVoronoi(10, 303);
+  core::DTree::Options topt;
+  topt.packet_capacity = 256;
+  auto tree = core::DTree::Build(sub, topt);
+  ASSERT_TRUE(tree.ok());
+  FleetOptions good;
+  good.packet_capacity = 256;
+  good.num_clients = 4;
+  ASSERT_TRUE(RunFleet(tree.value(), sub, good).ok());
+
+  FleetOptions bad = good;
+  bad.num_clients = 0;
+  EXPECT_FALSE(RunFleet(tree.value(), sub, bad).ok());
+  bad = good;
+  bad.sim_cycles = 0.0;
+  EXPECT_FALSE(RunFleet(tree.value(), sub, bad).ok());
+  bad = good;
+  bad.sim_cycles = std::nan("");
+  EXPECT_FALSE(RunFleet(tree.value(), sub, bad).ok());
+  bad = good;
+  bad.queries_per_cycle = 0.0;
+  EXPECT_FALSE(RunFleet(tree.value(), sub, bad).ok());
+  bad = good;
+  bad.churn = 1.5;
+  EXPECT_FALSE(RunFleet(tree.value(), sub, bad).ok());
+  bad = good;
+  bad.churn = std::nan("");
+  EXPECT_FALSE(RunFleet(tree.value(), sub, bad).ok());
+  bad = good;
+  bad.packet_capacity = 0;
+  EXPECT_FALSE(RunFleet(tree.value(), sub, bad).ok());
+  bad = good;
+  bad.loss.loss_rate = 2.0;
+  bad.loss.model = LossModel::kIid;
+  EXPECT_FALSE(RunFleet(tree.value(), sub, bad).ok());
+}
+
+TEST(FleetTest, ZeroCompletedQueriesYieldsZeroMeans) {
+  // A horizon much shorter than one cycle: most seeds issue no query at
+  // all (the client joins after the horizon). Means must be zero, never
+  // NaN.
+  const sub::Subdivision sub = test::RandomVoronoi(10, 304);
+  core::DTree::Options topt;
+  topt.packet_capacity = 256;
+  auto tree = core::DTree::Build(sub, topt);
+  ASSERT_TRUE(tree.ok());
+  FleetOptions fopt;
+  fopt.packet_capacity = 256;
+  fopt.num_clients = 1;
+  fopt.sim_cycles = 1e-9;
+  fopt.seed = 1;  // join time ~uniform in the first cycle: past horizon
+  auto res = RunFleet(tree.value(), sub, fopt);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().queries, 0);
+  EXPECT_EQ(res.value().mean_latency, 0.0);
+  EXPECT_EQ(res.value().mean_tuning_total, 0.0);
+  EXPECT_FALSE(std::isnan(res.value().mean_latency));
+  EXPECT_EQ(res.value().min_latency, 0.0);
+  EXPECT_EQ(res.value().max_latency, 0.0);
+}
+
+TEST(GiveUpStageTest, NameRoundTripsForEveryStage) {
+  const GiveUpStage all[] = {
+      GiveUpStage::kNone,
+      GiveUpStage::kProbeBudget,
+      GiveUpStage::kRetryBudget,
+      GiveUpStage::kFallbackBudget,
+  };
+  std::map<std::string, GiveUpStage> by_name;
+  for (GiveUpStage s : all) {
+    const std::string name = GiveUpStageName(s);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown");  // every enumerator has a stable name
+    // Round-trip: the name uniquely identifies the stage.
+    auto [it, inserted] = by_name.emplace(name, s);
+    EXPECT_TRUE(inserted) << "duplicate name: " << name;
+  }
+  EXPECT_EQ(by_name.size(), 4u);
+  EXPECT_EQ(by_name.at("none"), GiveUpStage::kNone);
+  EXPECT_EQ(by_name.at("probe_budget"), GiveUpStage::kProbeBudget);
+  EXPECT_EQ(by_name.at("retry_budget"), GiveUpStage::kRetryBudget);
+  EXPECT_EQ(by_name.at("fallback_budget"), GiveUpStage::kFallbackBudget);
+}
+
+}  // namespace
+}  // namespace dtree::bcast

@@ -65,6 +65,14 @@ def validate_line(obj):
             return f"field {key!r} has wrong type {type(obj[key]).__name__}"
     if "cell" in obj and not isinstance(obj["cell"], str):
         return "field 'cell' has wrong type"
+    # Fleet-engine traces (broadcast/fleet.h) stamp the issuing client:
+    # slot + generation * num_clients, a non-negative integer. Single-query
+    # simulations omit the field entirely.
+    if "client" in obj:
+        if not isinstance(obj["client"], int) or isinstance(obj["client"], bool):
+            return "field 'client' has wrong type"
+        if obj["client"] < 0:
+            return f"field 'client' is negative ({obj['client']})"
 
     reads = 0
     retunes = 0
