@@ -17,10 +17,25 @@
 //   --loss-rate=L    i.i.d. packet loss rate (default 0.1; 0 = lossless)
 //   --capacity=N     packet capacity (default 256)
 // The shared --threads flag is ignored: the bench always sweeps 1/4/8.
+//
+// With --telemetry-out / --flight-out / --prom-out set, a FleetTelemetry
+// sink rides along on every run of the sweep and the bench additionally
+// verifies (nonzero exit on violation) that
+//
+//   3. the timeline JSONL, flight-recorder JSONL and Prometheus snapshot
+//      are byte-identical at 1, 4, and 8 threads, and
+//   4. the FleetResult with telemetry attached matches the reference —
+//      observation must not perturb the simulation.
+//
+// With --trace-out set, fleet traces also feed a CycleProfiler, printing
+// the per-D-tree-level read attribution for the fleet workload.
 
 #include "bench_util.h"
 
+#include <cinttypes>
+
 #include "broadcast/fleet.h"
+#include "broadcast/telemetry.h"
 
 namespace {
 
@@ -176,9 +191,31 @@ int main(int argc, char** argv) {
               "queries", "sessions", "latency", "tuning", "unrec",
               "wall_s", "clients/s");
 
+  // Channel layout (for the CycleProfiler's cycle length); identical to
+  // the one RunFleet builds from the same options.
+  bcast::ChannelOptions layout_opt;
+  layout_opt.packet_capacity = capacity;
+  layout_opt.m = fopt.m;
+  layout_opt.loss = fopt.loss;
+  auto layout = bcast::BroadcastChannel::Create(
+      index.value()->NumIndexPackets(), ds.value().subdivision.NumRegions(),
+      layout_opt);
+  DTREE_CHECK(layout.ok());
+  const int64_t cycle_packets = layout.value().cycle_packets();
+
+  const bool telemetry_on = !flags.telemetry_out.empty() ||
+                            !flags.flight_out.empty() ||
+                            !flags.prom_out.empty();
+  bcast::FleetTelemetry telemetry;
+  const std::string tlabel =
+      ds.value().name + "/fleet/c" + std::to_string(clients);
+  std::string ref_timeline, ref_flight, ref_prom;
+  bool have_telemetry_reference = false;
+
   BenchRecorder recorder("bench_fleet", flags);
   FleetResult reference;
   bool have_reference = false;
+  std::unique_ptr<bcast::CycleProfiler> profiler;
   for (int threads : {1, 4, 8}) {
     bcast::FleetOptions run = fopt;
     run.num_threads = threads;
@@ -186,10 +223,19 @@ int main(int argc, char** argv) {
                              std::to_string(clients) + "/t" +
                              std::to_string(threads);
     bcast::JsonlTraceSink* trace = GlobalTraceSink(flags);
+    std::unique_ptr<bcast::TeeTraceSink> tee;
     if (trace != nullptr) {
       trace->set_label(cell);
-      run.trace_sink = trace;
+      // Per-D-tree-level read attribution for the fleet workload; the
+      // last sweep run's profile is printed (traces are thread-count
+      // invariant, so every run sees the same stream).
+      profiler =
+          std::make_unique<bcast::CycleProfiler>(cycle_packets);
+      tee = std::make_unique<bcast::TeeTraceSink>(
+          std::vector<bcast::TraceSink*>{trace, profiler.get()});
+      run.trace_sink = tee.get();
     }
+    if (telemetry_on) run.telemetry = &telemetry;
     const auto t0 = std::chrono::steady_clock::now();
     auto res = bcast::RunFleet(*index.value(), ds.value().subdivision, run);
     const double wall_s = SecondsSince(t0);
@@ -202,7 +248,7 @@ int main(int argc, char** argv) {
     recorder.Record(cell, wall_s,
                     static_cast<double>(r.queries) /
                         std::max(wall_s, 1e-12),
-                    threads);
+                    threads, CellPercentiles::From(r));
     std::printf("%-8d %12lld %12lld %10.2f %10.3f %8lld %10.2f %12.0f\n",
                 threads, static_cast<long long>(r.queries),
                 static_cast<long long>(r.sessions), r.mean_latency,
@@ -220,6 +266,66 @@ int main(int argc, char** argv) {
                    threads, static_cast<long long>(r.queries),
                    static_cast<long long>(reference.queries),
                    r.mean_latency, reference.mean_latency);
+      ok = false;
+    }
+    if (telemetry_on) {
+      const bcast::TelemetryTotals totals = bcast::TotalsFromFleet(r);
+      const std::string timeline = telemetry.TimelineJsonl(tlabel, &totals);
+      const std::string& flight = telemetry.flight_records();
+      const std::string prom = telemetry.PrometheusText();
+      if (!have_telemetry_reference) {
+        ref_timeline = timeline;
+        ref_flight = flight;
+        ref_prom = prom;
+        have_telemetry_reference = true;
+      } else if (timeline != ref_timeline || flight != ref_flight ||
+                 prom != ref_prom) {
+        std::fprintf(stderr,
+                     "FAIL: telemetry output at %d threads diverges from "
+                     "the 1-thread run (timeline %s, flight %s, prom %s)\n",
+                     threads,
+                     timeline == ref_timeline ? "same" : "DIFFERS",
+                     flight == ref_flight ? "same" : "DIFFERS",
+                     prom == ref_prom ? "same" : "DIFFERS");
+        ok = false;
+      }
+    }
+  }
+  if (have_telemetry_reference && ok) {
+    std::printf("telemetry: timeline+flight+prom byte-identical at "
+                "1/4/8 threads ✓\n");
+    if (!flags.telemetry_out.empty() &&
+        !WriteTextFile(flags.telemetry_out, ref_timeline)) {
+      ok = false;
+    }
+    if (!flags.flight_out.empty() &&
+        !WriteTextFile(flags.flight_out, ref_flight)) {
+      ok = false;
+    }
+    if (!flags.prom_out.empty() &&
+        !WriteTextFile(flags.prom_out, ref_prom)) {
+      ok = false;
+    }
+  }
+  if (profiler != nullptr) {
+    std::printf("fleet read attribution by D-tree level (%" PRIu64
+                " traced queries):\n",
+                profiler->queries());
+    const auto& levels = profiler->level_reads();
+    for (size_t d = 0; d < levels.size(); ++d) {
+      std::printf("  level %zu: %lld index reads\n", d,
+                  static_cast<long long>(levels[d]));
+    }
+    if (profiler->unattributed_reads() > 0) {
+      std::printf("  unattributed: %lld\n",
+                  static_cast<long long>(profiler->unattributed_reads()));
+    }
+    if (static_cast<int64_t>(profiler->queries()) != reference.queries) {
+      std::fprintf(stderr,
+                   "FAIL: CycleProfiler saw %llu traces but the fleet "
+                   "completed %lld queries\n",
+                   static_cast<unsigned long long>(profiler->queries()),
+                   static_cast<long long>(reference.queries));
       ok = false;
     }
   }

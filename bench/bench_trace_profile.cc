@@ -13,7 +13,9 @@
 // plus a p99-tuning-vs-loss-rate table across all four structures
 // (EXPERIMENTS.md E11). Cell percentiles land in the BENCH_*.json schema
 // (default BENCH_trace_profile.json); --trace-out additionally streams
-// every query as JSONL for offline analysis (tools/trace_summary.py).
+// every query as JSONL for offline analysis (tools/trace_summary.py);
+// --telemetry-out appends one windowed-timeline block per cell (fed
+// through TelemetryTraceSink, validated by tools/telemetry_report.py).
 //
 // Extra flags (on top of the shared ones):
 //   --loss-rates=a,b,c   i.i.d. loss rates to sweep (default 0,0.05,0.1,0.2)
@@ -23,6 +25,7 @@
 #include <map>
 
 #include "bench_util.h"
+#include "broadcast/telemetry.h"
 #include "broadcast/trace.h"
 
 int main(int argc, char** argv) {
@@ -67,6 +70,8 @@ int main(int argc, char** argv) {
 
   BenchRecorder recorder("bench_trace_profile", flags);
   bool ok = true;
+  // One timeline block per cell, appended and written at the end.
+  std::string timeline_blocks;
   // p99 tuning per (loss rate, index) for the E11 summary table.
   std::map<double, std::map<std::string, double>> p99_tuning;
 
@@ -108,7 +113,14 @@ int main(int argc, char** argv) {
       bcast::CycleProfiler profiler(channel.value().cycle_packets(), bins);
       bcast::JsonlTraceSink* jsonl = GlobalTraceSink(flags);
       if (jsonl != nullptr) jsonl->set_label(cell);
-      bcast::TeeTraceSink tee({&profiler, jsonl});
+      bcast::FleetTelemetry telemetry;
+      std::unique_ptr<bcast::TelemetryTraceSink> telemetry_sink;
+      if (!flags.telemetry_out.empty()) {
+        telemetry.Reset(channel.value().cycle_packets(), /*num_shards=*/1);
+        telemetry_sink =
+            std::make_unique<bcast::TelemetryTraceSink>(&telemetry);
+      }
+      bcast::TeeTraceSink tee({&profiler, jsonl, telemetry_sink.get()});
       opt.trace_sink = &tee;
 
       const auto t0 = std::chrono::steady_clock::now();
@@ -124,6 +136,10 @@ int main(int argc, char** argv) {
       const auto& r = res.value();
       recorder.Record(cell, wall_s, flags.queries / std::max(wall_s, 1e-12),
                       0, CellPercentiles::From(r));
+      if (telemetry_sink != nullptr) {
+        telemetry.MergeShards();
+        timeline_blocks += telemetry.TimelineJsonl(cell);
+      }
 
       const dtree::Histogram& lat = profiler.latency_hist();
       const dtree::Histogram& tun = profiler.tuning_hist();
@@ -199,6 +215,11 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("\n");
+  }
+
+  if (!flags.telemetry_out.empty() &&
+      !WriteTextFile(flags.telemetry_out, timeline_blocks)) {
+    ok = false;
   }
 
   if (!ok) {

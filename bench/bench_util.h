@@ -14,6 +14,10 @@
 //                      empty disables)
 //   --trace-out=PATH   per-query JSONL trace output (default off); every
 //                      cell appends lines labeled with its cell id
+//   --telemetry-out=PATH  windowed telemetry timeline JSONL (default off;
+//                      honored by the benches that attach FleetTelemetry)
+//   --flight-out=PATH  flight-recorder black-box JSONL (default off)
+//   --prom-out=PATH    Prometheus text-exposition snapshot (default off)
 
 #ifndef DTREE_BENCH_BENCH_UTIL_H_
 #define DTREE_BENCH_BENCH_UTIL_H_
@@ -30,6 +34,7 @@
 #include "baselines/rstar/rstar.h"
 #include "baselines/trapmap/trapmap.h"
 #include "broadcast/experiment.h"
+#include "broadcast/fleet.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "dtree/dtree.h"
@@ -103,7 +108,10 @@ struct BenchFlags {
   std::vector<int> capacities{64, 128, 256, 512, 1024, 2048};
   int threads = 0;  ///< experiment threads; 0 = hardware concurrency
   std::string bench_json = "BENCH_experiment.json";
-  std::string trace_out;  ///< JSONL query traces; empty disables
+  std::string trace_out;      ///< JSONL query traces; empty disables
+  std::string telemetry_out;  ///< windowed timeline JSONL; empty disables
+  std::string flight_out;     ///< flight-recorder JSONL; empty disables
+  std::string prom_out;       ///< Prometheus text snapshot; empty disables
 };
 
 /// Process-wide JSONL sink for --trace-out, shared by every cell of a
@@ -128,15 +136,23 @@ inline void AttachTrace(const BenchFlags& flags, const std::string& cell_id,
   }
 }
 
-/// Per-cell latency/tuning distribution summary, derived from the
-/// experiment's histograms and written next to the timings so the perf
-/// trajectory tracks percentiles, not just means.
+/// Per-cell latency/tuning distribution summary plus fault-counter
+/// totals, derived from the experiment's histograms and written next to
+/// the timings so the perf trajectory tracks percentiles and the fault
+/// ladder's activity, not just means.
 struct CellPercentiles {
   bool has = false;
   double p50_latency = 0.0, p95_latency = 0.0, p99_latency = 0.0;
   double max_latency = 0.0;
   double p50_tuning = 0.0, p95_tuning = 0.0, p99_tuning = 0.0;
   double max_tuning = 0.0;
+  /// MetricsRegistry fault totals; all zero on a fault-free run.
+  bool has_counters = false;
+  int64_t total_retries = 0;
+  int64_t total_lost_packets = 0;
+  int64_t total_corrupted_packets = 0;
+  int64_t unrecoverable_queries = 0;
+  int64_t fallback_queries = 0;
 
   static CellPercentiles From(const bcast::ExperimentResult& res) {
     CellPercentiles p;
@@ -153,6 +169,44 @@ struct CellPercentiles {
     p.p95_tuning = tun->Percentile(0.95);
     p.p99_tuning = tun->Percentile(0.99);
     p.max_tuning = tun->Max();
+    p.has_counters = true;
+    p.total_retries = res.total_retries;
+    // The driver keeps no lost-packet total; per-query samples are small
+    // integers, so the histogram's exact sum reconstructs it.
+    const Histogram* lost =
+        res.metrics.FindHistogram(bcast::kLostPacketsHist);
+    p.total_lost_packets =
+        lost == nullptr ? 0 : static_cast<int64_t>(lost->Sum());
+    p.total_corrupted_packets = res.total_corrupted_packets;
+    p.unrecoverable_queries = res.unrecoverable_queries;
+    p.fallback_queries = res.fallback_queries;
+    return p;
+  }
+
+  /// Fleet runs record the same per-query histograms and keep explicit
+  /// fault totals, so the cell schema is shared with the experiment
+  /// driver's.
+  static CellPercentiles From(const bcast::FleetResult& res) {
+    CellPercentiles p;
+    const Histogram* lat = res.metrics.FindHistogram(bcast::kLatencyHist);
+    const Histogram* tun =
+        res.metrics.FindHistogram(bcast::kTuningTotalHist);
+    if (lat == nullptr || tun == nullptr) return p;
+    p.has = true;
+    p.p50_latency = lat->Percentile(0.50);
+    p.p95_latency = lat->Percentile(0.95);
+    p.p99_latency = lat->Percentile(0.99);
+    p.max_latency = lat->Max();
+    p.p50_tuning = tun->Percentile(0.50);
+    p.p95_tuning = tun->Percentile(0.95);
+    p.p99_tuning = tun->Percentile(0.99);
+    p.max_tuning = tun->Max();
+    p.has_counters = true;
+    p.total_retries = res.total_retries;
+    p.total_lost_packets = res.total_lost_packets;
+    p.total_corrupted_packets = res.total_corrupted_packets;
+    p.unrecoverable_queries = res.unrecoverable_queries;
+    p.fallback_queries = res.fallback_queries;
     return p;
   }
 };
@@ -211,6 +265,17 @@ class BenchRecorder {
                      p.max_latency, p.p50_tuning, p.p95_tuning,
                      p.p99_tuning, p.max_tuning);
       }
+      if (p.has_counters) {
+        std::fprintf(f,
+                     ", \"retries_total\": %lld, \"lost_total\": %lld, "
+                     "\"corrupted_total\": %lld, \"unrecoverable\": %lld, "
+                     "\"fallback\": %lld",
+                     static_cast<long long>(p.total_retries),
+                     static_cast<long long>(p.total_lost_packets),
+                     static_cast<long long>(p.total_corrupted_packets),
+                     static_cast<long long>(p.unrecoverable_queries),
+                     static_cast<long long>(p.fallback_queries));
+      }
       std::fprintf(f, "}");
     }
     std::fprintf(f, "\n  ]\n}\n");
@@ -237,6 +302,19 @@ class BenchRecorder {
   std::vector<Cell> cells_;
   bool flushed_ = false;
 };
+
+/// Writes `content` to `path` (truncating); false + stderr on failure.
+inline bool WriteTextFile(const std::string& path,
+                          const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
 
 /// Wall-clock seconds elapsed since `t0`.
 inline double SecondsSince(std::chrono::steady_clock::time_point t0) {
@@ -280,11 +358,18 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
       flags.bench_json = arg + 13;
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       flags.trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--telemetry-out=", 16) == 0) {
+      flags.telemetry_out = arg + 16;
+    } else if (std::strncmp(arg, "--flight-out=", 13) == 0) {
+      flags.flight_out = arg + 13;
+    } else if (std::strncmp(arg, "--prom-out=", 11) == 0) {
+      flags.prom_out = arg + 11;
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (supported: --queries= --seed= "
                    "--datasets= --capacities= --threads= --bench-json= "
-                   "--trace-out=)\n",
+                   "--trace-out= --telemetry-out= --flight-out= "
+                   "--prom-out=)\n",
                    arg);
       std::exit(2);
     }

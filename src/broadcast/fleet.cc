@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "broadcast/frame.h"
+#include "broadcast/telemetry.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 
@@ -36,6 +37,7 @@ enum class Phase : uint8_t {
 /// purpose) stream key exactly when needed — see FirstFailure below.
 struct Client {
   uint64_t key = 0;          ///< FleetClientKey(seed, client_id)
+  uint64_t id = 0;           ///< slot + generation * num_clients
   uint64_t loss_stream = 0;  ///< FleetQueryLossStream of in-flight query
   double arrival = 0.0;      ///< absolute arrival of in-flight query
   int64_t pos = 0;           ///< Simulate's `pos` (re-tune restart point)
@@ -130,7 +132,8 @@ class ShardEngine {
   ShardEngine(const AirIndex& index, const BroadcastChannel& ch,
               const QuerySampler& sampler, const FleetOptions& options,
               const std::vector<int64_t>& bucket_start, double horizon,
-              int64_t shard_first, int64_t shard_clients, FleetShard* sums)
+              int64_t shard_first, int64_t shard_clients, FleetShard* sums,
+              TelemetryShard* tel)
       : index_(index),
         ch_(ch),
         sampler_(sampler),
@@ -141,6 +144,7 @@ class ShardEngine {
         shard_first_(shard_first),
         shard_clients_(shard_clients),
         sums_(sums),
+        tel_(tel),
         cycle_(ch.cycle_packets()),
         bucket_packets_(ch.bucket_packets()),
         frame_bits_(static_cast<int>(
@@ -188,6 +192,7 @@ class ShardEngine {
       switch (c.phase) {
         case Phase::kJoin:
           ++sums_->sessions;
+          if (tel_ != nullptr) tel_->SessionJoin(w.t);
           IssueQuery(w.slot, c, w.t);
           break;
         case Phase::kProbe:
@@ -225,7 +230,9 @@ class ShardEngine {
     return base + cycle_ + segment_start_[0];
   }
 
-  // --- Trace emitters, mirroring Simulate's (no-ops when not tracing).
+  // --- Trace/telemetry emitters, mirroring Simulate's event order.
+  // Each is a no-op per disabled layer: tracing and telemetry attach
+  // independently and neither perturbs the protocol arithmetic.
   void EmitDoze(Client& c, int64_t resume_at, double dur) {
     if (c.qt != nullptr && dur > 0.0) {
       TraceEvent e;
@@ -234,13 +241,41 @@ class ShardEngine {
       e.dur = dur;
       c.qt->events.push_back(e);
     }
+    if (tel_ != nullptr && dur > 0.0) {
+      tel_->Doze(static_cast<double>(resume_at), dur,
+                 static_cast<int64_t>(c.id), c.query_index);
+    }
   }
+  /// kProbe reads plus kLoss / kCorruption fault marks.
   void EmitRead(Client& c, TraceEventKind kind, int64_t pos) {
     if (c.qt != nullptr) {
       TraceEvent e;
       e.kind = kind;
       e.pos = pos;
       c.qt->events.push_back(e);
+    }
+    if (tel_ != nullptr) {
+      if (kind == TraceEventKind::kProbe) {
+        tel_->Read(kind, pos, 1, /*data_read=*/false,
+                   static_cast<int64_t>(c.id), c.query_index);
+      } else {
+        tel_->Fault(kind, pos, static_cast<int64_t>(c.id), c.query_index);
+      }
+    }
+  }
+  /// Bucket retrieval of `bucket_read` contiguous packets at data_at.
+  void EmitBucket(Client& c, int64_t data_at, int bucket_read) {
+    if (c.qt != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kBucketRead;
+      e.pos = data_at;
+      e.packet = bucket_read;
+      c.qt->events.push_back(e);
+    }
+    if (tel_ != nullptr) {
+      tel_->Read(TraceEventKind::kBucketRead, data_at, bucket_read,
+                 /*data_read=*/true, static_cast<int64_t>(c.id),
+                 c.query_index);
     }
   }
 
@@ -274,11 +309,12 @@ class ShardEngine {
     c.packets.assign(probe_scratch_.packets.begin(),
                      probe_scratch_.packets.end());
     c.loss_stream = FleetQueryLossStream(c.key, q);
+    c.id = ClientId(slot, c.generation);
+    if (tel_ != nullptr) tel_->QueryIssued(arrival);
     if (tracing_) {
       c.qt = std::make_unique<QueryTrace>();
       c.qt->query_index = q;
-      c.qt->client_id =
-          static_cast<int64_t>(ClientId(slot, c.generation));
+      c.qt->client_id = static_cast<int64_t>(c.id);
       c.qt->x = p.x;
       c.qt->y = p.y;
       c.qt->region = c.region;
@@ -346,6 +382,10 @@ class ShardEngine {
         e.attempt = c.attempt;
         c.qt->events.push_back(e);
       }
+      if (tel_ != nullptr) {
+        tel_->Fault(TraceEventKind::kRetune, c.pos,
+                    static_cast<int64_t>(c.id), c.query_index);
+      }
     }
     c.reads_done = 0;
     c.fail_at = -1;
@@ -397,6 +437,10 @@ class ShardEngine {
         e.depth = c.origins[c.step].depth;
       }
       c.qt->events.push_back(e);
+    }
+    if (tel_ != nullptr) {
+      tel_->Read(TraceEventKind::kIndexRead, at, 1, /*data_read=*/false,
+                 static_cast<int64_t>(c.id), c.query_index);
     }
     const int64_t p = at + 1;
     ++c.out.tuning_index;
@@ -454,18 +498,12 @@ class ShardEngine {
       }
       ++c.reads_done;
     }
-    if (c.qt != nullptr) {
-      TraceEvent e;
-      e.kind = TraceEventKind::kBucketRead;
-      e.pos = data_at;
-      e.packet = bucket_read;
-      c.qt->events.push_back(e);
-      if (lost) {
-        EmitRead(c,
-                 corrupted_here ? TraceEventKind::kCorruption
-                                : TraceEventKind::kLoss,
-                 data_at + bucket_read - 1);
-      }
+    EmitBucket(c, data_at, bucket_read);
+    if (lost) {
+      EmitRead(c,
+               corrupted_here ? TraceEventKind::kCorruption
+                              : TraceEventKind::kLoss,
+               data_at + bucket_read - 1);
     }
     if (!lost) {
       const int64_t done = data_at + bucket_packets_;
@@ -516,6 +554,11 @@ class ShardEngine {
           e.attempt = cycle;
           c.qt->events.push_back(e);
         }
+        if (tel_ != nullptr) {
+          tel_->Read(TraceEventKind::kFallbackScan, give_up_pos,
+                     static_cast<int>(listened), /*data_read=*/false,
+                     static_cast<int64_t>(c.id), c.query_index);
+        }
         bool lost = false;
         bool corrupted_here = false;
         int bucket_read = 0;
@@ -534,18 +577,12 @@ class ShardEngine {
             break;
           }
         }
-        if (c.qt != nullptr) {
-          TraceEvent e;
-          e.kind = TraceEventKind::kBucketRead;
-          e.pos = data_at;
-          e.packet = bucket_read;
-          c.qt->events.push_back(e);
-          if (lost) {
-            EmitRead(c,
-                     corrupted_here ? TraceEventKind::kCorruption
-                                    : TraceEventKind::kLoss,
-                     data_at + bucket_read - 1);
-          }
+        EmitBucket(c, data_at, bucket_read);
+        if (lost) {
+          EmitRead(c,
+                   corrupted_here ? TraceEventKind::kCorruption
+                                  : TraceEventKind::kLoss,
+                   data_at + bucket_read - 1);
         }
         if (!lost) {
           c.out.latency =
@@ -596,12 +633,26 @@ class ShardEngine {
     h_retries_->Add(out.retries);
     h_lost_->Add(out.lost_packets);
     h_corrupted_->Add(out.corrupted_packets);
+    if (tel_ != nullptr) {
+      QueryOutcomeSummary summary;
+      summary.latency = out.latency;
+      summary.tuning_total = out.tuning_total();
+      summary.retries = out.retries;
+      summary.lost_packets = out.lost_packets;
+      summary.corrupted_packets = out.corrupted_packets;
+      summary.fallback_scan = out.fallback_scan;
+      summary.unrecoverable = out.unrecoverable;
+      if (out.unrecoverable) summary.give_up = GiveUpStageName(out.give_up);
+      tel_->QueryDone(done, static_cast<int64_t>(c.id), c.query_index,
+                      summary);
+    }
 
     Rng rng = Rng::ForStream(c.key, FleetScheduleStream(c.query_index));
     ++c.query_index;
     const double u_churn = rng.Uniform(0.0, 1.0);
     if (u_churn < opt_.churn) {
       ++sums_->departures;
+      if (tel_ != nullptr) tel_->Departure(done);
       const double delay = DrawExp(&rng);
       c.generation += 1;
       c.query_index = 0;
@@ -637,6 +688,7 @@ class ShardEngine {
   const int64_t shard_first_;
   const int64_t shard_clients_;
   FleetShard* sums_;
+  TelemetryShard* const tel_;  ///< null unless FleetOptions::telemetry
   const int64_t cycle_;
   const int bucket_packets_;
   const int frame_bits_;
@@ -705,6 +757,10 @@ Result<FleetResult> RunFleet(const AirIndex& index,
   const int64_t per_shard = options.num_clients / num_shards;
   const int64_t remainder = options.num_clients % num_shards;
 
+  if (options.telemetry != nullptr) {
+    options.telemetry->Reset(ch.cycle_packets(), num_shards);
+  }
+
   std::vector<FleetShard> shards(static_cast<size_t>(num_shards));
   auto run_shard = [&](int s) {
     const int64_t shard_clients = per_shard + (s < remainder ? 1 : 0);
@@ -712,7 +768,10 @@ Result<FleetResult> RunFleet(const AirIndex& index,
         s * per_shard + std::min<int64_t>(s, remainder);
     ShardEngine engine(index, ch, sampler, options, bucket_start, horizon,
                        shard_first, shard_clients,
-                       &shards[static_cast<size_t>(s)]);
+                       &shards[static_cast<size_t>(s)],
+                       options.telemetry != nullptr
+                           ? options.telemetry->shard(s)
+                           : nullptr);
     engine.Run();
   };
   ThreadPool pool(options.num_threads);
@@ -743,6 +802,7 @@ Result<FleetResult> RunFleet(const AirIndex& index,
       }
     }
   }
+  if (options.telemetry != nullptr) options.telemetry->MergeShards();
 
   FleetResult res;
   res.index_name = index.name();

@@ -49,6 +49,8 @@
 
 namespace dtree::bcast {
 
+class FleetTelemetry;  // broadcast/telemetry.h
+
 /// Fixed shard count for the fleet event loops; like the experiment
 /// driver's kQueryShards, chosen once and never derived from thread
 /// count, so shard s always owns the same slots and the merged result is
@@ -94,6 +96,14 @@ struct FleetOptions {
   /// carry QueryTrace::client_id and use the client's own query counter
   /// as query_index.
   TraceSink* trace_sink = nullptr;
+  /// Opt-in windowed telemetry (not owned; broadcast/telemetry.h).
+  /// RunFleet calls Reset(cycle_packets, num_shards) before the parallel
+  /// section, each shard engine records into its private TelemetryShard,
+  /// and MergeShards() runs after the shard-ordered merge — every
+  /// exported byte is identical for any num_threads. When null the
+  /// engine's event sites pay one predicted branch each and FleetResult
+  /// is bit-identical to a run without telemetry (golden-pinned).
+  FleetTelemetry* telemetry = nullptr;
 };
 
 /// Aggregated results of one fleet run. All means are per *completed*

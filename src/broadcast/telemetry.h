@@ -1,0 +1,279 @@
+// Fleet-scale telemetry: windowed time-series metrics keyed by
+// broadcast-cycle index, a per-cycle-position read heatmap, and a
+// per-shard flight recorder — the continuous view of the paper's two
+// headline metrics (tuning time and access latency) that a battery-
+// powered receiver fleet must monitor, not just average at end-of-run.
+//
+// Architecture (same determinism contract as the fleet engine itself):
+//   * FleetTelemetry owns one TelemetryShard per fleet shard. Each shard
+//     engine records into its private shard single-threaded on the hot
+//     path — plain counter bumps and histogram adds, no locking, no RNG,
+//     no per-event allocation in the steady state (windowed maps allocate
+//     on first touch of a window; the flight ring is preallocated).
+//   * After the parallel section, MergeShards() folds the shards in shard
+//     order; every exported byte (timeline JSONL, Prometheus text, flight
+//     records) is therefore identical for any thread count.
+//   * Telemetry is opt-in via FleetOptions::telemetry. When unset the
+//     engine's hot loop pays one predicted null check per event site and
+//     nothing else: FleetResult stays bit-identical to a run without the
+//     telemetry layer compiled at all (golden-pinned in tests).
+//
+// What is recorded, per broadcast-cycle window:
+//   counters   queries_issued / queries_completed / unrecoverable /
+//              fallback / retries / lost_packets / corrupted_packets /
+//              arrivals / departures / index_reads / data_reads
+//   histograms latency, tuning (at the completion window), doze (packets
+//              slept, split across the windows the doze overlaps — the
+//              dozing-vs-active occupancy signal: doze_sum/window_width
+//              is the mean number of dozing clients during the window,
+//              (index_reads+data_reads)/window_width the mean number
+//              actively listening)
+//   gauges     shard_inflight — min/max in-flight queries observed in
+//              any single shard (per-shard load-balance envelope)
+//   heatmap    per window, index-class vs data-class packet reads binned
+//              by position within the broadcast cycle — the demand signal
+//              popularity-aware scheduling (ROADMAP item 3) consumes.
+//
+// Flight recorder: each shard keeps a fixed-size ring of recent events
+// (reads, faults, dozes) tagged with the issuing client. When a query
+// ends unrecoverable, the ring's surviving events for that client are
+// dumped as one JSONL "black box" record, so post-mortems see the exact
+// ladder walk that exhausted the budget without tracing every query.
+
+#ifndef DTREE_BROADCAST_TELEMETRY_H_
+#define DTREE_BROADCAST_TELEMETRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broadcast/trace.h"
+#include "common/timeseries.h"
+
+namespace dtree::bcast {
+
+struct FleetResult;  // broadcast/fleet.h
+
+/// Per-window metric names in FleetTelemetry::series().
+inline constexpr char kTsQueriesIssued[] = "queries_issued";
+inline constexpr char kTsQueriesCompleted[] = "queries_completed";
+inline constexpr char kTsUnrecoverable[] = "unrecoverable";
+inline constexpr char kTsFallback[] = "fallback";
+inline constexpr char kTsRetries[] = "retries";
+inline constexpr char kTsLostPackets[] = "lost_packets";
+inline constexpr char kTsCorruptedPackets[] = "corrupted_packets";
+inline constexpr char kTsArrivals[] = "arrivals";
+inline constexpr char kTsDepartures[] = "departures";
+inline constexpr char kTsIndexReads[] = "index_reads";
+inline constexpr char kTsDataReads[] = "data_reads";
+inline constexpr char kTsLatency[] = "latency";
+inline constexpr char kTsTuning[] = "tuning";
+inline constexpr char kTsDoze[] = "doze";
+inline constexpr char kTsShardInflight[] = "shard_inflight";
+
+struct TelemetryOptions {
+  /// Cycle-position bins of the per-window read heatmap, > 0.
+  int heatmap_bins = 32;
+  /// Flight-recorder ring capacity (events) per shard, >= 0; 0 disables
+  /// the recorder (unrecoverable queries still dump an event-less record).
+  int flight_recorder_capacity = 512;
+};
+
+/// Run-level totals written into the timeline meta line — the anchor the
+/// offline validator (tools/telemetry_report.py --check) sums windows
+/// against. Callers with a FleetResult should derive them from it
+/// (TotalsFromFleet) so the cross-check binds the timeline to the
+/// engine's own aggregate, not to telemetry-internal counts.
+struct TelemetryTotals {
+  int64_t queries = 0;
+  int64_t sessions = 0;
+  int64_t departures = 0;
+  int64_t retries = 0;
+  int64_t lost_packets = 0;
+  int64_t corrupted_packets = 0;
+  int64_t unrecoverable = 0;
+  int64_t fallback = 0;
+};
+
+TelemetryTotals TotalsFromFleet(const FleetResult& result);
+
+/// Completed-query summary handed to TelemetryShard::QueryDone; mirrors
+/// BroadcastChannel::QueryOutcome without depending on channel.h.
+struct QueryOutcomeSummary {
+  double latency = 0.0;
+  int tuning_total = 0;
+  int retries = 0;
+  int lost_packets = 0;
+  int corrupted_packets = 0;
+  bool fallback_scan = false;
+  bool unrecoverable = false;
+  /// Stable GiveUpStageName when unrecoverable; "" omits the field from
+  /// the flight record (trace-driven feeds do not know the stage).
+  const char* give_up = "";
+};
+
+/// Per-window read heatmap row: packets read per cycle-position bin,
+/// split index-class (probe + index descent + fallback-scan listening)
+/// vs data-class (bucket retrievals).
+struct HeatmapRow {
+  std::vector<int64_t> index_reads;
+  std::vector<int64_t> data_reads;
+};
+
+/// One shard's private telemetry accumulator. All methods are called
+/// from the owning shard's event loop only (single-threaded); windows
+/// are derived from the timestamps passed in, never from shared state.
+class TelemetryShard {
+ public:
+  /// A client session joined (generation 0 or a churn replacement).
+  void SessionJoin(double t);
+  /// A session left through churn at completion time t.
+  void Departure(double t);
+  /// A query was issued with the given absolute arrival time.
+  void QueryIssued(double arrival);
+  /// The client dozed for `dur` packets, resuming at `resume_at`; the
+  /// slept packets are split across every window the doze overlaps.
+  void Doze(double resume_at, double dur, int64_t client, uint32_t q);
+  /// `packets` consecutive packet reads starting at `pos`;
+  /// `data_read` selects the heatmap class (kProbe / kIndexRead /
+  /// kFallbackScan listening are index-class, kBucketRead data-class).
+  void Read(TraceEventKind kind, int64_t pos, int packets, bool data_read,
+            int64_t client, uint32_t q);
+  /// A fault or recovery event at `pos`: kLoss, kCorruption or kRetune.
+  void Fault(TraceEventKind kind, int64_t pos, int64_t client, uint32_t q);
+  /// The query is over (answered or given up) at absolute time `done`.
+  /// Unrecoverable queries dump the client's surviving flight-ring
+  /// events as one JSONL black-box record.
+  void QueryDone(double done, int64_t client, uint32_t q,
+                 const QueryOutcomeSummary& out);
+
+ private:
+  friend class FleetTelemetry;
+
+  struct FlightEvent {
+    int64_t client = -1;
+    int64_t pos = 0;
+    double dur = 0.0;     ///< kDoze only
+    int32_t packets = 0;  ///< reads: packets covered
+    TraceEventKind kind = TraceEventKind::kProbe;
+  };
+
+  /// Cached (window -> instance) so steady-state recording skips the
+  /// name lookup; refreshed whenever the event's window moves.
+  struct CachedCounter {
+    int64_t window = INT64_MIN;
+    Counter* c = nullptr;
+  };
+  struct CachedHistogram {
+    int64_t window = INT64_MIN;
+    Histogram* h = nullptr;
+  };
+
+  TelemetryShard(double window_width, int64_t cycle_packets, int bins,
+                 int ring_capacity);
+
+  Counter* Cnt(CachedCounter* slot, const char* name, int64_t window);
+  Histogram* Hist(CachedHistogram* slot, const char* name, int64_t window);
+  HeatmapRow* Row(int64_t window);
+  void BinRead(int64_t pos, int packets, bool data_read);
+  void RecordFlight(TraceEventKind kind, int64_t pos, int packets,
+                    double dur, int64_t client);
+  void DumpFlight(double done, int64_t client, uint32_t q,
+                  const QueryOutcomeSummary& out);
+
+  TimeSeries series_;
+  int64_t cycle_packets_;
+  int bins_;
+  std::map<int64_t, HeatmapRow> heatmap_;
+  int64_t heat_window_ = INT64_MIN;
+  HeatmapRow* heat_row_ = nullptr;
+  CachedCounter c_issued_, c_completed_, c_unrec_, c_fallback_, c_retries_,
+      c_lost_, c_corrupted_, c_arrivals_, c_departures_, c_index_reads_,
+      c_data_reads_;
+  CachedHistogram h_latency_, h_tuning_, h_doze_;
+  int64_t inflight_ = 0;
+  std::vector<FlightEvent> ring_;  ///< preallocated, ring_pos_ wraps
+  size_t ring_pos_ = 0;
+  uint64_t ring_written_ = 0;
+  std::string flight_;  ///< this shard's black-box JSONL records
+  int64_t flight_records_ = 0;
+};
+
+/// The fleet-run telemetry sink. Reset() -> per-shard recording ->
+/// MergeShards() -> exporters; see the file comment for the contract.
+class FleetTelemetry {
+ public:
+  explicit FleetTelemetry(const TelemetryOptions& options = {});
+
+  const TelemetryOptions& options() const { return options_; }
+
+  /// Clears all state and re-keys the window axis to one window per
+  /// broadcast cycle. Called by RunFleet before the parallel section.
+  void Reset(int64_t cycle_packets, int num_shards);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  TelemetryShard* shard(int s) { return shards_[static_cast<size_t>(s)].get(); }
+
+  /// Folds every shard into the merged view, in shard order. Called by
+  /// RunFleet after the parallel section (idempotent per Reset).
+  void MergeShards();
+
+  // --- Merged views; valid after MergeShards(). ---
+  int64_t cycle_packets() const { return cycle_packets_; }
+  const TimeSeries& series() const { return series_; }
+  const std::map<int64_t, HeatmapRow>& heatmap() const { return heatmap_; }
+  /// Concatenated black-box JSONL records, shard order.
+  const std::string& flight_records() const { return flight_; }
+  int64_t flight_record_count() const { return flight_records_; }
+  /// Totals summed from the merged series (telemetry's own view; compare
+  /// against TotalsFromFleet to cross-check the engine).
+  TelemetryTotals Totals() const;
+
+  /// Timeline export: a meta line (schema id, layout, run totals —
+  /// `totals` should come from the FleetResult via TotalsFromFleet;
+  /// nullptr falls back to Totals()), then one JSON line per window in
+  /// ascending window order. Byte-identical for any thread count.
+  std::string TimelineJsonl(const std::string& label = "",
+                            const TelemetryTotals* totals = nullptr) const;
+
+  /// Prometheus text exposition: run-total counters plus cumulative
+  /// latency / tuning / doze histograms under the fleet_* namespace.
+  std::string PrometheusText() const;
+
+ private:
+  TelemetryOptions options_;
+  int64_t cycle_packets_ = 1;
+  std::vector<std::unique_ptr<TelemetryShard>> shards_;
+  TimeSeries series_{1.0};
+  std::map<int64_t, HeatmapRow> heatmap_;
+  std::string flight_;
+  int64_t flight_records_ = 0;
+  bool merged_ = false;
+};
+
+/// Adapter feeding a FleetTelemetry from a per-query trace stream — the
+/// single-query Simulate path (RunExperiment benches) gets the same
+/// timeline, heatmap and flight-record output as the fleet engine
+/// without touching the driver. The telemetry must have been Reset()
+/// for the run's channel layout with num_shards >= 1; all traces are
+/// recorded into shard 0 (trace sinks are fed single-threaded in global
+/// query order, so the result is deterministic by construction). Call
+/// MergeShards() after the run, before exporting. Experiment traces
+/// carry no session lifecycle, so arrivals/departures stay zero and the
+/// anonymous client id -1 tags the flight ring.
+class TelemetryTraceSink : public TraceSink {
+ public:
+  explicit TelemetryTraceSink(FleetTelemetry* telemetry)
+      : telemetry_(telemetry) {}
+
+  void Consume(const QueryTrace& trace) override;
+
+ private:
+  FleetTelemetry* telemetry_;
+};
+
+}  // namespace dtree::bcast
+
+#endif  // DTREE_BROADCAST_TELEMETRY_H_

@@ -1,0 +1,142 @@
+#include "common/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dtree {
+
+void MinMaxGauge::Record(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+}
+
+void MinMaxGauge::Merge(const MinMaxGauge& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+TimeSeries::TimeSeries(double window_width) : window_width_(window_width) {
+  DTREE_CHECK(window_width > 0.0);
+}
+
+int64_t TimeSeries::WindowIndex(double t) const {
+  if (!(t > 0.0)) return 0;  // negatives and NaN clamp into window 0
+  return static_cast<int64_t>(std::floor(t / window_width_));
+}
+
+Counter* TimeSeries::counter(const std::string& name, int64_t window) {
+  return &counters_[name][window];
+}
+
+Histogram* TimeSeries::histogram(const std::string& name, int64_t window) {
+  return &histograms_[name][window];
+}
+
+MinMaxGauge* TimeSeries::gauge(const std::string& name, int64_t window) {
+  return &gauges_[name][window];
+}
+
+namespace {
+
+template <typename T>
+const T* FindIn(const std::map<std::string, std::map<int64_t, T>>& by_name,
+                const std::string& name, int64_t window) {
+  const auto it = by_name.find(name);
+  if (it == by_name.end()) return nullptr;
+  const auto wit = it->second.find(window);
+  return wit == it->second.end() ? nullptr : &wit->second;
+}
+
+}  // namespace
+
+const Counter* TimeSeries::FindCounter(const std::string& name,
+                                       int64_t window) const {
+  return FindIn(counters_, name, window);
+}
+
+const Histogram* TimeSeries::FindHistogram(const std::string& name,
+                                           int64_t window) const {
+  return FindIn(histograms_, name, window);
+}
+
+const MinMaxGauge* TimeSeries::FindGauge(const std::string& name,
+                                         int64_t window) const {
+  return FindIn(gauges_, name, window);
+}
+
+uint64_t TimeSeries::CounterValue(const std::string& name,
+                                  int64_t window) const {
+  const Counter* c = FindCounter(name, window);
+  return c == nullptr ? 0 : c->value();
+}
+
+uint64_t TimeSeries::CounterTotal(const std::string& name) const {
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) return 0;
+  uint64_t total = 0;
+  for (const auto& [window, c] : it->second) total += c.value();
+  return total;
+}
+
+double TimeSeries::HistogramSumTotal(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) return 0.0;
+  double total = 0.0;
+  for (const auto& [window, h] : it->second) total += h.Sum();
+  return total;
+}
+
+uint64_t TimeSeries::HistogramCountTotal(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) return 0;
+  uint64_t total = 0;
+  for (const auto& [window, h] : it->second) total += h.TotalCount();
+  return total;
+}
+
+void TimeSeries::MergeOrdered(const TimeSeries& other) {
+  DTREE_CHECK(window_width_ == other.window_width_);
+  for (const auto& [name, windows] : other.counters_) {
+    auto& mine = counters_[name];
+    for (const auto& [window, c] : windows) mine[window].Merge(c);
+  }
+  for (const auto& [name, windows] : other.histograms_) {
+    auto& mine = histograms_[name];
+    for (const auto& [window, h] : windows) mine[window].Merge(h);
+  }
+  for (const auto& [name, windows] : other.gauges_) {
+    auto& mine = gauges_[name];
+    for (const auto& [window, g] : windows) mine[window].Merge(g);
+  }
+}
+
+std::vector<int64_t> TimeSeries::Windows() const {
+  std::vector<int64_t> out;
+  const auto collect = [&out](const auto& by_name) {
+    for (const auto& [name, windows] : by_name) {
+      for (const auto& [window, unused] : windows) out.push_back(window);
+    }
+  };
+  collect(counters_);
+  collect(histograms_);
+  collect(gauges_);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace dtree

@@ -1,0 +1,122 @@
+// Deterministic windowed metrics: a fixed-width time axis cut into
+// windows, each window holding named Counters, min/max Gauges, and
+// Histogram snapshots (common/metrics.h).
+//
+// The window index is a pure function of the timestamp
+// (floor(t / window_width)), so two series over the same samples hold
+// identical per-window integer counts no matter how the samples were
+// split across shards. The determinism contract is MetricsRegistry's,
+// extended along the time axis: every shard accumulates into a private
+// TimeSeries on the hot path (no locking anywhere), and the owner merges
+// the shards with MergeOrdered in shard order — count-derived statistics
+// (bucket tables, percentiles, gauge min/max) are merge-order-independent
+// by construction, and the fixed merge order pins the floating-point sums
+// bit-for-bit too, for any thread count.
+//
+// The intended key is the broadcast-cycle index: the fleet telemetry
+// layer (broadcast/telemetry.h) sets window_width = cycle_packets, so
+// window w describes what the client population did during the w-th
+// broadcast cycle.
+
+#ifndef DTREE_COMMON_TIMESERIES_H_
+#define DTREE_COMMON_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace dtree {
+
+/// Min/max gauge over the values recorded into one window. Unlike a
+/// Histogram it keeps no distribution — just the envelope — so it is the
+/// right shape for sampled instantaneous quantities (queue depths,
+/// in-flight counts) where only the window's extremes matter. Merging
+/// takes min/max, which is commutative and associative: gauge statistics
+/// are merge-order-independent.
+class MinMaxGauge {
+ public:
+  void Record(double v);
+  void Merge(const MinMaxGauge& other);
+
+  bool empty() const { return count_ == 0; }
+  uint64_t count() const { return count_; }
+  /// 0 when no value was recorded (like Histogram::Min/Max).
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named, windowed metric instances over a fixed-width time axis.
+class TimeSeries {
+ public:
+  /// `window_width` must be positive; timestamps are expected >= 0.
+  explicit TimeSeries(double window_width = 1.0);
+
+  double window_width() const { return window_width_; }
+
+  /// Window owning timestamp t: floor(t / window_width), a pure function
+  /// of (t, window_width). Negative timestamps clamp into window 0.
+  int64_t WindowIndex(double t) const;
+
+  /// Returns the named instance in window w, creating it on first use.
+  /// Pointers stay valid for the series' lifetime (node-based maps).
+  Counter* counter(const std::string& name, int64_t window);
+  Histogram* histogram(const std::string& name, int64_t window);
+  MinMaxGauge* gauge(const std::string& name, int64_t window);
+
+  /// nullptr when (name, window) was never written.
+  const Counter* FindCounter(const std::string& name, int64_t window) const;
+  const Histogram* FindHistogram(const std::string& name,
+                                 int64_t window) const;
+  const MinMaxGauge* FindGauge(const std::string& name, int64_t window) const;
+
+  /// Value helpers for exporters: 0 / empty defaults when absent.
+  uint64_t CounterValue(const std::string& name, int64_t window) const;
+  /// Sum of the named counter across every window.
+  uint64_t CounterTotal(const std::string& name) const;
+  /// Sum of the named histogram's Sum() across every window, accumulated
+  /// in ascending window order (deterministic).
+  double HistogramSumTotal(const std::string& name) const;
+  /// Total sample count of the named histogram across every window.
+  uint64_t HistogramCountTotal(const std::string& name) const;
+
+  /// Merges `other` into this series, matching by (name, window). The
+  /// window widths must agree. Call once per shard, in shard order.
+  void MergeOrdered(const TimeSeries& other);
+
+  /// Every window index holding any metric, ascending and deduplicated.
+  std::vector<int64_t> Windows() const;
+
+  bool empty() const {
+    return counters_.empty() && histograms_.empty() && gauges_.empty();
+  }
+
+  const std::map<std::string, std::map<int64_t, Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::map<int64_t, Histogram>>& histograms()
+      const {
+    return histograms_;
+  }
+  const std::map<std::string, std::map<int64_t, MinMaxGauge>>& gauges()
+      const {
+    return gauges_;
+  }
+
+ private:
+  double window_width_;
+  std::map<std::string, std::map<int64_t, Counter>> counters_;
+  std::map<std::string, std::map<int64_t, Histogram>> histograms_;
+  std::map<std::string, std::map<int64_t, MinMaxGauge>> gauges_;
+};
+
+}  // namespace dtree
+
+#endif  // DTREE_COMMON_TIMESERIES_H_

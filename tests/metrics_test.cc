@@ -119,6 +119,31 @@ TEST(HistogramTest, MergeIntoEmptyAndFromEmpty) {
   EXPECT_EQ(b.Max(), 3.0);
 }
 
+TEST(HistogramTest, EmptyPercentileIsZeroAtEveryRank) {
+  Histogram h;
+  for (double p : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(h.Percentile(p), 0.0) << "p=" << p;
+  }
+  EXPECT_EQ(h.Sum(), 0.0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Max(), 0.0);
+}
+
+TEST(HistogramTest, SingleSamplePercentilesCollapseToTheSample) {
+  // With one sample, [min, max] pins every interpolated rank to the
+  // sample itself — bitwise, not within bucket resolution.
+  for (double v : {0.0, 1.0, 37.5, 1e9}) {
+    Histogram h;
+    h.Add(v);
+    for (double p : {0.0, 0.5, 0.99, 1.0}) {
+      EXPECT_EQ(h.Percentile(p), v) << "v=" << v << " p=" << p;
+    }
+    EXPECT_EQ(h.Min(), v);
+    EXPECT_EQ(h.Max(), v);
+    EXPECT_EQ(h.Mean(), v);
+  }
+}
+
 TEST(CounterTest, AddAndMerge) {
   Counter a;
   a.Add();

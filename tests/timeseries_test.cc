@@ -1,0 +1,210 @@
+// TimeSeries / MinMaxGauge (common/timeseries.h): window indexing as a
+// pure function of the timestamp, create-on-first-use instances with
+// stable pointers, shard-split determinism of MergeOrdered, and the
+// empty / single-sample edge cases of every windowed accessor.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timeseries.h"
+
+#include "gtest/gtest.h"
+
+namespace dtree {
+namespace {
+
+TEST(MinMaxGaugeTest, EmptyReportsZeroEnvelope) {
+  MinMaxGauge g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.count(), 0u);
+  EXPECT_EQ(g.min(), 0.0);
+  EXPECT_EQ(g.max(), 0.0);
+}
+
+TEST(MinMaxGaugeTest, SingleSampleEnvelopeIsTheSample) {
+  MinMaxGauge g;
+  g.Record(-7.5);
+  EXPECT_EQ(g.count(), 1u);
+  EXPECT_EQ(g.min(), -7.5);
+  EXPECT_EQ(g.max(), -7.5);
+}
+
+TEST(MinMaxGaugeTest, MergeWithEmptyAndOrderInvariance) {
+  MinMaxGauge a;
+  a.Record(2.0);
+  a.Record(9.0);
+  MinMaxGauge empty;
+  a.Merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 2.0);
+  EXPECT_EQ(a.max(), 9.0);
+  MinMaxGauge b;
+  b.Merge(a);  // empty absorbs a's envelope exactly
+  EXPECT_EQ(b.min(), 2.0);
+  EXPECT_EQ(b.max(), 9.0);
+
+  MinMaxGauge c;
+  c.Record(-1.0);
+  MinMaxGauge ab = a;
+  ab.Merge(c);
+  MinMaxGauge ba = c;
+  ba.Merge(a);
+  EXPECT_EQ(ab.min(), ba.min());
+  EXPECT_EQ(ab.max(), ba.max());
+  EXPECT_EQ(ab.count(), ba.count());
+}
+
+TEST(TimeSeriesTest, WindowIndexIsFloorOfScaledTime) {
+  TimeSeries ts(100.0);
+  EXPECT_EQ(ts.WindowIndex(0.0), 0);
+  EXPECT_EQ(ts.WindowIndex(99.999), 0);
+  EXPECT_EQ(ts.WindowIndex(100.0), 1);
+  EXPECT_EQ(ts.WindowIndex(250.0), 2);
+  // Negative timestamps clamp into window 0 (a query issued "before the
+  // broadcast started" still lands somewhere deterministic).
+  EXPECT_EQ(ts.WindowIndex(-5.0), 0);
+}
+
+TEST(TimeSeriesTest, EmptySeriesAccessorsReturnDefaults) {
+  TimeSeries ts(10.0);
+  EXPECT_TRUE(ts.empty());
+  EXPECT_TRUE(ts.Windows().empty());
+  EXPECT_EQ(ts.FindCounter("x", 0), nullptr);
+  EXPECT_EQ(ts.FindHistogram("x", 0), nullptr);
+  EXPECT_EQ(ts.FindGauge("x", 0), nullptr);
+  EXPECT_EQ(ts.CounterValue("x", 0), 0u);
+  EXPECT_EQ(ts.CounterTotal("x"), 0u);
+  EXPECT_EQ(ts.HistogramSumTotal("x"), 0.0);
+  EXPECT_EQ(ts.HistogramCountTotal("x"), 0u);
+}
+
+TEST(TimeSeriesTest, CreateOnFirstUseAndStablePointers) {
+  TimeSeries ts(10.0);
+  Counter* c = ts.counter("reads", 3);
+  c->Add(2);
+  Histogram* h = ts.histogram("latency", 3);
+  h->Add(5.0);
+  // Touch many other (name, window) pairs; node-based storage must not
+  // move the earlier instances.
+  for (int w = 0; w < 200; ++w) {
+    ts.counter("other", w)->Add(1);
+    ts.histogram("more", w)->Add(1.0);
+    ts.gauge("depth", w)->Record(static_cast<double>(w));
+  }
+  EXPECT_EQ(ts.FindCounter("reads", 3), c);
+  EXPECT_EQ(ts.FindHistogram("latency", 3), h);
+  EXPECT_EQ(c->value(), 2u);
+  EXPECT_EQ(ts.CounterValue("reads", 3), 2u);
+  EXPECT_EQ(ts.CounterValue("reads", 4), 0u);  // window never written
+  EXPECT_EQ(ts.CounterTotal("other"), 200u);
+  EXPECT_EQ(ts.HistogramCountTotal("more"), 200u);
+  EXPECT_EQ(ts.HistogramSumTotal("more"), 200.0);
+}
+
+TEST(TimeSeriesTest, WindowsAreAscendingAndDeduplicated) {
+  TimeSeries ts(1.0);
+  ts.counter("a", 7)->Add(1);
+  ts.histogram("b", 2)->Add(1.0);
+  ts.gauge("c", 7)->Record(1.0);  // same window as the counter
+  ts.counter("a", 0)->Add(1);
+  const std::vector<int64_t> w = ts.Windows();
+  EXPECT_EQ(w, (std::vector<int64_t>{0, 2, 7}));
+}
+
+TEST(TimeSeriesTest, MergeWithEmptyIsIdentity) {
+  TimeSeries ts(5.0);
+  ts.counter("n", 1)->Add(4);
+  ts.histogram("h", 1)->Add(2.5);
+  TimeSeries empty(5.0);
+  ts.MergeOrdered(empty);
+  EXPECT_EQ(ts.CounterValue("n", 1), 4u);
+  EXPECT_EQ(ts.HistogramSumTotal("h"), 2.5);
+  TimeSeries fresh(5.0);
+  fresh.MergeOrdered(ts);
+  EXPECT_EQ(fresh.CounterValue("n", 1), 4u);
+  EXPECT_EQ(fresh.FindHistogram("h", 1)->TotalCount(), 1u);
+}
+
+TEST(TimeSeriesTest, ShardSplitMergeMatchesSingleSeriesExactly) {
+  // The determinism contract: samples split across shards and merged in
+  // shard order give the same per-window integer counts and the same
+  // count-derived statistics as one series fed everything — and the
+  // merge is order-invariant for those statistics.
+  const double width = 50.0;
+  TimeSeries reference(width);
+  std::vector<TimeSeries> shards;
+  for (int s = 0; s < 4; ++s) shards.emplace_back(width);
+  Rng rng(2024);
+  for (int i = 0; i < 20000; ++i) {
+    const double t = rng.Uniform(0.0, 5000.0);
+    const double v = std::exp(rng.Uniform(0.0, 8.0));
+    const int s = static_cast<int>(rng.UniformInt(0, 3));
+    const int64_t w = reference.WindowIndex(t);
+    reference.counter("events", w)->Add(1);
+    reference.histogram("value", w)->Add(v);
+    reference.gauge("load", w)->Record(v);
+    shards[static_cast<size_t>(s)].counter("events", w)->Add(1);
+    shards[static_cast<size_t>(s)].histogram("value", w)->Add(v);
+    shards[static_cast<size_t>(s)].gauge("load", w)->Record(v);
+  }
+  TimeSeries fwd(width);
+  for (const TimeSeries& s : shards) fwd.MergeOrdered(s);
+  TimeSeries rev(width);
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+    rev.MergeOrdered(*it);
+  }
+  EXPECT_EQ(fwd.Windows(), reference.Windows());
+  EXPECT_EQ(rev.Windows(), reference.Windows());
+  for (int64_t w : reference.Windows()) {
+    ASSERT_EQ(fwd.CounterValue("events", w), reference.CounterValue("events", w));
+    ASSERT_EQ(rev.CounterValue("events", w), reference.CounterValue("events", w));
+    const Histogram* hr = reference.FindHistogram("value", w);
+    const Histogram* hf = fwd.FindHistogram("value", w);
+    const Histogram* hv = rev.FindHistogram("value", w);
+    ASSERT_NE(hf, nullptr);
+    ASSERT_NE(hv, nullptr);
+    ASSERT_EQ(hf->TotalCount(), hr->TotalCount());
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      ASSERT_EQ(hf->BucketCount(b), hr->BucketCount(b));
+      ASSERT_EQ(hv->BucketCount(b), hr->BucketCount(b));
+    }
+    // Percentiles and gauge envelopes: bit-identical across merge orders.
+    EXPECT_EQ(hf->Percentile(0.99), hr->Percentile(0.99));
+    EXPECT_EQ(hv->Percentile(0.99), hr->Percentile(0.99));
+    EXPECT_EQ(hf->Min(), hr->Min());
+    EXPECT_EQ(hf->Max(), hr->Max());
+    const MinMaxGauge* gr = reference.FindGauge("load", w);
+    const MinMaxGauge* gf = fwd.FindGauge("load", w);
+    const MinMaxGauge* gv = rev.FindGauge("load", w);
+    ASSERT_NE(gf, nullptr);
+    ASSERT_NE(gv, nullptr);
+    EXPECT_EQ(gf->min(), gr->min());
+    EXPECT_EQ(gf->max(), gr->max());
+    EXPECT_EQ(gv->min(), gr->min());
+    EXPECT_EQ(gv->max(), gr->max());
+    EXPECT_EQ(gf->count(), gr->count());
+  }
+  // Fixed shard order additionally pins the floating-point sums.
+  EXPECT_EQ(fwd.HistogramSumTotal("value"), [&] {
+    TimeSeries again(width);
+    for (const TimeSeries& s : shards) again.MergeOrdered(s);
+    return again.HistogramSumTotal("value");
+  }());
+}
+
+TEST(TimeSeriesTest, SingleSampleWindowEdgeCases) {
+  TimeSeries ts(8.0);
+  ts.histogram("lat", ts.WindowIndex(15.9))->Add(42.0);
+  const Histogram* h = ts.FindHistogram("lat", 1);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->TotalCount(), 1u);
+  EXPECT_EQ(h->Percentile(0.5), 42.0);
+  EXPECT_EQ(h->Percentile(1.0), 42.0);
+  EXPECT_EQ(ts.HistogramSumTotal("lat"), 42.0);
+  EXPECT_EQ(ts.HistogramCountTotal("lat"), 1u);
+}
+
+}  // namespace
+}  // namespace dtree

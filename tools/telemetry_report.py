@@ -1,0 +1,369 @@
+#!/usr/bin/env python3
+"""Summarize or validate fleet telemetry timeline JSONL files.
+
+The input is the --telemetry-out output of bench_fleet or
+bench_trace_profile (schema in DESIGN.md §14): one or more blocks, each
+a meta line ({"meta": "fleet_telemetry", ...run totals...}) followed by
+one JSON line per broadcast-cycle window. Stdlib only.
+
+Usage:
+  tools/telemetry_report.py TIMELINE.jsonl          # per-block report
+  tools/telemetry_report.py --check TIMELINE.jsonl  # validate; exit 1 on
+                                                    # any violation
+  tools/telemetry_report.py --check --flight=FLIGHT.jsonl TIMELINE.jsonl
+                                                    # also validate the
+                                                    # flight-recorder dump
+                                                    # and cross-check its
+                                                    # record count
+
+--check enforces the schema plus the invariants the telemetry layer
+guarantees by construction, so any violation means the producer (or the
+file) is broken, not the fleet:
+  * every block starts with a meta line and carries exactly meta.windows
+    window lines with strictly increasing window indices;
+  * summing any window counter over the block reproduces the matching
+    meta total (queries, retries, lost, corrupted, unrecoverable,
+    fallback, sessions, departures) — the meta totals come from the
+    engine's own FleetResult, so this cross-checks telemetry against the
+    simulation it observed;
+  * per window, the latency and tuning histograms hold exactly one
+    sample per completed query;
+  * heatmap rows have exactly meta.heatmap_bins bins per class and their
+    binned packets sum to the window's index_reads / data_reads
+    counters.
+"""
+
+import json
+import math
+import sys
+
+META_INT_KEYS = ("window_packets", "cycle_packets", "heatmap_bins",
+                 "windows", "flight_records")
+TOTALS_KEYS = ("queries", "sessions", "departures", "retries", "lost",
+               "corrupted", "unrecoverable", "fallback")
+WINDOW_COUNTER_KEYS = ("issued", "completed", "unrecoverable", "fallback",
+                       "retries", "lost", "corrupted", "arrivals",
+                       "departures", "index_reads", "data_reads",
+                       "doze_count")
+HIST_KEYS = ("count", "sum", "min", "max", "p50", "p95", "p99")
+FLIGHT_EVENT_KINDS = {
+    "probe", "doze", "index", "bucket", "loss", "retune",
+    "corruption_detected", "fallback_scan",
+}
+# window counter -> meta totals key it must sum to.
+SUM_CHECKS = {
+    "completed": "queries",
+    "retries": "retries",
+    "lost": "lost",
+    "corrupted": "corrupted",
+    "unrecoverable": "unrecoverable",
+    "fallback": "fallback",
+    "arrivals": "sessions",
+    "departures": "departures",
+}
+
+
+def is_int(v):
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate_meta(obj):
+    """Returns an error string or None."""
+    if obj.get("meta") != "fleet_telemetry":
+        return f"unexpected meta id {obj.get('meta')!r}"
+    if "cell" in obj and not isinstance(obj["cell"], str):
+        return "field 'cell' has wrong type"
+    for key in META_INT_KEYS:
+        if not is_int(obj.get(key)) or obj[key] < 0:
+            return f"meta field {key!r} must be a non-negative integer"
+    for key in ("window_packets", "cycle_packets", "heatmap_bins"):
+        if obj[key] == 0:
+            return f"meta field {key!r} must be positive"
+    totals = obj.get("totals")
+    if not isinstance(totals, dict):
+        return "meta is missing the 'totals' object"
+    for key in TOTALS_KEYS:
+        if not is_int(totals.get(key)) or totals[key] < 0:
+            return f"totals field {key!r} must be a non-negative integer"
+    return None
+
+
+def validate_hist(h, name):
+    if not isinstance(h, dict):
+        return f"window field {name!r} is not an object"
+    for key in HIST_KEYS:
+        if not is_num(h.get(key)):
+            return f"histogram {name!r} field {key!r} must be numeric"
+    if h["count"] > 0 and h["min"] > h["max"]:
+        return f"histogram {name!r} has min > max"
+    return None
+
+
+def validate_window(obj, bins):
+    if not is_int(obj.get("w")) or obj["w"] < 0:
+        return "window field 'w' must be a non-negative integer"
+    for key in WINDOW_COUNTER_KEYS:
+        if not is_int(obj.get(key)) or obj[key] < 0:
+            return f"window field {key!r} must be a non-negative integer"
+    if not is_num(obj.get("doze_packets")) or obj["doze_packets"] < 0:
+        return "window field 'doze_packets' must be non-negative"
+    for key in ("inflight_min", "inflight_max"):
+        if not is_num(obj.get(key)):
+            return f"window field {key!r} must be numeric"
+    for name in ("latency", "tuning"):
+        err = validate_hist(obj.get(name), name)
+        if err is not None:
+            return err
+        if obj[name]["count"] != obj["completed"]:
+            return (
+                f"histogram {name!r} holds {obj[name]['count']} samples "
+                f"but the window completed {obj['completed']} queries"
+            )
+    for name, counter in (("heatmap_index", "index_reads"),
+                          ("heatmap_data", "data_reads")):
+        row = obj.get(name)
+        if not isinstance(row, list) or len(row) != bins:
+            return f"{name!r} must be a {bins}-bin array"
+        if not all(is_int(c) and c >= 0 for c in row):
+            return f"{name!r} entries must be non-negative integers"
+        if sum(row) != obj[counter]:
+            return (
+                f"{name!r} sums to {sum(row)} but the window counted "
+                f"{obj[counter]} {counter}"
+            )
+    return None
+
+
+def check_block_totals(meta, windows, where):
+    """Sums window counters against the meta totals; returns error or None."""
+    for counter, total_key in SUM_CHECKS.items():
+        got = sum(w[counter] for w in windows)
+        want = meta["totals"][total_key]
+        if got != want:
+            return (
+                f"{where}: sum of window {counter!r} is {got}, meta total "
+                f"{total_key!r} says {want}"
+            )
+    issued = sum(w["issued"] for w in windows)
+    if issued != meta["totals"]["queries"]:
+        return (
+            f"{where}: {issued} queries issued but {meta['totals']['queries']} "
+            f"completed — the fleet runs every issued query to completion"
+        )
+    lat_count = sum(w["latency"]["count"] for w in windows)
+    if lat_count != meta["totals"]["queries"]:
+        return (
+            f"{where}: latency histograms hold {lat_count} samples for "
+            f"{meta['totals']['queries']} queries"
+        )
+    return None
+
+
+def validate_flight_line(obj):
+    if obj.get("flight") != "unrecoverable":
+        return f"unexpected flight id {obj.get('flight')!r}"
+    if not is_int(obj.get("client")):
+        return "flight field 'client' must be an integer"
+    for key in ("q", "tuning", "retries", "lost", "corrupted"):
+        if not is_int(obj.get(key)) or obj[key] < 0:
+            return f"flight field {key!r} must be a non-negative integer"
+    for key in ("done", "latency"):
+        if not is_num(obj.get(key)) or obj[key] < 0:
+            return f"flight field {key!r} must be non-negative"
+    if not isinstance(obj.get("fallback"), bool):
+        return "flight field 'fallback' must be a boolean"
+    if "give_up" in obj and not isinstance(obj["give_up"], str):
+        return "flight field 'give_up' has wrong type"
+    events = obj.get("events")
+    if not isinstance(events, list):
+        return "flight field 'events' must be an array"
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return f"flight event {i} is not an object"
+        if ev.get("t") not in FLIGHT_EVENT_KINDS:
+            return f"flight event {i} has unknown kind {ev.get('t')!r}"
+        if not is_int(ev.get("pos")):
+            return f"flight event {i} missing integer 'pos'"
+        if ev["t"] == "doze" and (not is_num(ev.get("dur")) or ev["dur"] <= 0):
+            return f"flight event {i} (doze) needs positive 'dur'"
+    return None
+
+
+def parse_blocks(path):
+    """Yields (meta, windows, first_lineno) blocks; raises SystemExit with
+    a message on any structural or schema violation."""
+    blocks = []
+    meta = None
+    windows = []
+    meta_line = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: invalid JSON: {e}")
+            if not isinstance(obj, dict):
+                sys.exit(f"{path}:{lineno}: line is not a JSON object")
+            if "meta" in obj:
+                if meta is not None and len(windows) != meta["windows"]:
+                    sys.exit(
+                        f"{path}:{meta_line}: block declares "
+                        f"{meta['windows']} windows, found {len(windows)}"
+                    )
+                err = validate_meta(obj)
+                if err is not None:
+                    sys.exit(f"{path}:{lineno}: {err}")
+                if meta is not None:
+                    blocks.append((meta, windows, meta_line))
+                meta, windows, meta_line = obj, [], lineno
+                continue
+            if meta is None:
+                sys.exit(f"{path}:{lineno}: window line before any meta line")
+            err = validate_window(obj, meta["heatmap_bins"])
+            if err is not None:
+                sys.exit(f"{path}:{lineno}: {err}")
+            if windows and obj["w"] <= windows[-1]["w"]:
+                sys.exit(
+                    f"{path}:{lineno}: window index {obj['w']} not "
+                    f"strictly increasing (previous {windows[-1]['w']})"
+                )
+            windows.append(obj)
+    if meta is None:
+        sys.exit(f"{path}: no telemetry blocks found")
+    if len(windows) != meta["windows"]:
+        sys.exit(
+            f"{path}:{meta_line}: block declares {meta['windows']} "
+            f"windows, found {len(windows)}"
+        )
+    blocks.append((meta, windows, meta_line))
+    return blocks
+
+
+def report_block(meta, windows):
+    cell = meta.get("cell", "(unlabeled)")
+    totals = meta["totals"]
+    width = meta["window_packets"]
+    print(f"\n-- {cell} --")
+    print(
+        f"{len(windows)} windows x {width} packets, "
+        f"{totals['queries']} queries, {totals['sessions']} sessions "
+        f"({totals['departures']} departed), "
+        f"{totals['unrecoverable']} unrecoverable, "
+        f"{meta['flight_records']} flight records"
+    )
+    if totals["retries"] or totals["lost"] or totals["corrupted"]:
+        print(
+            f"faults: {totals['retries']} retries, {totals['lost']} lost, "
+            f"{totals['corrupted']} corrupted, "
+            f"{totals['fallback']} fallback queries"
+        )
+    print(f"{'w':>4} {'done':>7} {'p95 lat':>9} {'p95 tun':>8} "
+          f"{'reads':>8} {'dozing':>8} {'inflight':>9}")
+    for w in windows:
+        reads = w["index_reads"] + w["data_reads"]
+        dozing = w["doze_packets"] / width  # mean dozing clients
+        print(
+            f"{w['w']:>4} {w['completed']:>7} "
+            f"{w['latency']['p95']:>9.1f} {w['tuning']['p95']:>8.1f} "
+            f"{reads:>8} {dozing:>8.1f} "
+            f"{w['inflight_min']:.0f}-{w['inflight_max']:<.0f}"
+        )
+    # Hottest heatmap bin across the block, per class.
+    bins = meta["heatmap_bins"]
+    index_bins = [0] * bins
+    data_bins = [0] * bins
+    for w in windows:
+        for i, c in enumerate(w["heatmap_index"]):
+            index_bins[i] += c
+        for i, c in enumerate(w["heatmap_data"]):
+            data_bins[i] += c
+    for name, row in (("index", index_bins), ("data", data_bins)):
+        total = sum(row)
+        if total:
+            hot = max(range(bins), key=lambda i: row[i])
+            print(
+                f"hottest {name} bin: {hot}/{bins} with "
+                f"{100.0 * row[hot] / total:.1f}% of {total} reads"
+            )
+
+
+def main(argv):
+    check_only = False
+    flight_path = None
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--check":
+            check_only = True
+        elif arg.startswith("--flight="):
+            flight_path = arg[len("--flight="):]
+        elif arg.startswith("-"):
+            print(f"unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    total_blocks = 0
+    total_windows = 0
+    declared_flight_records = 0
+    for path in paths:
+        for meta, windows, meta_line in parse_blocks(path):
+            err = check_block_totals(meta, windows, f"{path}:{meta_line}")
+            if err is not None:
+                print(err, file=sys.stderr)
+                return 1
+            total_blocks += 1
+            total_windows += len(windows)
+            declared_flight_records += meta["flight_records"]
+            if not check_only:
+                report_block(meta, windows)
+
+    if flight_path is not None:
+        flight_lines = 0
+        with open(flight_path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as e:
+                    print(f"{flight_path}:{lineno}: invalid JSON: {e}",
+                          file=sys.stderr)
+                    return 1
+                err = validate_flight_line(obj)
+                if err is not None:
+                    print(f"{flight_path}:{lineno}: {err}", file=sys.stderr)
+                    return 1
+                flight_lines += 1
+        if flight_lines != declared_flight_records:
+            print(
+                f"{flight_path}: {flight_lines} flight records, timeline "
+                f"meta declares {declared_flight_records}",
+                file=sys.stderr,
+            )
+            return 1
+
+    if check_only:
+        suffix = (
+            f", {declared_flight_records} flight records"
+            if flight_path is not None else ""
+        )
+        print(
+            f"OK: {total_blocks} telemetry blocks, {total_windows} "
+            f"windows valid{suffix}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

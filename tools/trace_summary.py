@@ -15,6 +15,14 @@ Usage:
 The report gives, per cell: query count, p50/p95/p99/max access latency
 and tuning time (exact, computed from the raw per-query values), the
 retry histogram, and index-packet reads per tree level.
+
+Fleet traces (those stamped with a "client" id) additionally pass
+per-client invariants under --check: within one (cell, client) stream
+the query counter "q" is strictly increasing and arrivals are
+non-decreasing — a client issues its queries sequentially, and the
+fleet engine replays traces in a deterministic order that preserves
+each client's issue order. Per-line, dozes plus packet reads must add
+up to the access latency for every query, fleet or not.
 """
 
 import json
@@ -220,6 +228,9 @@ def main(argv):
 
     cells = {}
     total = 0
+    # Per-(cell, client) stream state for the fleet invariants: last seen
+    # query counter and arrival time.
+    client_streams = {}
     for path in paths:
         with open(path, "r", encoding="utf-8") as f:
             for lineno, line in enumerate(f, 1):
@@ -235,6 +246,28 @@ def main(argv):
                 if err is not None:
                     print(f"{path}:{lineno}: {err}", file=sys.stderr)
                     return 1
+                if "client" in obj:
+                    stream = (obj.get("cell", ""), obj["client"])
+                    prev = client_streams.get(stream)
+                    if prev is not None:
+                        prev_q, prev_arrival = prev
+                        if obj["q"] <= prev_q:
+                            print(
+                                f"{path}:{lineno}: client {obj['client']} "
+                                f"query counter went {prev_q} -> {obj['q']} "
+                                f"(must be strictly increasing)",
+                                file=sys.stderr,
+                            )
+                            return 1
+                        if obj["arrival"] < prev_arrival:
+                            print(
+                                f"{path}:{lineno}: client {obj['client']} "
+                                f"arrival went {prev_arrival} -> "
+                                f"{obj['arrival']} (must be non-decreasing)",
+                                file=sys.stderr,
+                            )
+                            return 1
+                    client_streams[stream] = (obj["q"], obj["arrival"])
                 total += 1
                 if not check_only:
                     cells.setdefault(obj.get("cell", ""), CellStats()).add(obj)
