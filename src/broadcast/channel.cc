@@ -15,6 +15,7 @@ const char* GiveUpStageName(GiveUpStage stage) {
     case GiveUpStage::kProbeBudget: return "probe_budget";
     case GiveUpStage::kRetryBudget: return "retry_budget";
     case GiveUpStage::kFallbackBudget: return "fallback_budget";
+    case GiveUpStage::kEpochChurn: return "epoch_churn";
   }
   return "unknown";
 }
@@ -35,8 +36,7 @@ Result<BroadcastChannel> BroadcastChannel::Create(
   BroadcastChannel ch;
   ch.loss_ = options.loss;
   ch.packet_capacity_ = options.packet_capacity;
-  ch.frame_bits_ = static_cast<int>(
-      8 * (static_cast<size_t>(options.packet_capacity) + kFrameCrcBytes));
+  ch.frame_bits_ = FrameBits(options.packet_capacity);
   ch.index_packets_ = index_packets;
   ch.num_regions_ = num_regions;
   ch.bucket_packets_ = static_cast<int>(

@@ -37,6 +37,8 @@ enum class GiveUpStage : uint8_t {
   kProbeBudget,       ///< every initial-probe read failed
   kRetryBudget,       ///< re-tune budget exhausted, fallback disabled
   kFallbackBudget,    ///< linear-scan fallback also exhausted its cycles
+  kEpochChurn,        ///< version-skew rung: the broadcast switched epochs
+                      ///< more times than the epoch-retry budget allows
 };
 
 /// Stable human-readable name for a GiveUpStage.
@@ -61,6 +63,7 @@ class BroadcastChannel {
                                          const ChannelOptions& options);
 
   int m() const { return m_; }
+  int packet_capacity() const { return packet_capacity_; }
   int index_packets() const { return index_packets_; }
   int64_t data_packets() const { return data_packets_; }
   int64_t cycle_packets() const { return cycle_packets_; }
@@ -99,6 +102,13 @@ class BroadcastChannel {
     bool unrecoverable = false;  ///< every ladder rung exhausted; latency
                                  ///< then measures time until giving up
     GiveUpStage give_up = GiveUpStage::kNone;  ///< which rung gave up
+    /// Broadcast epoch the answer (or give-up) belongs to: the last epoch
+    /// whose frames the client trusted. Single-version simulations leave
+    /// it at the tune-in epoch (0 for an unversioned channel).
+    uint16_t epoch = 0;
+    /// Version-skew rung: observed-epoch changes that forced the client
+    /// to abandon partial state and re-tune (broadcast/versioned.h).
+    int epoch_switches = 0;
     int tuning_total() const {
       return tuning_probe + tuning_index + tuning_data;
     }

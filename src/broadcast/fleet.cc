@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <queue>
 #include <utility>
@@ -40,6 +41,8 @@ struct Client {
   uint64_t id = 0;           ///< slot + generation * num_clients
   uint64_t loss_stream = 0;  ///< FleetQueryLossStream of in-flight query
   double arrival = 0.0;      ///< absolute arrival of in-flight query
+  double px = 0.0;           ///< in-flight query point (for re-probes
+  double py = 0.0;           ///< after an epoch switch)
   int64_t pos = 0;           ///< Simulate's `pos` (re-tune restart point)
   int64_t seg_start = 0;     ///< current index-segment start
   int64_t probe_packet = 0;  ///< next probe read position
@@ -57,7 +60,12 @@ struct Client {
   int32_t fail_at = -1;
   int32_t reads_done = 0;    ///< successful reads so far this attempt
   int32_t step = 0;          ///< next index of `packets` to read
-  uint8_t attempt = 0;
+  /// Restart ordinal keying LossProcess::AttemptStream: incremented for
+  /// fault re-tunes AND epoch switches (one stream per restart, exactly
+  /// as BroadcastTimeline::Simulate keys them). Equal to out.retries in
+  /// a single-epoch run.
+  int32_t attempt = 0;
+  int32_t span = 0;          ///< epoch span the client currently trusts
   bool fail_corrupt = false; ///< failing read is a CRC reject, not a loss
   Phase phase = Phase::kJoin;
 };
@@ -73,6 +81,8 @@ struct FleetShard {
   int64_t corrupted_packets = 0;
   int64_t unrecoverable = 0;
   int64_t fallback = 0;
+  int64_t epoch_switches = 0;
+  int64_t epoch_churn = 0;
   int64_t queries = 0;
   int64_t sessions = 0;
   int64_t departures = 0;
@@ -80,6 +90,42 @@ struct FleetShard {
   std::vector<QueryTrace> traces;
   Status error = Status::OK();
 };
+
+/// Everything the engine needs about one epoch span, precomputed once
+/// and shared read-only across shards. Span s occupies absolute packets
+/// [start, next span's start); the last span is open-ended. A legacy
+/// RunFleet is exactly one span starting at 0.
+struct SpanContext {
+  const AirIndex* index = nullptr;
+  const QuerySampler* sampler = nullptr;
+  const BroadcastChannel* channel = nullptr;
+  uint16_t epoch = 0;
+  int64_t start = 0;  ///< absolute packet position the span begins at
+  int64_t cycle = 0;  ///< this epoch's cycle_packets
+  std::vector<int64_t> segment_start;  ///< in-cycle index segment starts
+  std::vector<int64_t> bucket_start;   ///< in-cycle bucket starts, by region
+};
+
+SpanContext MakeSpanContext(const AirIndex& index, const BroadcastChannel& ch,
+                            const QuerySampler& sampler, uint16_t epoch,
+                            int64_t start) {
+  SpanContext sc;
+  sc.index = &index;
+  sc.sampler = &sampler;
+  sc.channel = &ch;
+  sc.epoch = epoch;
+  sc.start = start;
+  sc.cycle = ch.cycle_packets();
+  sc.segment_start.reserve(static_cast<size_t>(ch.m()));
+  for (int j = 0; j < ch.m(); ++j) {
+    sc.segment_start.push_back(ch.IndexSegmentStart(j));
+  }
+  sc.bucket_start.reserve(static_cast<size_t>(ch.num_regions()));
+  for (int r = 0; r < ch.num_regions(); ++r) {
+    sc.bucket_start.push_back(ch.BucketStart(r));
+  }
+  return sc;
+}
 
 /// Wake-up entry; min-heap by (time, slot). The slot tie-break pins the
 /// pop order when many clients wake at the same packet start, so shard
@@ -125,46 +171,40 @@ int FirstFailure(const LossOptions& lopt, int frame_bits,
 }
 
 /// Everything one shard needs to run its event loop. Shards never share
-/// mutable state; the channel, index and sampler are probed concurrently
-/// under AirIndex's const-probe contract.
+/// mutable state; the channels, indexes and samplers are probed
+/// concurrently under AirIndex's const-probe contract.
 class ShardEngine {
  public:
-  ShardEngine(const AirIndex& index, const BroadcastChannel& ch,
-              const QuerySampler& sampler, const FleetOptions& options,
-              const std::vector<int64_t>& bucket_start, double horizon,
+  ShardEngine(const std::vector<SpanContext>& spans, bool versioned,
+              const FleetOptions& options, double horizon,
               int64_t shard_first, int64_t shard_clients, FleetShard* sums,
               TelemetryShard* tel)
-      : index_(index),
-        ch_(ch),
-        sampler_(sampler),
+      : spans_(spans),
         opt_(options),
         lopt_(options.loss),
-        bucket_start_(bucket_start),
         horizon_(horizon),
         shard_first_(shard_first),
         shard_clients_(shard_clients),
         sums_(sums),
         tel_(tel),
-        cycle_(ch.cycle_packets()),
-        bucket_packets_(ch.bucket_packets()),
-        frame_bits_(static_cast<int>(
-            8 * (static_cast<size_t>(options.packet_capacity) +
-                 kFrameCrcBytes))),
+        cycle_(spans[0].cycle),
+        frame_bits_(FrameBits(options.packet_capacity)),
         faults_(options.loss.any_fault()),
-        max_attempts_(faults_ ? options.loss.max_retries + 1 : 1),
-        mean_think_(static_cast<double>(ch.cycle_packets()) /
+        versioned_(versioned),
+        mean_think_(static_cast<double>(spans[0].cycle) /
                     options.queries_per_cycle),
         tracing_(options.trace_sink != nullptr) {
-    segment_start_.reserve(static_cast<size_t>(ch.m()));
-    for (int j = 0; j < ch.m(); ++j) {
-      segment_start_.push_back(ch.IndexSegmentStart(j));
-    }
+    starts_.reserve(spans.size());
+    for (const SpanContext& sc : spans) starts_.push_back(sc.start);
     h_latency_ = sums_->metrics.histogram(kLatencyHist);
     h_tuning_index_ = sums_->metrics.histogram(kTuningIndexHist);
     h_tuning_total_ = sums_->metrics.histogram(kTuningTotalHist);
     h_retries_ = sums_->metrics.histogram(kRetriesHist);
     h_lost_ = sums_->metrics.histogram(kLostPacketsHist);
     h_corrupted_ = sums_->metrics.histogram(kCorruptedPacketsHist);
+    if (versioned_) {
+      h_epoch_switches_ = sums_->metrics.histogram(kEpochSwitchesHist);
+    }
   }
 
   void Run() {
@@ -218,16 +258,40 @@ class ShardEngine {
                static_cast<uint64_t>(opt_.num_clients);
   }
 
-  /// Smallest absolute index-segment start >= t; Simulate's
-  /// next_segment_start, verbatim.
-  int64_t NextSegmentStart(int64_t t) const {
-    DTREE_CHECK(t >= 0);
-    const int64_t base = (t / cycle_) * cycle_;
-    const int64_t in_cycle = t - base;
-    for (size_t j = 0; j < segment_start_.size(); ++j) {
-      if (segment_start_[j] >= in_cycle) return base + segment_start_[j];
+  const SpanContext& Span(const Client& c) const {
+    return spans_[static_cast<size_t>(c.span)];
+  }
+
+  /// Epoch span containing absolute packet position pos.
+  int SpanAt(int64_t pos) const {
+    const auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+    return static_cast<int>(it - starts_.begin()) - 1;
+  }
+
+  /// One past the last packet of span s (INT64_MAX for the last span).
+  int64_t SpanEnd(int s) const {
+    return static_cast<size_t>(s) + 1 < starts_.size()
+               ? starts_[static_cast<size_t>(s) + 1]
+               : std::numeric_limits<int64_t>::max();
+  }
+
+  /// Smallest index-segment start >= t within the client's span layout;
+  /// BroadcastTimeline::Simulate's next_segment_start (and, with one span
+  /// starting at 0, BroadcastChannel::Simulate's, verbatim). Positions
+  /// beyond the span extrapolate its layout; the frames actually
+  /// broadcast there belong to the next epoch and the reads will say so.
+  int64_t NextSegmentStart(const Client& c, int64_t t) const {
+    const SpanContext& sc = Span(c);
+    const int64_t local = t - sc.start;
+    DTREE_CHECK(local >= 0);
+    const int64_t base = (local / sc.cycle) * sc.cycle;
+    const int64_t in_cycle = local - base;
+    for (size_t j = 0; j < sc.segment_start.size(); ++j) {
+      if (sc.segment_start[j] >= in_cycle) {
+        return sc.start + base + sc.segment_start[j];
+      }
     }
-    return base + cycle_ + segment_start_[0];
+    return sc.start + base + sc.cycle + sc.segment_start[0];
   }
 
   // --- Trace/telemetry emitters, mirroring Simulate's event order.
@@ -289,21 +353,30 @@ class ShardEngine {
       return;
     }
     const uint64_t q = c.query_index;
+    // Issue-time span: the one broadcasting at the first probe position.
+    // The probe itself may establish a different tune-in span (probe
+    // retries can cross a boundary); HandleProbe re-probes then.
+    c.span = versioned_
+                 ? SpanAt(static_cast<int64_t>(std::floor(arrival)) + 1)
+                 : 0;
+    const SpanContext& sc = Span(c);
     Rng rng = Rng::ForStream(c.key, FleetPointStream(q));
-    const geom::Point p = sampler_.Draw(&rng);
-    const Status probe_st = index_.ProbeInto(p, &probe_scratch_);
+    const geom::Point p = sc.sampler->Draw(&rng);
+    const Status probe_st = sc.index->ProbeInto(p, &probe_scratch_);
     if (!probe_st.ok()) {
       sums_->error = probe_st;
       return;
     }
-    const Status trace_st =
-        ValidateTrace(probe_scratch_, std::max(ch_.index_packets(), 1),
-                      ch_.num_regions(), /*require_forward=*/false);
+    const Status trace_st = ValidateTrace(
+        probe_scratch_, std::max(sc.channel->index_packets(), 1),
+        sc.channel->num_regions(), /*require_forward=*/false);
     if (!trace_st.ok()) {
       sums_->error = trace_st;
       return;
     }
     c.arrival = arrival;
+    c.px = p.x;
+    c.py = p.y;
     c.out = BroadcastChannel::QueryOutcome{};
     c.region = probe_scratch_.region;
     c.packets.assign(probe_scratch_.packets.begin(),
@@ -326,6 +399,82 @@ class ShardEngine {
              static_cast<double>(c.probe_packet) - arrival);
     c.phase = Phase::kProbe;
     queue_.push({static_cast<double>(c.probe_packet), slot});
+  }
+
+  /// Re-runs the in-flight query's point through the client's current
+  /// span's index (pointers cached from another epoch are worthless).
+  /// Pure — no RNG draws — so attaching it to span changes preserves the
+  /// determinism contract. Returns false on a probe/validation failure
+  /// (sums_->error set; the shard's event loop stops).
+  bool ReprobeSpan(Client& c) {
+    const SpanContext& sc = Span(c);
+    const Status probe_st =
+        sc.index->ProbeInto({c.px, c.py}, &probe_scratch_);
+    if (!probe_st.ok()) {
+      sums_->error = probe_st;
+      return false;
+    }
+    const Status trace_st = ValidateTrace(
+        probe_scratch_, std::max(sc.channel->index_packets(), 1),
+        sc.channel->num_regions(), /*require_forward=*/false);
+    if (!trace_st.ok()) {
+      sums_->error = trace_st;
+      return false;
+    }
+    c.region = probe_scratch_.region;
+    c.packets.assign(probe_scratch_.packets.begin(),
+                     probe_scratch_.packets.end());
+    if (c.qt != nullptr) {
+      c.qt->region = c.region;
+      c.origins = probe_scratch_.origins;
+    } else {
+      c.origins.clear();
+    }
+    return true;
+  }
+
+  /// Adopts the span broadcasting at `pos` as the client's tune-in epoch
+  /// — how the probe *learns* the current epoch, without consuming a
+  /// switch. Re-probes when it differs from the issue-time span.
+  bool AdoptSpan(Client& c, int64_t pos) {
+    const int s = SpanAt(pos);
+    c.out.epoch = spans_[static_cast<size_t>(s)].epoch;
+    if (s == c.span) return true;
+    c.span = s;
+    return ReprobeSpan(c);
+  }
+
+  /// Registers the epoch switch a delivered read at `at` revealed (the
+  /// packet belongs to span s != c.span): counts it, emits the trace /
+  /// telemetry events, adopts the new span, and re-probes the query point
+  /// under the new epoch's index. Returns false when the caller must stop
+  /// driving the query — either the switch budget is exhausted (the query
+  /// completed with GiveUpStage::kEpochChurn; latency runs through the
+  /// revealing read) or the re-probe failed (shard error set).
+  bool RegisterSwitch(int32_t slot, Client& c, int64_t at, int s) {
+    ++c.out.epoch_switches;
+    if (c.qt != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kEpochSwitch;
+      e.pos = at;
+      e.packet = static_cast<int>(spans_[static_cast<size_t>(s)].epoch);
+      e.attempt = c.out.epoch_switches;
+      c.qt->events.push_back(e);
+    }
+    if (tel_ != nullptr) {
+      tel_->Fault(TraceEventKind::kEpochSwitch, at,
+                  static_cast<int64_t>(c.id), c.query_index);
+    }
+    c.span = s;
+    c.out.epoch = spans_[static_cast<size_t>(s)].epoch;
+    if (c.out.epoch_switches > lopt_.max_epoch_switches) {
+      c.out.unrecoverable = true;
+      c.out.give_up = GiveUpStage::kEpochChurn;
+      c.out.latency = static_cast<double>(at + 1) - c.arrival;
+      CompleteQuery(slot, c, static_cast<double>(at + 1));
+      return false;
+    }
+    return ReprobeSpan(c);
   }
 
   /// Initial probe burst: consecutive packets are read back to back (the
@@ -355,6 +504,9 @@ class ShardEngine {
       };
       while (read_failed(c.probe_packet)) {
         if (c.out.tuning_probe > lopt_.max_retries) {
+          // Never heard a single frame; the scan itself will reveal the
+          // epoch, but the conclusion starts from the span on the air.
+          if (versioned_ && !AdoptSpan(c, c.probe_packet + 1)) return;
           Conclude(slot, c, c.probe_packet + 1, GiveUpStage::kProbeBudget);
           return;
         }
@@ -363,23 +515,28 @@ class ShardEngine {
         EmitRead(c, TraceEventKind::kProbe, c.probe_packet);
       }
     }
+    // The last successful probe read is the first delivered frame: its
+    // span becomes the tune-in epoch (no switch consumed).
+    if (versioned_ && !AdoptSpan(c, c.probe_packet)) return;
     c.pos = c.probe_packet + 1;
     c.attempt = 0;
-    StartAttempt(slot, c);
+    StartAttempt(slot, c, /*after_fault=*/false);
   }
 
-  /// Begins attempt `c.attempt` at position c.pos: precomputes where the
-  /// attempt's fixed read sequence first fails, locates the next index
+  /// Begins restart `c.attempt` at position c.pos: precomputes where the
+  /// restart's fixed read sequence first fails, locates the next index
   /// segment, and schedules the first wake-up of the descent (or goes
-  /// straight to the bucket for an empty index).
-  void StartAttempt(int32_t slot, Client& c) {
-    if (c.attempt > 0) {
+  /// straight to the bucket for an empty index). `after_fault` restarts
+  /// are fault re-tunes and count toward out.retries; epoch-switch
+  /// restarts re-key the draw streams without consuming retry budget.
+  void StartAttempt(int32_t slot, Client& c, bool after_fault) {
+    if (after_fault) {
       ++c.out.retries;
       if (c.qt != nullptr) {
         TraceEvent e;
         e.kind = TraceEventKind::kRetune;
         e.pos = c.pos;
-        e.attempt = c.attempt;
+        e.attempt = c.out.retries;
         c.qt->events.push_back(e);
       }
       if (tel_ != nullptr) {
@@ -393,11 +550,12 @@ class ShardEngine {
       c.fail_at = FirstFailure(
           lopt_, frame_bits_, c.loss_stream,
           LossProcess::AttemptStream(c.attempt),
-          static_cast<int>(c.packets.size()) + bucket_packets_,
+          static_cast<int>(c.packets.size()) +
+              Span(c).channel->bucket_packets(),
           &c.fail_corrupt);
     }
     int64_t p = c.pos;
-    c.seg_start = NextSegmentStart(p);
+    c.seg_start = NextSegmentStart(c, p);
     DTREE_CHECK(c.seg_start >= p);
     c.step = 0;
     if (c.packets.empty()) {
@@ -416,7 +574,7 @@ class ShardEngine {
     const int packet_id = c.packets[c.step];
     int64_t at = c.seg_start + packet_id;
     if (at < p) {
-      c.seg_start = NextSegmentStart(p - packet_id);
+      c.seg_start = NextSegmentStart(c, p - packet_id);
       at = c.seg_start + packet_id;
       DTREE_CHECK(at >= p);
     }
@@ -455,6 +613,15 @@ class ShardEngine {
       FailAttempt(slot, c, p);
       return;
     }
+    // Delivered frame: fault draws first, then the epoch check (a lost
+    // or corrupted frame never reveals an epoch stamp).
+    if (versioned_ && SpanAt(at) != c.span) {
+      if (!RegisterSwitch(slot, c, at, SpanAt(at))) return;
+      c.pos = at + 1;
+      ++c.attempt;  // fresh draw streams; not a fault retry
+      StartAttempt(slot, c, /*after_fault=*/false);
+      return;
+    }
     ++c.reads_done;
     ++c.step;
     if (static_cast<size_t>(c.step) < c.packets.size()) {
@@ -464,13 +631,15 @@ class ShardEngine {
     }
   }
 
-  /// Next occurrence of the client's bucket at or after p.
+  /// Next occurrence of the client's bucket at or after p, in the
+  /// client's span's layout.
   void ScheduleBucket(int32_t slot, Client& c, int64_t p) {
+    const SpanContext& sc = Span(c);
     const int64_t bucket_in_cycle =
-        bucket_start_[static_cast<size_t>(c.region)];
-    const int64_t cycle_base = (p / cycle_) * cycle_;
-    int64_t data_at = cycle_base + bucket_in_cycle;
-    if (data_at < p) data_at += cycle_;
+        sc.bucket_start[static_cast<size_t>(c.region)];
+    const int64_t cycle_base = ((p - sc.start) / sc.cycle) * sc.cycle;
+    int64_t data_at = sc.start + cycle_base + bucket_in_cycle;
+    if (data_at < p) data_at += sc.cycle;
     EmitDoze(c, data_at, static_cast<double>(data_at - p));
     c.phase = Phase::kBucketRead;
     queue_.push({static_cast<double>(data_at), slot});
@@ -478,11 +647,14 @@ class ShardEngine {
 
   /// Bucket retrieval: contiguous reads, one wake-up.
   void HandleBucketRead(int32_t slot, Client& c, int64_t data_at) {
+    const int bucket_packets = Span(c).channel->bucket_packets();
     int bucket_read = 0;
     bool lost = false;
     bool corrupted_here = false;
+    bool switched = false;
+    int64_t switch_at = 0;
     int64_t p = 0;
-    for (int b = 0; b < bucket_packets_; ++b) {
+    for (int b = 0; b < bucket_packets; ++b) {
       ++c.out.tuning_data;
       ++bucket_read;
       if (c.fail_at >= 0 && c.reads_done == c.fail_at) {
@@ -496,6 +668,11 @@ class ShardEngine {
         p = data_at + b + 1;  // failure detected at the packet's end
         break;
       }
+      if (versioned_ && SpanAt(data_at + b) != c.span) {
+        switched = true;  // delivered frame from a newer epoch
+        switch_at = data_at + b;
+        break;
+      }
       ++c.reads_done;
     }
     EmitBucket(c, data_at, bucket_read);
@@ -505,8 +682,17 @@ class ShardEngine {
                               : TraceEventKind::kLoss,
                data_at + bucket_read - 1);
     }
+    if (switched) {
+      // The bucket belonged to the old epoch: its packets are not an
+      // answer. Adopt the new epoch and restart the descent.
+      if (!RegisterSwitch(slot, c, switch_at, SpanAt(switch_at))) return;
+      c.pos = switch_at + 1;
+      ++c.attempt;
+      StartAttempt(slot, c, /*after_fault=*/false);
+      return;
+    }
     if (!lost) {
-      const int64_t done = data_at + bucket_packets_;
+      const int64_t done = data_at + bucket_packets;
       c.out.latency = static_cast<double>(done) - c.arrival;
       CompleteQuery(slot, c, static_cast<double>(done));
       return;
@@ -515,35 +701,74 @@ class ShardEngine {
   }
 
   /// A read of the current attempt failed at position p - 1: re-tune to
-  /// the next index repetition, or fall off the retry rung.
+  /// the next index repetition, or fall off the retry rung. The budget
+  /// check is on out.retries (not the restart ordinal) so epoch-switch
+  /// restarts never consume retry budget; with one span out.retries
+  /// equals the restart count and this is the legacy condition verbatim.
   void FailAttempt(int32_t slot, Client& c, int64_t p) {
     c.pos = p;
-    ++c.attempt;
-    if (c.attempt >= max_attempts_) {
+    if (c.out.retries >= lopt_.max_retries) {
       Conclude(slot, c, c.pos, GiveUpStage::kRetryBudget);
       return;
     }
-    StartAttempt(slot, c);
+    ++c.attempt;
+    StartAttempt(slot, c, /*after_fault=*/true);
   }
 
-  /// Degradation ladder, final rung — Simulate's `conclude`, verbatim,
-  /// run inside the current wake-up (the fallback scan is continuous
-  /// listening). Only ever reached under faults.
+  /// Degradation ladder, final rung — Simulate's `conclude` (the
+  /// epoch-aware form of BroadcastTimeline::Simulate when versioned), run
+  /// inside the current wake-up (the fallback scan is continuous
+  /// listening). Only ever reached under faults. The scan listens to
+  /// every packet, so the first packet of a new span reveals a switch
+  /// mid-lump; bucket packets are checked after their fault draws. An
+  /// epoch-truncated scan does not consume a fallback cycle (the cycle
+  /// budget bounds fault failures; the switch budget bounds truncations).
   void Conclude(int32_t slot, Client& c, int64_t give_up_pos,
                 GiveUpStage stage) {
     if (lopt_.fallback_scan_cycles > 0) {
       LossProcess loss(lopt_, c.loss_stream);
       CorruptionProcess corrupt(lopt_.corruption, frame_bits_,
                                 c.loss_stream);
-      for (int cycle = 0; cycle < lopt_.fallback_scan_cycles; ++cycle) {
+      int cycle = 0;
+      while (cycle < lopt_.fallback_scan_cycles) {
         c.out.fallback_scan = true;
         loss.StartStream(LossProcess::FallbackStream(cycle));
         corrupt.StartStream(LossProcess::FallbackStream(cycle));
+        const SpanContext& sc = Span(c);
+        const int bucket_packets = sc.channel->bucket_packets();
         const int64_t bucket_in_cycle =
-            bucket_start_[static_cast<size_t>(c.region)];
-        const int64_t cycle_base = (give_up_pos / cycle_) * cycle_;
-        int64_t data_at = cycle_base + bucket_in_cycle;
-        if (data_at < give_up_pos) data_at += cycle_;
+            sc.bucket_start[static_cast<size_t>(c.region)];
+        const int64_t cycle_base =
+            ((give_up_pos - sc.start) / sc.cycle) * sc.cycle;
+        int64_t data_at = sc.start + cycle_base + bucket_in_cycle;
+        if (data_at < give_up_pos) data_at += sc.cycle;
+        if (versioned_) {
+          // Epoch boundary inside the listening lump: the first listened
+          // packet beyond the span reveals the switch before the bucket
+          // is ever reached.
+          const int64_t reveal = std::max(give_up_pos, SpanEnd(c.span));
+          if (reveal < data_at) {
+            const int listened =
+                static_cast<int>(reveal + 1 - give_up_pos);
+            c.out.tuning_index += listened;
+            if (c.qt != nullptr) {
+              TraceEvent e;
+              e.kind = TraceEventKind::kFallbackScan;
+              e.pos = give_up_pos;
+              e.packet = listened;
+              e.attempt = cycle;
+              c.qt->events.push_back(e);
+            }
+            if (tel_ != nullptr) {
+              tel_->Read(TraceEventKind::kFallbackScan, give_up_pos,
+                         listened, /*data_read=*/false,
+                         static_cast<int64_t>(c.id), c.query_index);
+            }
+            if (!RegisterSwitch(slot, c, reveal, SpanAt(reveal))) return;
+            give_up_pos = reveal + 1;
+            continue;  // re-scan in the new epoch; no cycle consumed
+          }
+        }
         const int64_t listened = data_at - give_up_pos;
         c.out.tuning_index += static_cast<int>(listened);
         if (c.qt != nullptr) {
@@ -561,8 +786,10 @@ class ShardEngine {
         }
         bool lost = false;
         bool corrupted_here = false;
+        bool switched = false;
+        int64_t switch_at = 0;
         int bucket_read = 0;
-        for (int b = 0; b < bucket_packets_; ++b) {
+        for (int b = 0; b < bucket_packets; ++b) {
           ++c.out.tuning_data;
           ++bucket_read;
           if (loss.enabled() && loss.NextLost()) {
@@ -576,6 +803,11 @@ class ShardEngine {
             lost = true;
             break;
           }
+          if (versioned_ && SpanAt(data_at + b) != c.span) {
+            switched = true;  // delivered frame from a newer epoch
+            switch_at = data_at + b;
+            break;
+          }
         }
         EmitBucket(c, data_at, bucket_read);
         if (lost) {
@@ -584,14 +816,22 @@ class ShardEngine {
                                   : TraceEventKind::kLoss,
                    data_at + bucket_read - 1);
         }
+        if (switched) {
+          if (!RegisterSwitch(slot, c, switch_at, SpanAt(switch_at))) {
+            return;
+          }
+          give_up_pos = switch_at + 1;
+          continue;  // bucket was the old epoch's; rescan, same cycle
+        }
         if (!lost) {
           c.out.latency =
-              static_cast<double>(data_at + bucket_packets_) - c.arrival;
+              static_cast<double>(data_at + bucket_packets) - c.arrival;
           CompleteQuery(slot, c,
-                        static_cast<double>(data_at + bucket_packets_));
+                        static_cast<double>(data_at + bucket_packets));
           return;
         }
         give_up_pos = data_at + bucket_read;  // listen past the bad packet
+        ++cycle;
       }
     }
     c.out.unrecoverable = true;
@@ -615,6 +855,11 @@ class ShardEngine {
       c.qt->corrupted_packets = out.corrupted_packets;
       c.qt->fallback_scan = out.fallback_scan;
       c.qt->unrecoverable = out.unrecoverable;
+      if (versioned_) {
+        c.qt->versioned = true;
+        c.qt->epoch = out.epoch;
+        c.qt->epoch_switches = out.epoch_switches;
+      }
       sums_->traces.push_back(std::move(*c.qt));
       c.qt.reset();
     }
@@ -633,6 +878,13 @@ class ShardEngine {
     h_retries_->Add(out.retries);
     h_lost_->Add(out.lost_packets);
     h_corrupted_->Add(out.corrupted_packets);
+    if (versioned_) {
+      sums_->epoch_switches += out.epoch_switches;
+      if (out.unrecoverable && out.give_up == GiveUpStage::kEpochChurn) {
+        ++sums_->epoch_churn;
+      }
+      h_epoch_switches_->Add(out.epoch_switches);
+    }
     if (tel_ != nullptr) {
       QueryOutcomeSummary summary;
       summary.latency = out.latency;
@@ -642,6 +894,9 @@ class ShardEngine {
       summary.corrupted_packets = out.corrupted_packets;
       summary.fallback_scan = out.fallback_scan;
       summary.unrecoverable = out.unrecoverable;
+      summary.versioned = versioned_;
+      summary.epoch = out.epoch;
+      summary.epoch_switches = out.epoch_switches;
       if (out.unrecoverable) summary.give_up = GiveUpStageName(out.give_up);
       tel_->QueryDone(done, static_cast<int64_t>(c.id), c.query_index,
                       summary);
@@ -678,25 +933,21 @@ class ShardEngine {
     return -mean_think_ * std::log1p(-rng->Uniform(0.0, 1.0));
   }
 
-  const AirIndex& index_;
-  const BroadcastChannel& ch_;
-  const QuerySampler& sampler_;
+  const std::vector<SpanContext>& spans_;
   const FleetOptions& opt_;
   const LossOptions& lopt_;
-  const std::vector<int64_t>& bucket_start_;
   const double horizon_;
   const int64_t shard_first_;
   const int64_t shard_clients_;
   FleetShard* sums_;
   TelemetryShard* const tel_;  ///< null unless FleetOptions::telemetry
-  const int64_t cycle_;
-  const int bucket_packets_;
+  const int64_t cycle_;  ///< span 0's cycle (join / think-time base)
   const int frame_bits_;
   const bool faults_;
-  const int max_attempts_;
+  const bool versioned_;
   const double mean_think_;
   const bool tracing_;
-  std::vector<int64_t> segment_start_;
+  std::vector<int64_t> starts_;  ///< starts_[s] = spans_[s].start
   std::vector<Client> clients_;
   std::priority_queue<WakeUp, std::vector<WakeUp>, WakeUpLater> queue_;
   ProbeTrace probe_scratch_;
@@ -706,13 +957,11 @@ class ShardEngine {
   Histogram* h_retries_ = nullptr;
   Histogram* h_lost_ = nullptr;
   Histogram* h_corrupted_ = nullptr;
+  Histogram* h_epoch_switches_ = nullptr;  ///< non-null iff versioned_
 };
 
-}  // namespace
-
-Result<FleetResult> RunFleet(const AirIndex& index,
-                             const sub::Subdivision& subdivision,
-                             const FleetOptions& options) {
+/// Option checks shared by RunFleet and RunFleetVersioned.
+Status ValidateFleetOptions(const FleetOptions& options) {
   if (options.num_clients < 1) {
     return Status::InvalidArgument("fleet needs at least one client");
   }
@@ -727,28 +976,20 @@ Result<FleetResult> RunFleet(const AirIndex& index,
   if (!(options.churn >= 0.0 && options.churn <= 1.0)) {
     return Status::InvalidArgument("churn must be in [0, 1]");
   }
-  ChannelOptions copt;
-  copt.packet_capacity = options.packet_capacity;
-  copt.data_instance_size = options.data_instance_size;
-  copt.m = options.m;
-  copt.loss = options.loss;
-  Result<BroadcastChannel> channel_r = BroadcastChannel::Create(
-      index.NumIndexPackets(), subdivision.NumRegions(), copt);
-  if (!channel_r.ok()) return channel_r.status();
-  const BroadcastChannel& ch = channel_r.value();
+  return Status::OK();
+}
 
-  Result<QuerySampler> sampler_r = QuerySampler::Create(
-      subdivision, options.distribution, options.region_weights);
-  if (!sampler_r.ok()) return sampler_r.status();
-  const QuerySampler& sampler = sampler_r.value();
-
+/// The shared engine driver: shard layout, parallel event loops,
+/// shard-ordered merge, result assembly. `spans` is one entry for
+/// RunFleet, one per epoch for RunFleetVersioned; horizon and the
+/// channel-shape result fields are measured against span 0.
+Result<FleetResult> RunFleetImpl(const std::vector<SpanContext>& spans,
+                                 bool versioned,
+                                 const FleetOptions& options,
+                                 std::string index_name) {
+  const BroadcastChannel& ch0 = *spans[0].channel;
   const double horizon =
-      options.sim_cycles * static_cast<double>(ch.cycle_packets());
-  std::vector<int64_t> bucket_start;
-  bucket_start.reserve(static_cast<size_t>(ch.num_regions()));
-  for (int r = 0; r < ch.num_regions(); ++r) {
-    bucket_start.push_back(ch.BucketStart(r));
-  }
+      options.sim_cycles * static_cast<double>(ch0.cycle_packets());
 
   // Shard layout: fixed count, contiguous slot ranges, shard s always
   // owning the same slots regardless of threads.
@@ -758,7 +999,7 @@ Result<FleetResult> RunFleet(const AirIndex& index,
   const int64_t remainder = options.num_clients % num_shards;
 
   if (options.telemetry != nullptr) {
-    options.telemetry->Reset(ch.cycle_packets(), num_shards);
+    options.telemetry->Reset(ch0.cycle_packets(), num_shards);
   }
 
   std::vector<FleetShard> shards(static_cast<size_t>(num_shards));
@@ -766,9 +1007,8 @@ Result<FleetResult> RunFleet(const AirIndex& index,
     const int64_t shard_clients = per_shard + (s < remainder ? 1 : 0);
     const int64_t shard_first =
         s * per_shard + std::min<int64_t>(s, remainder);
-    ShardEngine engine(index, ch, sampler, options, bucket_start, horizon,
-                       shard_first, shard_clients,
-                       &shards[static_cast<size_t>(s)],
+    ShardEngine engine(spans, versioned, options, horizon, shard_first,
+                       shard_clients, &shards[static_cast<size_t>(s)],
                        options.telemetry != nullptr
                            ? options.telemetry->shard(s)
                            : nullptr);
@@ -790,6 +1030,8 @@ Result<FleetResult> RunFleet(const AirIndex& index,
     total.corrupted_packets += sums.corrupted_packets;
     total.unrecoverable += sums.unrecoverable;
     total.fallback += sums.fallback;
+    total.epoch_switches += sums.epoch_switches;
+    total.epoch_churn += sums.epoch_churn;
     total.queries += sums.queries;
     total.sessions += sums.sessions;
     total.departures += sums.departures;
@@ -805,12 +1047,12 @@ Result<FleetResult> RunFleet(const AirIndex& index,
   if (options.telemetry != nullptr) options.telemetry->MergeShards();
 
   FleetResult res;
-  res.index_name = index.name();
+  res.index_name = std::move(index_name);
   res.packet_capacity = options.packet_capacity;
-  res.m = ch.m();
-  res.index_packets = index.NumIndexPackets();
-  res.data_packets = ch.data_packets();
-  res.cycle_packets = ch.cycle_packets();
+  res.m = ch0.m();
+  res.index_packets = ch0.index_packets();
+  res.data_packets = ch0.data_packets();
+  res.cycle_packets = ch0.cycle_packets();
   res.horizon_packets = static_cast<int64_t>(std::llround(horizon));
   res.num_clients = options.num_clients;
   res.sessions = total.sessions;
@@ -830,12 +1072,93 @@ Result<FleetResult> RunFleet(const AirIndex& index,
   res.total_corrupted_packets = total.corrupted_packets;
   res.unrecoverable_queries = total.unrecoverable;
   res.fallback_queries = total.fallback;
+  res.total_epoch_switches = total.epoch_switches;
+  res.epoch_churn_queries = total.epoch_churn;
+  res.mean_epoch_switches = mean(static_cast<double>(total.epoch_switches));
   res.min_latency = merged.histogram(kLatencyHist)->Min();
   res.max_latency = merged.histogram(kLatencyHist)->Max();
   res.min_tuning_total = merged.histogram(kTuningTotalHist)->Min();
   res.max_tuning_total = merged.histogram(kTuningTotalHist)->Max();
   res.metrics = std::move(merged);
   return res;
+}
+
+}  // namespace
+
+Result<FleetResult> RunFleet(const AirIndex& index,
+                             const sub::Subdivision& subdivision,
+                             const FleetOptions& options) {
+  DTREE_RETURN_IF_ERROR(ValidateFleetOptions(options));
+  ChannelOptions copt;
+  copt.packet_capacity = options.packet_capacity;
+  copt.data_instance_size = options.data_instance_size;
+  copt.m = options.m;
+  copt.loss = options.loss;
+  Result<BroadcastChannel> channel_r = BroadcastChannel::Create(
+      index.NumIndexPackets(), subdivision.NumRegions(), copt);
+  if (!channel_r.ok()) return channel_r.status();
+
+  Result<QuerySampler> sampler_r = QuerySampler::Create(
+      subdivision, options.distribution, options.region_weights);
+  if (!sampler_r.ok()) return sampler_r.status();
+
+  std::vector<SpanContext> spans;
+  spans.push_back(MakeSpanContext(index, channel_r.value(),
+                                  sampler_r.value(), /*epoch=*/0,
+                                  /*start=*/0));
+  return RunFleetImpl(spans, /*versioned=*/false, options, index.name());
+}
+
+Result<FleetResult> RunFleetVersioned(const std::vector<FleetEpoch>& epochs,
+                                      const FleetOptions& options) {
+  DTREE_RETURN_IF_ERROR(ValidateFleetOptions(options));
+  if (epochs.empty()) {
+    return Status::InvalidArgument(
+        "versioned fleet needs at least one epoch");
+  }
+  for (size_t i = 0; i < epochs.size(); ++i) {
+    if (epochs[i].index == nullptr || epochs[i].subdivision == nullptr) {
+      return Status::InvalidArgument("epoch without an index/subdivision");
+    }
+    if (i + 1 < epochs.size() && epochs[i].cycles < 1) {
+      return Status::InvalidArgument(
+          "every epoch but the last needs cycles >= 1");
+    }
+  }
+
+  // Channels and samplers are owned here and borrowed by the spans; the
+  // wire format (packet capacity / instance size) is shared, so every
+  // epoch's channel is built from the same ChannelOptions.
+  std::vector<BroadcastChannel> channels;
+  std::vector<QuerySampler> samplers;
+  channels.reserve(epochs.size());
+  samplers.reserve(epochs.size());
+  for (const FleetEpoch& e : epochs) {
+    ChannelOptions copt;
+    copt.packet_capacity = options.packet_capacity;
+    copt.data_instance_size = options.data_instance_size;
+    copt.m = options.m;
+    copt.loss = options.loss;
+    Result<BroadcastChannel> ch_r = BroadcastChannel::Create(
+        e.index->NumIndexPackets(), e.subdivision->NumRegions(), copt);
+    if (!ch_r.ok()) return ch_r.status();
+    channels.push_back(std::move(ch_r.value()));
+    Result<QuerySampler> sampler_r = QuerySampler::Create(
+        *e.subdivision, options.distribution, options.region_weights);
+    if (!sampler_r.ok()) return sampler_r.status();
+    samplers.push_back(std::move(sampler_r.value()));
+  }
+
+  std::vector<SpanContext> spans;
+  spans.reserve(epochs.size());
+  int64_t start = 0;
+  for (size_t i = 0; i < epochs.size(); ++i) {
+    spans.push_back(MakeSpanContext(*epochs[i].index, channels[i],
+                                    samplers[i], epochs[i].epoch, start));
+    start += epochs[i].cycles * channels[i].cycle_packets();
+  }
+  return RunFleetImpl(spans, /*versioned=*/true, options,
+                      epochs[0].index->name());
 }
 
 }  // namespace dtree::bcast

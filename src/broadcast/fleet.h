@@ -135,15 +135,26 @@ struct FleetResult {
   int64_t total_corrupted_packets = 0;
   int64_t unrecoverable_queries = 0;
   int64_t fallback_queries = 0;
+  /// Version-skew rung accounting (RunFleetVersioned; all zero for
+  /// RunFleet): epoch switches observed across all queries, queries that
+  /// gave up with GiveUpStage::kEpochChurn, and the per-query mean.
+  int64_t total_epoch_switches = 0;
+  int64_t epoch_churn_queries = 0;
+  double mean_epoch_switches = 0.0;
   double min_latency = 0.0;
   double max_latency = 0.0;
   double min_tuning_total = 0.0;
   double max_tuning_total = 0.0;
   /// Per-query distributions under the same histogram names as
   /// RunExperiment (kLatencyHist, kTuningIndexHist, kTuningTotalHist,
-  /// kRetriesHist, kLostPacketsHist, kCorruptedPacketsHist).
+  /// kRetriesHist, kLostPacketsHist, kCorruptedPacketsHist; versioned
+  /// runs add kEpochSwitchesHist).
   MetricsRegistry metrics;
 };
+
+/// Per-query epoch-switch distribution, recorded only by
+/// RunFleetVersioned (legacy RunFleet results stay bit-identical).
+inline constexpr char kEpochSwitchesHist[] = "epoch_switches";
 
 /// RNG identity of one client session: MixStream(seed, client_id) with
 /// client_id = slot + generation * num_clients. Exposed so tests can
@@ -178,6 +189,38 @@ inline uint64_t FleetQueryLossStream(uint64_t client_key,
 Result<FleetResult> RunFleet(const AirIndex& index,
                              const sub::Subdivision& subdivision,
                              const FleetOptions& options);
+
+/// One epoch's stretch of a versioned fleet broadcast: the index and
+/// subdivision the server published for that epoch (both borrowed, must
+/// outlive the call) plus the span length in that epoch's own broadcast
+/// cycles. Mirrors bcast::EpochSpan but at the fleet's level of
+/// abstraction — the channel layout is derived from the index inside
+/// RunFleetVersioned with the same ChannelOptions as RunFleet.
+struct FleetEpoch {
+  const AirIndex* index = nullptr;
+  const sub::Subdivision* subdivision = nullptr;
+  uint16_t epoch = 0;
+  /// Whole cycles this epoch stays on the air; must be >= 1 for every
+  /// epoch but the last, which broadcasts forever (value ignored).
+  int64_t cycles = 1;
+};
+
+/// Runs the fleet over a timeline of broadcast epochs (the version-skew
+/// rung of the degradation ladder — see broadcast/versioned.h for the
+/// protocol contract). Clients that doze across an epoch boundary detect
+/// the skew on their next delivered read, abandon partial state, re-probe
+/// the new epoch's index, and re-tune; queries observing more than
+/// LossOptions::max_epoch_switches give up with GiveUpStage::kEpochChurn
+/// rather than risk answering from a stale layout. Determinism is the
+/// same as RunFleet's: FleetResult, traces and telemetry are
+/// bit-identical for any num_threads. With a single epoch the simulation
+/// is exactly RunFleet's (every shared FleetResult field matches
+/// bitwise); options.sim_cycles and FleetResult's channel-shape fields
+/// are measured against epoch 0's cycle. All epochs must share
+/// options.packet_capacity / data_instance_size (the frame wire format
+/// cannot change mid-broadcast).
+Result<FleetResult> RunFleetVersioned(const std::vector<FleetEpoch>& epochs,
+                                      const FleetOptions& options);
 
 }  // namespace dtree::bcast
 

@@ -32,12 +32,16 @@ uint32_t EncodeNodePointer(int packet, size_t offset) {
 }
 
 std::vector<std::vector<uint8_t>> FramePackets(
-    const std::vector<std::vector<uint8_t>>& packets) {
+    const std::vector<std::vector<uint8_t>>& packets, uint16_t epoch) {
   std::vector<std::vector<uint8_t>> frames;
   frames.reserve(packets.size());
   for (const std::vector<uint8_t>& pkt : packets) {
     std::vector<uint8_t> frame = pkt;
-    const uint32_t crc = Crc32(pkt);
+    frame.push_back(static_cast<uint8_t>(epoch & 0xff));
+    frame.push_back(static_cast<uint8_t>(epoch >> 8));
+    // The CRC covers payload + epoch, so a flipped epoch bit is caught
+    // exactly like a flipped payload bit.
+    const uint32_t crc = Crc32(frame.data(), frame.size());
     for (int i = 0; i < 4; ++i) {
       frame.push_back(static_cast<uint8_t>((crc >> (8 * i)) & 0xff));
     }
@@ -47,18 +51,29 @@ std::vector<std::vector<uint8_t>> FramePackets(
 }
 
 Status VerifyFrame(const std::vector<uint8_t>& frame) {
-  if (frame.size() < kFrameCrcBytes) {
-    return Status::DataLoss("frame shorter than its CRC trailer");
+  if (frame.size() < kFrameOverheadBytes) {
+    return Status::DataLoss("frame shorter than its epoch + CRC trailer");
   }
-  const size_t payload = frame.size() - kFrameCrcBytes;
-  if (Crc32(frame.data(), payload) != FrameTrailer(frame.data(), frame.size())) {
+  const size_t covered = frame.size() - kFrameCrcBytes;
+  if (Crc32(frame.data(), covered) != FrameTrailer(frame.data(), frame.size())) {
     return Status::DataLoss("frame failed its CRC check");
   }
   return Status::OK();
 }
 
+uint16_t FrameEpoch(const uint8_t* frame, size_t frame_size) {
+  DTREE_CHECK(frame_size >= kFrameOverheadBytes);
+  const size_t at = frame_size - kFrameOverheadBytes;
+  return static_cast<uint16_t>(frame[at]) |
+         static_cast<uint16_t>(frame[at + 1]) << 8;
+}
+
+uint16_t FrameEpoch(const std::vector<uint8_t>& frame) {
+  return FrameEpoch(frame.data(), frame.size());
+}
+
 Result<std::vector<std::vector<uint8_t>>> UnframePackets(
-    const std::vector<std::vector<uint8_t>>& frames) {
+    const std::vector<std::vector<uint8_t>>& frames, int expected_epoch) {
   std::vector<std::vector<uint8_t>> packets;
   packets.reserve(frames.size());
   for (size_t i = 0; i < frames.size(); ++i) {
@@ -67,8 +82,15 @@ Result<std::vector<std::vector<uint8_t>>> UnframePackets(
       return Status::DataLoss("packet " + std::to_string(i) + ": " +
                               s.message());
     }
+    if (expected_epoch >= 0 &&
+        FrameEpoch(frames[i]) != static_cast<uint16_t>(expected_epoch)) {
+      return Status::FailedPrecondition(
+          "packet " + std::to_string(i) + " carries epoch " +
+          std::to_string(FrameEpoch(frames[i])) + ", expected " +
+          std::to_string(expected_epoch));
+    }
     packets.emplace_back(frames[i].begin(),
-                         frames[i].end() - kFrameCrcBytes);
+                         frames[i].end() - kFrameOverheadBytes);
   }
   return packets;
 }
@@ -127,6 +149,12 @@ Status PacketReader::ReadF32(float* out) {
 }
 
 Status PacketReader::ReadByte(uint8_t* out) {
+  if (capacity_ <= 0) {
+    // A zero-payload stream has no index bytes at all; advancing through
+    // it would read the epoch/CRC trailer as payload (regression-pinned
+    // in tests/failsafe_fuzz_test.cc).
+    return Status::DataLoss("packet stream has zero payload capacity");
+  }
   if (cur_ == nullptr) DTREE_RETURN_IF_ERROR(EnterPacket());
   if (offset_ == static_cast<size_t>(capacity_)) {
     ++packet_;
@@ -146,17 +174,23 @@ Status PacketReader::EnterPacket() {
   const size_t pkt_size = packets_.size(static_cast<size_t>(packet_));
   const uint8_t* pkt = packets_.data(static_cast<size_t>(packet_));
   const size_t expect = static_cast<size_t>(capacity_) +
-                        (framed_ ? kFrameCrcBytes : 0);
+                        (framed_ ? kFrameOverheadBytes : 0);
   if (pkt_size != expect) {
     return Status::DataLoss("packet " + std::to_string(packet_) + " is " +
                             std::to_string(pkt_size) +
                             " bytes, expected " + std::to_string(expect));
   }
   if (framed_ &&
-      Crc32(pkt, static_cast<size_t>(capacity_)) !=
-          FrameTrailer(pkt, pkt_size)) {
+      Crc32(pkt, pkt_size - kFrameCrcBytes) != FrameTrailer(pkt, pkt_size)) {
     return Status::DataLoss("packet " + std::to_string(packet_) +
                             " failed its CRC check");
+  }
+  if (framed_ && expected_epoch_ >= 0 &&
+      FrameEpoch(pkt, pkt_size) != static_cast<uint16_t>(expected_epoch_)) {
+    return Status::FailedPrecondition(
+        "packet " + std::to_string(packet_) + " carries epoch " +
+        std::to_string(FrameEpoch(pkt, pkt_size)) + ", expected " +
+        std::to_string(expected_epoch_));
   }
   cur_ = pkt;
   if (offset_ > static_cast<size_t>(capacity_)) {

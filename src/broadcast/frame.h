@@ -3,14 +3,21 @@
 // buckets.
 //
 // A broadcast packet is `packet_capacity` payload bytes; FramePackets
-// appends a little-endian CRC-32 of the payload (the frame check
-// sequence), exactly as a radio FCS rides outside the MAC payload. The
-// framed decoders verify the CRC the first time they touch a packet, so a
-// corrupted frame surfaces as Status kDataLoss — the signal the client
-// protocol uses to trigger re-tune recovery — rather than silently
-// misrouting the query. CRC-32 detects every burst of <= 32 bits and any
-// 1-3 bit error; the residual undetected-error probability (~2^-32 for
-// random corruption) is treated as zero by the simulator.
+// appends a little-endian u16 broadcast *epoch* (the cycle version the
+// frame was materialized under) followed by a little-endian CRC-32 of
+// payload + epoch (the frame check sequence), exactly as a radio FCS
+// rides outside the MAC payload. The framed decoders verify the CRC the
+// first time they touch a packet, so a corrupted frame surfaces as Status
+// kDataLoss — the signal the client protocol uses to trigger re-tune
+// recovery — rather than silently misrouting the query. Covering the
+// epoch with the CRC means a client can trust the version stamp of every
+// delivered frame: a frame whose epoch differs from the client's tune-in
+// epoch is *valid but stale/new* (kFailedPrecondition from the
+// epoch-checking entry points), which drives the version-skew rung of the
+// degradation ladder instead of being mistaken for corruption. CRC-32
+// detects every burst of <= 32 bits and any 1-3 bit error at our frame
+// sizes; the residual undetected-error probability (~2^-32 for random
+// corruption) is treated as zero by the simulator.
 //
 // The shared packet-pointer wire encoding (Table 2's 32-bit pointers):
 //   bit31        1 = data pointer, low 31 bits are the region (bucket) id
@@ -37,6 +44,20 @@ namespace dtree::bcast {
 
 /// Bytes the CRC-32 frame trailer adds to each packet.
 inline constexpr size_t kFrameCrcBytes = 4;
+
+/// Bytes the little-endian u16 broadcast-epoch stamp adds to each packet
+/// (between the payload and the CRC trailer; covered by the CRC).
+inline constexpr size_t kFrameEpochBytes = 2;
+
+/// Total link-layer overhead per frame: epoch stamp + CRC trailer.
+inline constexpr size_t kFrameOverheadBytes = kFrameEpochBytes + kFrameCrcBytes;
+
+/// Framed packet size in bits for a given payload capacity — the exposure
+/// of one packet read to the bit-corruption process (loss.h).
+inline constexpr int FrameBits(int packet_capacity) {
+  return static_cast<int>(
+      8 * (static_cast<size_t>(packet_capacity) + kFrameOverheadBytes));
+}
 
 /// Packet-pointer field layout (shared by all index wire formats).
 inline constexpr uint32_t kDataPtrBit = 0x80000000u;
@@ -66,19 +87,31 @@ inline int DecodeBudget(size_t num_packets) {
   return static_cast<int>(16 * num_packets) + 1024;
 }
 
-/// Link-layer framing: appends a little-endian CRC-32 of each packet's
-/// payload. Framed packets are `payload + kFrameCrcBytes` bytes; the index
-/// layout itself is untouched.
+/// Link-layer framing: appends the little-endian u16 `epoch` stamp and a
+/// little-endian CRC-32 of payload + epoch. Framed packets are
+/// `payload + kFrameOverheadBytes` bytes; the index layout itself is
+/// untouched. Epoch 0 reproduces the single-version broadcast.
 std::vector<std::vector<uint8_t>> FramePackets(
-    const std::vector<std::vector<uint8_t>>& packets);
+    const std::vector<std::vector<uint8_t>>& packets, uint16_t epoch = 0);
 
 /// Verifies one framed packet's CRC; kDataLoss on mismatch or short frame.
 Status VerifyFrame(const std::vector<uint8_t>& frame);
 
+/// Epoch stamp of a framed packet. Only meaningful after VerifyFrame (or
+/// the PacketReader CRC check) passed; the frame must be at least
+/// kFrameOverheadBytes long (checked).
+uint16_t FrameEpoch(const uint8_t* frame, size_t frame_size);
+uint16_t FrameEpoch(const std::vector<uint8_t>& frame);
+
 /// Verifies and strips every frame; kDataLoss identifies the first
-/// corrupted packet by id.
+/// corrupted packet by id. When `expected_epoch` is >= 0, a frame whose
+/// CRC passes but whose epoch stamp differs returns kFailedPrecondition —
+/// the valid-but-version-skewed signal, deliberately distinct from
+/// kDataLoss so the recovery ladder can take the epoch rung instead of
+/// the corruption rung.
 Result<std::vector<std::vector<uint8_t>>> UnframePackets(
-    const std::vector<std::vector<uint8_t>>& frames);
+    const std::vector<std::vector<uint8_t>>& frames,
+    int expected_epoch = -1);
 
 /// Flips one bit (0 = LSB of byte 0) in place. Test/bench helper for
 /// injecting the bit errors the corruption model represents.
@@ -103,10 +136,18 @@ class PacketReader {
  public:
   /// `packets` is a PacketSource view; a vector-of-vectors packet set
   /// converts implicitly, so legacy call sites read exactly as before.
+  /// `expected_epoch` >= 0 additionally verifies each framed packet's
+  /// epoch stamp on entry; a CRC-valid frame from another epoch returns
+  /// kFailedPrecondition (see UnframePackets). A non-positive `capacity`
+  /// is rejected with kDataLoss on the first read: a zero-payload stream
+  /// carries no index bytes, and silently walking into the frame trailer
+  /// would hand the decoder epoch/CRC bytes as payload.
   PacketReader(PacketSource packets, int capacity, bool framed, int packet,
-               size_t offset, std::vector<int>* read_log)
+               size_t offset, std::vector<int>* read_log,
+               int expected_epoch = -1)
       : packets_(packets), capacity_(capacity), framed_(framed),
-        packet_(packet), offset_(offset), read_log_(read_log) {}
+        packet_(packet), offset_(offset), read_log_(read_log),
+        expected_epoch_(expected_epoch) {}
 
   Status ReadU16(uint16_t* out);
   Status ReadU32(uint32_t* out);
@@ -127,6 +168,7 @@ class PacketReader {
   int packet_;
   size_t offset_;
   std::vector<int>* read_log_;
+  int expected_epoch_;            ///< -1 = no epoch check
   const uint8_t* cur_ = nullptr;  ///< payload of the entered packet
 };
 

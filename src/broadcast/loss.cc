@@ -55,6 +55,9 @@ Status ValidateLossOptions(const LossOptions& options) {
   if (options.fallback_scan_cycles < 0) {
     return Status::InvalidArgument("fallback_scan_cycles must be non-negative");
   }
+  if (options.max_epoch_switches < 0) {
+    return Status::InvalidArgument("max_epoch_switches must be non-negative");
+  }
   DTREE_RETURN_IF_ERROR(ValidateCorruptionOptions(options.corruption));
   switch (options.model) {
     case LossModel::kNone:

@@ -101,6 +101,12 @@ struct LossOptions {
   /// `unrecoverable`. 0 (the default) disables the fallback and preserves
   /// the pre-existing give-up behavior bit-for-bit.
   int fallback_scan_cycles = 0;
+  /// Version-skew rung (broadcast/versioned.h): how many observed epoch
+  /// switches a query tolerates — each switch abandons partial state and
+  /// re-tunes into the new epoch's index — before giving up with
+  /// GiveUpStage::kEpochChurn. Must be >= 0; irrelevant on a
+  /// single-version broadcast.
+  int max_epoch_switches = 8;
 
   bool enabled() const { return model != LossModel::kNone; }
   /// Any fault process active (erasures or bit corruption)?

@@ -10,7 +10,7 @@
 // both representations so decoders written against it serve either without
 // copying. PacketSource also supports a strided view, letting a decoder
 // read index packets in place inside larger framed records (e.g. the
-// 5-byte-headered radio frames of dtree::core::BroadcastProgram) without
+// headered radio frames of dtree::core::BroadcastProgram) without
 // materializing per-packet copies.
 
 #ifndef DTREE_BROADCAST_PACKET_BUFFER_H_

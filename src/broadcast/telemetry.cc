@@ -75,9 +75,11 @@ void AppendTotalsJson(std::string* out, const TelemetryTotals& t) {
           static_cast<long long>(t.retries),
           static_cast<long long>(t.lost_packets),
           static_cast<long long>(t.corrupted_packets));
-  AppendF(out, ", \"unrecoverable\": %lld, \"fallback\": %lld}",
+  AppendF(out, ", \"unrecoverable\": %lld, \"fallback\": %lld",
           static_cast<long long>(t.unrecoverable),
           static_cast<long long>(t.fallback));
+  AppendF(out, ", \"epoch_switches\": %lld}",
+          static_cast<long long>(t.epoch_switches));
 }
 
 /// Folds the named per-window histograms into one run-total histogram,
@@ -125,6 +127,7 @@ TelemetryTotals TotalsFromFleet(const FleetResult& result) {
   t.corrupted_packets = result.total_corrupted_packets;
   t.unrecoverable = result.unrecoverable_queries;
   t.fallback = result.fallback_queries;
+  t.epoch_switches = result.total_epoch_switches;
   return t;
 }
 
@@ -255,6 +258,9 @@ void TelemetryShard::Fault(TraceEventKind kind, int64_t pos, int64_t client,
     case TraceEventKind::kRetune:
       Cnt(&c_retries_, kTsRetries, w)->Add(1);
       break;
+    case TraceEventKind::kEpochSwitch:
+      Cnt(&c_epoch_switches_, kTsEpochSwitches, w)->Add(1);
+      break;
     default:
       DTREE_CHECK(false);  // not a fault / recovery event
   }
@@ -285,6 +291,10 @@ void TelemetryShard::DumpFlight(double done, int64_t client, uint32_t q,
           out.tuning_total, out.retries, out.lost_packets);
   AppendF(&line, ", \"corrupted\": %d, \"fallback\": %s",
           out.corrupted_packets, out.fallback_scan ? "true" : "false");
+  if (out.versioned) {
+    AppendF(&line, ", \"epoch\": %u, \"epoch_switches\": %d",
+            static_cast<unsigned>(out.epoch), out.epoch_switches);
+  }
   if (out.give_up != nullptr && out.give_up[0] != '\0') {
     AppendF(&line, ", \"give_up\": \"%s\"", out.give_up);
   }
@@ -378,6 +388,8 @@ TelemetryTotals FleetTelemetry::Totals() const {
   t.unrecoverable =
       static_cast<int64_t>(series_.CounterTotal(kTsUnrecoverable));
   t.fallback = static_cast<int64_t>(series_.CounterTotal(kTsFallback));
+  t.epoch_switches =
+      static_cast<int64_t>(series_.CounterTotal(kTsEpochSwitches));
   return t;
 }
 
@@ -423,6 +435,7 @@ std::string FleetTelemetry::TimelineJsonl(
     cnt("departures", kTsDepartures);
     cnt("index_reads", kTsIndexReads);
     cnt("data_reads", kTsDataReads);
+    cnt("epoch_switches", kTsEpochSwitches);
     const Histogram* doze = series_.FindHistogram(kTsDoze, w);
     AppendF(&out, ", \"doze_packets\": %.10g, \"doze_count\": %" PRIu64,
             doze == nullptr ? 0.0 : doze->Sum(),
@@ -471,6 +484,8 @@ std::string FleetTelemetry::PrometheusText() const {
                     series_.CounterTotal(kTsIndexReads));
   AppendPromCounter(&out, "fleet_data_reads_total",
                     series_.CounterTotal(kTsDataReads));
+  AppendPromCounter(&out, "fleet_epoch_switches_total",
+                    static_cast<uint64_t>(t.epoch_switches));
   AppendPromHistogram(&out, "fleet_latency_packets",
                       FoldWindows(series_, kTsLatency));
   AppendPromHistogram(&out, "fleet_tuning_packets",
@@ -504,6 +519,7 @@ void TelemetryTraceSink::Consume(const QueryTrace& trace) {
       case TraceEventKind::kLoss:
       case TraceEventKind::kRetune:
       case TraceEventKind::kCorruption:
+      case TraceEventKind::kEpochSwitch:
         s->Fault(e.kind, e.pos, client, q);
         break;
     }
@@ -516,6 +532,9 @@ void TelemetryTraceSink::Consume(const QueryTrace& trace) {
   out.corrupted_packets = trace.corrupted_packets;
   out.fallback_scan = trace.fallback_scan;
   out.unrecoverable = trace.unrecoverable;
+  out.versioned = trace.versioned;
+  out.epoch = trace.epoch;
+  out.epoch_switches = trace.epoch_switches;
   s->QueryDone(trace.arrival + trace.latency, client, q, out);
 }
 

@@ -68,6 +68,7 @@ inline constexpr char kTsArrivals[] = "arrivals";
 inline constexpr char kTsDepartures[] = "departures";
 inline constexpr char kTsIndexReads[] = "index_reads";
 inline constexpr char kTsDataReads[] = "data_reads";
+inline constexpr char kTsEpochSwitches[] = "epoch_switches";
 inline constexpr char kTsLatency[] = "latency";
 inline constexpr char kTsTuning[] = "tuning";
 inline constexpr char kTsDoze[] = "doze";
@@ -95,6 +96,7 @@ struct TelemetryTotals {
   int64_t corrupted_packets = 0;
   int64_t unrecoverable = 0;
   int64_t fallback = 0;
+  int64_t epoch_switches = 0;
 };
 
 TelemetryTotals TotalsFromFleet(const FleetResult& result);
@@ -109,6 +111,12 @@ struct QueryOutcomeSummary {
   int corrupted_packets = 0;
   bool fallback_scan = false;
   bool unrecoverable = false;
+  /// Versioned-broadcast summary (RunFleetVersioned / versioned traces):
+  /// when `versioned` the flight record carries the query's final epoch
+  /// and switch count; legacy runs omit the fields byte-for-byte.
+  bool versioned = false;
+  uint16_t epoch = 0;
+  int epoch_switches = 0;
   /// Stable GiveUpStageName when unrecoverable; "" omits the field from
   /// the flight record (trace-driven feeds do not know the stage).
   const char* give_up = "";
@@ -141,7 +149,8 @@ class TelemetryShard {
   /// kFallbackScan listening are index-class, kBucketRead data-class).
   void Read(TraceEventKind kind, int64_t pos, int packets, bool data_read,
             int64_t client, uint32_t q);
-  /// A fault or recovery event at `pos`: kLoss, kCorruption or kRetune.
+  /// A fault or recovery event at `pos`: kLoss, kCorruption, kRetune or
+  /// kEpochSwitch.
   void Fault(TraceEventKind kind, int64_t pos, int64_t client, uint32_t q);
   /// The query is over (answered or given up) at absolute time `done`.
   /// Unrecoverable queries dump the client's surviving flight-ring
@@ -191,7 +200,7 @@ class TelemetryShard {
   HeatmapRow* heat_row_ = nullptr;
   CachedCounter c_issued_, c_completed_, c_unrec_, c_fallback_, c_retries_,
       c_lost_, c_corrupted_, c_arrivals_, c_departures_, c_index_reads_,
-      c_data_reads_;
+      c_data_reads_, c_epoch_switches_;
   CachedHistogram h_latency_, h_tuning_, h_doze_;
   int64_t inflight_ = 0;
   std::vector<FlightEvent> ring_;  ///< preallocated, ring_pos_ wraps

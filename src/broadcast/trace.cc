@@ -26,6 +26,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "corruption_detected";
     case TraceEventKind::kFallbackScan:
       return "fallback_scan";
+    case TraceEventKind::kEpochSwitch:
+      return "epoch_switch";
   }
   return "?";
 }
@@ -83,6 +85,10 @@ std::string FormatQueryTraceJson(const QueryTrace& trace,
           trace.corrupted_packets, trace.fallback_scan ? "true" : "false");
   AppendF(&out, ", \"unrecoverable\": %s",
           trace.unrecoverable ? "true" : "false");
+  if (trace.versioned) {
+    AppendF(&out, ", \"epoch\": %u, \"epoch_switches\": %d",
+            static_cast<unsigned>(trace.epoch), trace.epoch_switches);
+  }
   out += ", \"events\": [";
   for (size_t i = 0; i < trace.events.size(); ++i) {
     const TraceEvent& e = trace.events[i];
@@ -107,6 +113,10 @@ std::string FormatQueryTraceJson(const QueryTrace& trace,
         break;
       case TraceEventKind::kFallbackScan:
         AppendF(&out, ", \"n\": %d, \"attempt\": %d", e.packet, e.attempt);
+        break;
+      case TraceEventKind::kEpochSwitch:
+        AppendF(&out, ", \"epoch\": %d, \"attempt\": %d", e.packet,
+                e.attempt);
         break;
       case TraceEventKind::kProbe:
       case TraceEventKind::kLoss:
@@ -192,6 +202,7 @@ void CycleProfiler::Consume(const QueryTrace& trace) {
       case TraceEventKind::kLoss:
       case TraceEventKind::kRetune:
       case TraceEventKind::kCorruption:
+      case TraceEventKind::kEpochSwitch:
         break;
     }
   }

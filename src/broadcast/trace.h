@@ -30,6 +30,11 @@
 //                 index and linearly scans for its bucket; pos = scan
 //                 start, packet = packets listened to before the bucket,
 //                 attempt = 0-based scan cycle.
+//   kEpochSwitch — version-skew rung: a delivered frame carried a
+//                 different broadcast epoch than the client's current one;
+//                 the client abandons partial state and re-tunes into the
+//                 new epoch. pos = the revealing read, packet = the newly
+//                 observed epoch id, attempt = 1-based switch ordinal.
 
 #ifndef DTREE_BROADCAST_TRACE_H_
 #define DTREE_BROADCAST_TRACE_H_
@@ -52,11 +57,12 @@ enum class TraceEventKind : uint8_t {
   kRetune,
   kCorruption,
   kFallbackScan,
+  kEpochSwitch,
 };
 
 /// Short stable name used in the JSONL encoding ("probe", "doze",
 /// "index", "bucket", "loss", "retune", "corruption_detected",
-/// "fallback_scan").
+/// "fallback_scan", "epoch_switch").
 const char* TraceEventKindName(TraceEventKind kind);
 
 struct TraceEvent {
@@ -65,11 +71,13 @@ struct TraceEvent {
   double dur = 0.0;   ///< kDoze: packets slept
   int packet = -1;    ///< kIndexRead: index packet id;
                       ///< kBucketRead: packets read;
-                      ///< kFallbackScan: packets listened to while scanning
+                      ///< kFallbackScan: packets listened to while scanning;
+                      ///< kEpochSwitch: newly observed epoch id
   int node = -1;      ///< kIndexRead: originating tree node, -1 unknown
   int depth = -1;     ///< kIndexRead: tree depth of that node, -1 unknown
   int attempt = 0;    ///< kRetune: 1-based retry number;
-                      ///< kFallbackScan: 0-based scan cycle
+                      ///< kFallbackScan: 0-based scan cycle;
+                      ///< kEpochSwitch: 1-based switch ordinal
 };
 
 /// Everything observable about one simulated query.
@@ -94,6 +102,12 @@ struct QueryTrace {
   int corrupted_packets = 0;
   bool fallback_scan = false;
   bool unrecoverable = false;
+  /// Versioned-broadcast summary (broadcast/versioned.h). `versioned`
+  /// gates the "epoch"/"epoch_switches" JSON fields so single-version
+  /// trace bytes are unchanged.
+  bool versioned = false;
+  uint16_t epoch = 0;      ///< epoch the answer (or give-up) belongs to
+  int epoch_switches = 0;  ///< epoch switches the query survived
   std::vector<TraceEvent> events;
 };
 

@@ -28,7 +28,8 @@ uint32_t GetU32(const uint8_t* buf) {
 }  // namespace
 
 Result<BroadcastProgram> BroadcastProgram::Materialize(
-    const DTree& tree, const bcast::BroadcastChannel& channel) {
+    const DTree& tree, const bcast::BroadcastChannel& channel,
+    uint16_t epoch) {
   if (channel.index_packets() != tree.NumIndexPackets()) {
     return Status::InvalidArgument(
         "channel layout does not match the tree's packet count");
@@ -39,6 +40,7 @@ Result<BroadcastProgram> BroadcastProgram::Materialize(
 
   BroadcastProgram prog;
   prog.capacity_ = tree.PacketCapacity();
+  prog.epoch_ = epoch;
   prog.m_ = channel.m();
   prog.index_packets_ = channel.index_packets();
   prog.bucket_packets_ = channel.bucket_packets();
@@ -78,8 +80,9 @@ Result<BroadcastProgram> BroadcastProgram::Materialize(
       }
     }
   }
-  // Next-index pointers: for every frame, frames until the next segment
-  // start strictly after it (wrapping into the next cycle).
+  // Next-index pointers and the epoch stamp: for every frame, frames until
+  // the next segment start strictly after it (wrapping into the next
+  // cycle), plus the cycle's broadcast epoch.
   for (int64_t i = 0; i < cycle; ++i) {
     int64_t next = -1;
     for (int64_t s : prog.segment_starts_) {
@@ -89,8 +92,10 @@ Result<BroadcastProgram> BroadcastProgram::Materialize(
       }
     }
     if (next < 0) next = cycle + prog.segment_starts_[0];
-    PutU32(prog.frames_.packet(static_cast<size_t>(i)) + 1,
-           static_cast<uint32_t>(next - i));
+    uint8_t* f = prog.frames_.packet(static_cast<size_t>(i));
+    PutU32(f + 1, static_cast<uint32_t>(next - i));
+    f[5] = static_cast<uint8_t>(epoch & 0xff);
+    f[6] = static_cast<uint8_t>(epoch >> 8);
   }
   return prog;
 }
@@ -103,6 +108,11 @@ Status BroadcastProgram::ParseHeader(int64_t frame, uint8_t* type,
   const uint8_t* f = frames_.packet(static_cast<size_t>(frame));
   *type = f[0];
   *next_index = GetU32(f + 1);
+  const uint16_t stamp =
+      static_cast<uint16_t>(f[5] | (static_cast<uint16_t>(f[6]) << 8));
+  if (stamp != epoch_) {
+    return Status::FailedPrecondition("frame epoch stamp mismatch");
+  }
   return Status::OK();
 }
 

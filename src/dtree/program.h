@@ -5,10 +5,13 @@
 //   u8   type        0 = index, 1 = data
 //   u32  next_index  frames from this one to the start of the next index
 //                    segment (the pointer every segment carries, §2)
+//   u16  epoch       broadcast epoch this cycle was built for — the
+//                    version stamp a client checks against its tune-in
+//                    epoch (broadcast/versioned.h)
 //   u8[capacity]     body: a paged index packet (from SerializeDTree) or a
 //                    slice of a 1 KB data instance
 //
-// The 5-byte frame header models link-layer overhead and deliberately sits
+// The 7-byte frame header models link-layer overhead and deliberately sits
 // outside the packet capacity, so the index layouts paged for `capacity`
 // bytes are broadcast unchanged (Table 2 accounts payload bytes only).
 //
@@ -33,13 +36,15 @@ namespace dtree::core {
 
 class BroadcastProgram {
  public:
-  /// Materializes the cycle for a built D-tree over `channel`'s layout.
-  /// The channel must have been created for this tree's packet count and
-  /// capacity.
+  /// Materializes the cycle for a built D-tree over `channel`'s layout,
+  /// stamping every frame header with `epoch`. The channel must have been
+  /// created for this tree's packet count and capacity.
   static Result<BroadcastProgram> Materialize(
-      const DTree& tree, const bcast::BroadcastChannel& channel);
+      const DTree& tree, const bcast::BroadcastChannel& channel,
+      uint16_t epoch = 0);
 
   int capacity() const { return capacity_; }
+  uint16_t epoch() const { return epoch_; }
   int64_t num_frames() const {
     return static_cast<int64_t>(frames_.num_packets());
   }
@@ -49,8 +54,8 @@ class BroadcastProgram {
     return {frames_.packet(static_cast<size_t>(i)), frames_.packet_bytes()};
   }
 
-  /// Frame-header constants.
-  static constexpr size_t kHeaderSize = 5;
+  /// Frame-header constants (u8 type + u32 next_index + u16 epoch).
+  static constexpr size_t kHeaderSize = 7;
   static constexpr uint8_t kIndexFrame = 0;
   static constexpr uint8_t kDataFrame = 1;
 
@@ -80,6 +85,7 @@ class BroadcastProgram {
                      uint32_t* next_index) const;
 
   int capacity_ = 0;
+  uint16_t epoch_ = 0;
   int m_ = 1;
   int index_packets_ = 0;
   int bucket_packets_ = 0;

@@ -1,0 +1,122 @@
+#include "dtree/versioned.h"
+
+#include <limits>
+#include <utility>
+
+#include "subdivision/voronoi.h"
+
+namespace dtree::core {
+
+Result<std::vector<geom::Point>> VersionedProgram::ApplyUpdates(
+    std::vector<geom::Point> sites, const std::vector<SiteUpdate>& updates) {
+  for (const SiteUpdate& u : updates) {
+    switch (u.kind) {
+      case SiteUpdate::Kind::kInsert:
+        sites.push_back(u.p);
+        break;
+      case SiteUpdate::Kind::kDelete: {
+        if (sites.empty()) {
+          return Status::InvalidArgument("delete from an empty site set");
+        }
+        size_t best = 0;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < sites.size(); ++i) {
+          const double dx = sites[i].x - u.p.x;
+          const double dy = sites[i].y - u.p.y;
+          const double d = dx * dx + dy * dy;
+          if (d < best_d) {  // strict: lowest index wins ties
+            best_d = d;
+            best = i;
+          }
+        }
+        sites.erase(sites.begin() + static_cast<ptrdiff_t>(best));
+        break;
+      }
+    }
+  }
+  if (sites.size() < kMinSites) {
+    return Status::InvalidArgument(
+        "update batch leaves fewer than " + std::to_string(kMinSites) +
+        " sites");
+  }
+  return sites;
+}
+
+Result<std::shared_ptr<const EpochState>> VersionedProgram::BuildEpoch(
+    std::vector<geom::Point> sites, const Options& options, uint16_t epoch) {
+  Result<sub::Subdivision> sub_r =
+      sub::BuildVoronoiSubdivision(sites, options.service_area);
+  if (!sub_r.ok()) return sub_r.status();
+
+  Result<DTree> tree_r = DTree::Build(sub_r.value(), options.tree);
+  if (!tree_r.ok()) return tree_r.status();
+
+  Result<bcast::BroadcastChannel> ch_r = bcast::BroadcastChannel::Create(
+      tree_r.value().NumIndexPackets(), sub_r.value().NumRegions(),
+      options.channel);
+  if (!ch_r.ok()) return ch_r.status();
+
+  Result<BroadcastProgram> prog_r =
+      BroadcastProgram::Materialize(tree_r.value(), ch_r.value(), epoch);
+  if (!prog_r.ok()) return prog_r.status();
+
+  return std::shared_ptr<const EpochState>(new EpochState{
+      epoch, std::move(sites), std::move(sub_r.value()),
+      std::move(tree_r.value()), std::move(ch_r.value()),
+      std::move(prog_r.value())});
+}
+
+Result<std::unique_ptr<VersionedProgram>> VersionedProgram::Create(
+    std::vector<geom::Point> sites, const Options& options) {
+  if (sites.size() < kMinSites) {
+    return Status::InvalidArgument("versioned program needs at least " +
+                                   std::to_string(kMinSites) + " sites");
+  }
+  Result<std::shared_ptr<const EpochState>> epoch0 =
+      BuildEpoch(std::move(sites), options, 0);
+  if (!epoch0.ok()) return epoch0.status();
+  std::unique_ptr<VersionedProgram> prog(new VersionedProgram(options));
+  prog->current_ = std::move(epoch0.value());
+  return prog;
+}
+
+void VersionedProgram::Enqueue(SiteUpdate update) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.push_back(update);
+}
+
+size_t VersionedProgram::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+Result<std::shared_ptr<const EpochState>> VersionedProgram::CommitEpoch() {
+  std::vector<SiteUpdate> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.swap(queue_);
+  }
+  const std::shared_ptr<const EpochState> cur = Acquire();
+
+  Result<std::vector<geom::Point>> sites_r =
+      ApplyUpdates(cur->sites, batch);
+  if (!sites_r.ok()) return sites_r.status();
+
+  const uint16_t next = static_cast<uint16_t>(cur->epoch + 1);
+  Result<std::shared_ptr<const EpochState>> built =
+      BuildEpoch(std::move(sites_r.value()), options_, next);
+  if (!built.ok()) return built.status();
+
+  // Publish: the old current becomes the resident previous arena; the
+  // epoch before *that* is released (at most two epochs stay live). Both
+  // pointers move under one lock, so no reader can observe the new
+  // current paired with an older previous.
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    previous_ = cur;
+    current_ = built.value();
+  }
+  return built;
+}
+
+}  // namespace dtree::core

@@ -365,5 +365,115 @@ TEST(DataBucketFrameTest, LinearScanIdentifiesTheBucket) {
   }
 }
 
+// --- multi-bit flips ---------------------------------------------------------
+
+TEST(FrameMultiBitFlipTest, ExhaustiveDoubleFlipsNeverEscapeTheCrc) {
+  // CRC-32 (poly 0x04C11DB7) has Hamming distance >= 4 at every frame
+  // length this codebase broadcasts, so every 2-bit error must surface as
+  // kDataLoss — zero escapes, counted exactly. Exhaustive over a small
+  // frame keeps the pair count tractable (~46k for a 32-byte payload).
+  std::vector<uint8_t> payload(32);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 37 + 11);
+  }
+  const auto frames = bcast::FramePackets({payload}, /*epoch=*/9);
+  const auto& frame = frames[0];
+  const size_t bits = frame.size() * 8;
+  int escapes = 0;
+  for (size_t a = 0; a + 1 < bits; ++a) {
+    auto mutated = frame;
+    bcast::FlipBit(&mutated, a);
+    for (size_t b = a + 1; b < bits; ++b) {
+      bcast::FlipBit(&mutated, b);
+      if (bcast::VerifyFrame(mutated).code() != StatusCode::kDataLoss) {
+        ++escapes;
+      }
+      bcast::FlipBit(&mutated, b);  // restore to the single-flip base
+    }
+  }
+  EXPECT_EQ(escapes, 0);
+}
+
+TEST(FrameMultiBitFlipTest, RandomDoubleAndTripleFlipsNeverEscapeTheCrc) {
+  // Randomized 2- and 3-bit flips on a broadcast-sized frame (kCapacity
+  // payload + trailer): still within the CRC's Hamming-distance-4
+  // guarantee, so every mutation must be caught — and caught as
+  // corruption (kDataLoss), never misread as a version skew, even when
+  // the flips land in the epoch stamp and an epoch check is armed.
+  std::vector<uint8_t> payload(kCapacity);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 131 + 7);
+  }
+  const auto frames = bcast::FramePackets({payload}, /*epoch=*/9);
+  const auto& frame = frames[0];
+  const int64_t bits = static_cast<int64_t>(frame.size()) * 8;
+  Rng rng(91);
+  int escapes = 0;
+  for (int it = 0; it < kFuzzIterations; ++it) {
+    const int flips = 2 + it % 2;
+    int64_t picked[3] = {-1, -1, -1};
+    int chosen = 0;
+    while (chosen < flips) {
+      const int64_t bit = rng.UniformInt(0, bits - 1);
+      bool dup = false;
+      for (int j = 0; j < chosen; ++j) dup = dup || picked[j] == bit;
+      if (!dup) picked[chosen++] = bit;
+    }
+    auto mutated = frame;
+    for (int j = 0; j < flips; ++j) {
+      bcast::FlipBit(&mutated, static_cast<size_t>(picked[j]));
+    }
+    if (bcast::VerifyFrame(mutated).code() != StatusCode::kDataLoss) {
+      ++escapes;
+    }
+    auto r = bcast::UnframePackets({mutated}, /*expected_epoch=*/9);
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss)
+        << "flips=" << flips << " it=" << it;
+  }
+  EXPECT_EQ(escapes, 0);
+}
+
+// --- zero-payload frames -----------------------------------------------------
+
+TEST(ZeroPayloadFrameTest, TrailerOnlyFramesRoundTripButCarryNoBytes) {
+  const std::vector<std::vector<uint8_t>> packets(3);
+  auto frames = bcast::FramePackets(packets, /*epoch=*/4);
+  ASSERT_EQ(frames.size(), 3u);
+  for (const auto& f : frames) {
+    ASSERT_EQ(f.size(), bcast::kFrameOverheadBytes);
+    EXPECT_OK(bcast::VerifyFrame(f));
+    EXPECT_EQ(bcast::FrameEpoch(f), 4);
+  }
+  auto restored = bcast::UnframePackets(frames, /*expected_epoch=*/4);
+  ASSERT_TRUE(restored.ok());
+  for (const auto& p : restored.value()) EXPECT_TRUE(p.empty());
+}
+
+TEST(ZeroPayloadFrameTest, PacketReaderRejectsZeroCapacityOnFirstRead) {
+  // Regression: a reader over a zero-payload stream must fail with
+  // kDataLoss on the very first read instead of walking into the
+  // epoch/CRC trailer and handing the decoder framing bytes as payload.
+  const std::vector<std::vector<uint8_t>> packets(2);
+  const auto frames = bcast::FramePackets(packets, /*epoch=*/9);
+  for (int capacity : {0, -1, -128}) {
+    std::vector<int> read;
+    bcast::PacketReader reader(frames, capacity, /*framed=*/true,
+                               /*packet=*/0, /*offset=*/0, &read,
+                               /*expected_epoch=*/9);
+    uint16_t v = 0xbeef;
+    Status s = reader.ReadU16(&v);
+    EXPECT_EQ(s.code(), StatusCode::kDataLoss) << s.ToString();
+    EXPECT_TRUE(read.empty());  // no packet was ever entered
+    EXPECT_EQ(v, 0xbeef);       // the output was never written
+  }
+  // Unframed zero-capacity streams are rejected identically.
+  std::vector<int> read;
+  bcast::PacketReader raw(packets, /*capacity=*/0, /*framed=*/false,
+                          /*packet=*/0, /*offset=*/0, &read);
+  uint16_t v = 0;
+  EXPECT_EQ(raw.ReadU16(&v).code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(read.empty());
+}
+
 }  // namespace
 }  // namespace dtree

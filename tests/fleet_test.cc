@@ -10,10 +10,12 @@
 
 #include <cmath>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "broadcast/fleet.h"
+#include "broadcast/versioned.h"
 #include "dtree/dtree.h"
 #include "test_util.h"
 #include "workload/datasets.h"
@@ -400,6 +402,7 @@ TEST(GiveUpStageTest, NameRoundTripsForEveryStage) {
       GiveUpStage::kProbeBudget,
       GiveUpStage::kRetryBudget,
       GiveUpStage::kFallbackBudget,
+      GiveUpStage::kEpochChurn,
   };
   std::map<std::string, GiveUpStage> by_name;
   for (GiveUpStage s : all) {
@@ -410,11 +413,263 @@ TEST(GiveUpStageTest, NameRoundTripsForEveryStage) {
     auto [it, inserted] = by_name.emplace(name, s);
     EXPECT_TRUE(inserted) << "duplicate name: " << name;
   }
-  EXPECT_EQ(by_name.size(), 4u);
+  EXPECT_EQ(by_name.size(), 5u);
   EXPECT_EQ(by_name.at("none"), GiveUpStage::kNone);
   EXPECT_EQ(by_name.at("probe_budget"), GiveUpStage::kProbeBudget);
   EXPECT_EQ(by_name.at("retry_budget"), GiveUpStage::kRetryBudget);
   EXPECT_EQ(by_name.at("fallback_budget"), GiveUpStage::kFallbackBudget);
+  EXPECT_EQ(by_name.at("epoch_churn"), GiveUpStage::kEpochChurn);
+}
+
+TEST(FleetClientKeyTest, GenerationWraparoundKeepsIdentitiesDistinct) {
+  // Churn seats generation g of slot s under client_id =
+  // s + g * num_clients in uint64 arithmetic. The id must stay injective
+  // — and the derived RNG key collision-free — all the way to a
+  // generation counter wrapping 32 bits, far beyond any run's churn.
+  const uint64_t num_clients = 3;
+  const uint64_t generations[] = {0,      1,          2,
+                                  1000,   (1u << 31), 0xFFFFFFFEu,
+                                  0xFFFFFFFFu};
+  std::set<uint64_t> ids;
+  std::set<uint64_t> keys;
+  for (uint64_t g : generations) {
+    for (uint64_t slot = 0; slot < num_clients; ++slot) {
+      const uint64_t id = slot + g * num_clients;
+      EXPECT_TRUE(ids.insert(id).second) << "id collision at g=" << g;
+      EXPECT_TRUE(keys.insert(FleetClientKey(42, id)).second)
+          << "key collision at g=" << g << " slot=" << slot;
+      // Different fleet seeds give a different identity for the same id.
+      EXPECT_NE(FleetClientKey(42, id), FleetClientKey(43, id));
+    }
+  }
+
+  // Property sweep: random (slot, generation) pairs over a large fleet.
+  const uint64_t big_fleet = 1'000'000;
+  Rng rng(606);
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  ids.clear();
+  keys.clear();
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t slot =
+        static_cast<uint64_t>(rng.UniformInt(0, big_fleet - 1));
+    const uint64_t g =
+        static_cast<uint64_t>(rng.UniformInt(0, 0xFFFFFFFF));
+    if (!seen.insert({slot, g}).second) continue;
+    const uint64_t id = slot + g * big_fleet;
+    EXPECT_TRUE(ids.insert(id).second);
+    EXPECT_TRUE(keys.insert(FleetClientKey(42, id)).second);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Versioned fleet: RunFleetVersioned.
+
+/// Two epochs with different subdivisions (different region counts, index
+/// layouts, cycle lengths): epoch 0 on the air for two of its cycles,
+/// epoch 1 forever after.
+struct VersionedFleetRig {
+  sub::Subdivision sub0;
+  sub::Subdivision sub1;
+  core::DTree tree0;
+  core::DTree tree1;
+
+  VersionedFleetRig()
+      : sub0(test::RandomVoronoi(40, 96)),
+        sub1(test::RandomVoronoi(52, 97)),
+        tree0(BuildTree(sub0)),
+        tree1(BuildTree(sub1)) {}
+
+  static core::DTree BuildTree(const sub::Subdivision& s) {
+    core::DTree::Options topt;
+    topt.packet_capacity = 256;
+    return core::DTree::Build(s, topt).value();
+  }
+
+  std::vector<FleetEpoch> Epochs() const {
+    return {{&tree0, &sub0, 0, 2}, {&tree1, &sub1, 1, 1}};
+  }
+};
+
+FleetOptions MakeVersionedFleetOptions() {
+  FleetOptions fopt;
+  fopt.packet_capacity = 256;
+  fopt.num_clients = 96;
+  fopt.sim_cycles = 5.0;  // measured against epoch 0's cycle
+  fopt.queries_per_cycle = 1.0;
+  fopt.churn = 0.1;
+  fopt.seed = 7;
+  fopt.loss.model = LossModel::kIid;
+  fopt.loss.loss_rate = 0.1;
+  fopt.loss.seed = 21;
+  fopt.loss.corruption.model = CorruptionModel::kIidBits;
+  fopt.loss.corruption.bit_error_rate = 1e-5;
+  fopt.loss.corruption.seed = 22;
+  fopt.loss.fallback_scan_cycles = 2;
+  return fopt;
+}
+
+void ExpectIdenticalEpochAccounting(const FleetResult& a,
+                                    const FleetResult& b) {
+  EXPECT_EQ(a.total_epoch_switches, b.total_epoch_switches);
+  EXPECT_EQ(a.epoch_churn_queries, b.epoch_churn_queries);
+  EXPECT_EQ(a.mean_epoch_switches, b.mean_epoch_switches);  // bitwise
+  const Histogram* ha = a.metrics.FindHistogram(kEpochSwitchesHist);
+  const Histogram* hb = b.metrics.FindHistogram(kEpochSwitchesHist);
+  ASSERT_NE(ha, nullptr);
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(ha->TotalCount(), hb->TotalCount());
+  EXPECT_EQ(ha->Sum(), hb->Sum());
+}
+
+TEST(VersionedFleetTest, SingleEpochMatchesRunFleetBitwise) {
+  // The fleet-level differential oracle: with one epoch the versioned
+  // engine must reproduce RunFleet bitwise — result fields AND the
+  // serialized trace stream — under loss, corruption and churn.
+  VersionedFleetRig rig;
+  FleetOptions fopt = MakeVersionedFleetOptions();
+
+  std::string legacy_jsonl;
+  JsonlTraceSink legacy_sink(&legacy_jsonl);
+  fopt.trace_sink = &legacy_sink;
+  auto legacy = RunFleet(rig.tree0, rig.sub0, fopt);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+
+  std::string versioned_jsonl;
+  JsonlTraceSink versioned_sink(&versioned_jsonl);
+  fopt.trace_sink = &versioned_sink;
+  auto versioned = RunFleetVersioned({{&rig.tree0, &rig.sub0, 0, 1}}, fopt);
+  ASSERT_TRUE(versioned.ok()) << versioned.status().ToString();
+
+  ASSERT_GT(legacy.value().queries, 100);
+  ExpectIdenticalFleetResults(legacy.value(), versioned.value());
+  EXPECT_EQ(versioned.value().total_epoch_switches, 0);
+  EXPECT_EQ(versioned.value().epoch_churn_queries, 0);
+
+  // Trace JSONL differs only by the versioned-gated epoch summary fields.
+  EXPECT_FALSE(legacy_jsonl.empty());
+  std::string stripped = versioned_jsonl;
+  for (std::string::size_type at;
+       (at = stripped.find(", \"epoch\": 0, \"epoch_switches\": 0")) !=
+       std::string::npos;) {
+    stripped.erase(at, std::string(", \"epoch\": 0, \"epoch_switches\": 0")
+                           .size());
+  }
+  EXPECT_EQ(legacy_jsonl, stripped);
+}
+
+TEST(VersionedFleetTest, ThreadCountDoesNotChangeVersionedResult) {
+  VersionedFleetRig rig;
+  FleetOptions fopt = MakeVersionedFleetOptions();
+  fopt.num_clients = 4000;
+  fopt.num_threads = 1;
+  auto serial = RunFleetVersioned(rig.Epochs(), fopt);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_GT(serial.value().queries, 1000);
+  // The epoch boundary must actually be crossed under this config.
+  EXPECT_GT(serial.value().total_epoch_switches, 0);
+  for (int threads : {4, 8}) {
+    fopt.num_threads = threads;
+    auto parallel = RunFleetVersioned(rig.Epochs(), fopt);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectIdenticalFleetResults(serial.value(), parallel.value());
+    ExpectIdenticalEpochAccounting(serial.value(), parallel.value());
+  }
+}
+
+TEST(VersionedFleetTest, EveryQueryMatchesTimelineSimulate) {
+  // The versioned differential anchor: every traced fleet query replays
+  // bit-identically through BroadcastTimeline::Simulate with per-span
+  // probe traces, the absolute arrival, and the query's loss stream.
+  VersionedFleetRig rig;
+  FleetOptions fopt = MakeVersionedFleetOptions();
+  VectorTraceSink sink;
+  fopt.trace_sink = &sink;
+  auto fleet_r = RunFleetVersioned(rig.Epochs(), fopt);
+  ASSERT_TRUE(fleet_r.ok()) << fleet_r.status().ToString();
+  const FleetResult& fr = fleet_r.value();
+  ASSERT_GT(fr.queries, 100);
+  ASSERT_EQ(static_cast<int64_t>(sink.traces.size()), fr.queries);
+  EXPECT_GT(fr.total_epoch_switches, 0);
+
+  const BroadcastChannel ch0 = MakeFleetChannel(rig.tree0, rig.sub0, fopt);
+  const BroadcastChannel ch1 = MakeFleetChannel(rig.tree1, rig.sub1, fopt);
+  auto tl_r = BroadcastTimeline::Create({{&ch0, 0, 2}, {&ch1, 1, 1}});
+  ASSERT_TRUE(tl_r.ok()) << tl_r.status().ToString();
+  const BroadcastTimeline& tl = tl_r.value();
+
+  int64_t total_switches = 0;
+  int64_t churned = 0;
+  ProbeTrace t0, t1;
+  for (const QueryTrace& qt : sink.traces) {
+    EXPECT_TRUE(qt.versioned);
+    ASSERT_GE(qt.client_id, 0);
+    const uint64_t key =
+        FleetClientKey(fopt.seed, static_cast<uint64_t>(qt.client_id));
+    ASSERT_TRUE(rig.tree0.ProbeInto({qt.x, qt.y}, &t0).ok());
+    ASSERT_TRUE(rig.tree1.ProbeInto({qt.x, qt.y}, &t1).ok());
+    auto out_r = tl.Simulate({t0, t1}, qt.arrival,
+                             FleetQueryLossStream(key, qt.query_index));
+    ASSERT_TRUE(out_r.ok()) << out_r.status().ToString();
+    const auto& out = out_r.value();
+    EXPECT_EQ(out.latency, qt.latency);  // bitwise, not approximate
+    EXPECT_EQ(out.tuning_total(), qt.tuning_total);
+    EXPECT_EQ(out.retries, qt.retries);
+    EXPECT_EQ(out.lost_packets, qt.lost_packets);
+    EXPECT_EQ(out.corrupted_packets, qt.corrupted_packets);
+    EXPECT_EQ(out.fallback_scan, qt.fallback_scan);
+    EXPECT_EQ(out.unrecoverable, qt.unrecoverable);
+    EXPECT_EQ(out.epoch, qt.epoch);
+    EXPECT_EQ(out.epoch_switches, qt.epoch_switches);
+    total_switches += qt.epoch_switches;
+    if (qt.unrecoverable && out.give_up == GiveUpStage::kEpochChurn) {
+      ++churned;
+    }
+  }
+  EXPECT_EQ(total_switches, fr.total_epoch_switches);
+  EXPECT_EQ(churned, fr.epoch_churn_queries);
+}
+
+TEST(VersionedFleetTest, EpochChurnBudgetExhaustionIsAccounted) {
+  // Budget 0 on a clean channel: the only failure mode is the version
+  // skew itself; every switch observer gives up with kEpochChurn.
+  VersionedFleetRig rig;
+  FleetOptions fopt = MakeVersionedFleetOptions();
+  fopt.loss = {};
+  fopt.loss.max_epoch_switches = 0;
+  VectorTraceSink sink;
+  fopt.trace_sink = &sink;
+  auto fleet_r = RunFleetVersioned(rig.Epochs(), fopt);
+  ASSERT_TRUE(fleet_r.ok()) << fleet_r.status().ToString();
+  const FleetResult& fr = fleet_r.value();
+  EXPECT_GT(fr.epoch_churn_queries, 0);
+  EXPECT_EQ(fr.epoch_churn_queries, fr.unrecoverable_queries);
+  EXPECT_EQ(fr.total_epoch_switches, fr.epoch_churn_queries);
+  for (const QueryTrace& qt : sink.traces) {
+    EXPECT_LE(qt.epoch_switches, 1);
+    if (qt.epoch_switches == 1) {
+      EXPECT_TRUE(qt.unrecoverable);
+      EXPECT_EQ(qt.epoch, 1);
+    }
+  }
+}
+
+TEST(VersionedFleetTest, ValidatesEpochs) {
+  VersionedFleetRig rig;
+  FleetOptions fopt = MakeVersionedFleetOptions();
+  EXPECT_FALSE(RunFleetVersioned({}, fopt).ok());
+  EXPECT_FALSE(
+      RunFleetVersioned({{nullptr, &rig.sub0, 0, 1}}, fopt).ok());
+  EXPECT_FALSE(
+      RunFleetVersioned({{&rig.tree0, nullptr, 0, 1}}, fopt).ok());
+  // cycles < 1 on a non-last epoch; the last epoch's count is ignored.
+  EXPECT_FALSE(RunFleetVersioned(
+                   {{&rig.tree0, &rig.sub0, 0, 0}, {&rig.tree1, &rig.sub1, 1, 1}},
+                   fopt)
+                   .ok());
+  EXPECT_TRUE(RunFleetVersioned(
+                  {{&rig.tree0, &rig.sub0, 0, 1}, {&rig.tree1, &rig.sub1, 1, 0}},
+                  fopt)
+                  .ok());
 }
 
 }  // namespace

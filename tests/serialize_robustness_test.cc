@@ -126,7 +126,8 @@ TEST(SerializeRobustnessTest, FramedRoundTrip) {
   const auto frames = FramePackets(f.packets);
   ASSERT_EQ(frames.size(), f.packets.size());
   for (const auto& frame : frames) {
-    EXPECT_EQ(frame.size(), static_cast<size_t>(f.capacity) + kFrameCrcBytes);
+    EXPECT_EQ(frame.size(),
+              static_cast<size_t>(f.capacity) + bcast::kFrameOverheadBytes);
     EXPECT_OK(VerifyFrame(frame));
   }
   auto unframed = UnframePackets(frames);

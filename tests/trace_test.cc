@@ -66,6 +66,9 @@ EventTally Tally(const QueryTrace& qt) {
         ++t.fallback_scans;
         t.fallback_listened += e.packet;
         break;
+      case TraceEventKind::kEpochSwitch:
+        ADD_FAILURE() << "single-epoch traces never switch";
+        break;
     }
   }
   return t;

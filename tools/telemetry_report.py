@@ -30,7 +30,11 @@ file) is broken, not the fleet:
     sample per completed query;
   * heatmap rows have exactly meta.heatmap_bins bins per class and their
     binned packets sum to the window's index_reads / data_reads
-    counters.
+    counters;
+  * the epoch_switches window counter sums to the meta total (always
+    present, 0 on single-epoch runs), and versioned flight records
+    carry "epoch" and "epoch_switches" together or not at all
+    (DESIGN.md §15).
 """
 
 import json
@@ -40,15 +44,15 @@ import sys
 META_INT_KEYS = ("window_packets", "cycle_packets", "heatmap_bins",
                  "windows", "flight_records")
 TOTALS_KEYS = ("queries", "sessions", "departures", "retries", "lost",
-               "corrupted", "unrecoverable", "fallback")
+               "corrupted", "unrecoverable", "fallback", "epoch_switches")
 WINDOW_COUNTER_KEYS = ("issued", "completed", "unrecoverable", "fallback",
                        "retries", "lost", "corrupted", "arrivals",
                        "departures", "index_reads", "data_reads",
-                       "doze_count")
+                       "doze_count", "epoch_switches")
 HIST_KEYS = ("count", "sum", "min", "max", "p50", "p95", "p99")
 FLIGHT_EVENT_KINDS = {
     "probe", "doze", "index", "bucket", "loss", "retune",
-    "corruption_detected", "fallback_scan",
+    "corruption_detected", "fallback_scan", "epoch_switch",
 }
 # window counter -> meta totals key it must sum to.
 SUM_CHECKS = {
@@ -60,6 +64,7 @@ SUM_CHECKS = {
     "fallback": "fallback",
     "arrivals": "sessions",
     "departures": "departures",
+    "epoch_switches": "epoch_switches",
 }
 
 
@@ -178,6 +183,13 @@ def validate_flight_line(obj):
         return "flight field 'fallback' must be a boolean"
     if "give_up" in obj and not isinstance(obj["give_up"], str):
         return "flight field 'give_up' has wrong type"
+    # Versioned-broadcast records stamp the completion epoch and the
+    # mid-query switch count; legacy records omit both fields.
+    if ("epoch" in obj) != ("epoch_switches" in obj):
+        return "flight fields 'epoch' and 'epoch_switches' must appear together"
+    for key in ("epoch", "epoch_switches"):
+        if key in obj and (not is_int(obj[key]) or obj[key] < 0):
+            return f"flight field {key!r} must be a non-negative integer"
     events = obj.get("events")
     if not isinstance(events, list):
         return "flight field 'events' must be an array"

@@ -23,6 +23,12 @@ non-decreasing — a client issues its queries sequentially, and the
 fleet engine replays traces in a deterministic order that preserves
 each client's issue order. Per-line, dozes plus packet reads must add
 up to the access latency for every query, fleet or not.
+
+Versioned-broadcast traces (DESIGN.md §15) stamp each line with the
+completion "epoch" and its mid-query "epoch_switches" count; the two
+must appear together, and every "epoch_switch" event must carry the
+target epoch plus a 1-based "attempt" ordinal whose sequence matches
+the line's total switch count.
 """
 
 import json
@@ -38,6 +44,7 @@ EVENT_KINDS = {
     "retune",
     "corruption_detected",
     "fallback_scan",
+    "epoch_switch",
 }
 
 REQUIRED_TOP = {
@@ -81,12 +88,24 @@ def validate_line(obj):
             return "field 'client' has wrong type"
         if obj["client"] < 0:
             return f"field 'client' is negative ({obj['client']})"
+    # Versioned-broadcast traces (RunFleetVersioned / BroadcastTimeline)
+    # stamp the epoch the query completed in and the number of mid-query
+    # epoch switches; legacy traces omit both fields entirely.
+    if ("epoch" in obj) != ("epoch_switches" in obj):
+        return "fields 'epoch' and 'epoch_switches' must appear together"
+    for key in ("epoch", "epoch_switches"):
+        if key in obj:
+            if not isinstance(obj[key], int) or isinstance(obj[key], bool):
+                return f"field {key!r} has wrong type"
+            if obj[key] < 0:
+                return f"field {key!r} is negative ({obj[key]})"
 
     reads = 0
     retunes = 0
     losses = 0
     corruptions = 0
     fallback_scans = 0
+    epoch_switches = 0
     doze = 0.0
     for i, ev in enumerate(obj["events"]):
         if not isinstance(ev, dict):
@@ -120,6 +139,17 @@ def validate_line(obj):
             retunes += 1
         elif kind == "corruption_detected":
             corruptions += 1
+        elif kind == "epoch_switch":
+            if not isinstance(ev.get("epoch"), int) or ev["epoch"] < 0:
+                return f"event {i} (epoch_switch) needs non-negative 'epoch'"
+            if not isinstance(ev.get("attempt"), int) or ev["attempt"] < 1:
+                return f"event {i} (epoch_switch) needs positive 'attempt'"
+            epoch_switches += 1
+            if ev["attempt"] != epoch_switches:
+                return (
+                    f"event {i} (epoch_switch) attempt {ev['attempt']} out "
+                    f"of order (expected {epoch_switches})"
+                )
         elif kind == "fallback_scan":
             if not isinstance(ev.get("n"), int) or ev["n"] < 0:
                 return f"event {i} (fallback_scan) needs non-negative 'n'"
@@ -142,6 +172,17 @@ def validate_line(obj):
         return (
             f"fallback flag {obj['fallback']} inconsistent with "
             f"{fallback_scans} fallback_scan events"
+        )
+    if "epoch_switches" in obj:
+        if epoch_switches != obj["epoch_switches"]:
+            return (
+                f"epoch_switches {obj['epoch_switches']} != "
+                f"{epoch_switches} epoch_switch events"
+            )
+    elif epoch_switches > 0:
+        return (
+            f"{epoch_switches} epoch_switch events on a trace without the "
+            f"versioned 'epoch_switches' field"
         )
     # Values survive a %.10g round-trip, so allow ~1e-3 absolute slack.
     if not math.isclose(doze + reads, obj["latency"], rel_tol=1e-7, abs_tol=1e-3):
