@@ -228,11 +228,16 @@ class BenchRecorder {
 
   /// `cell_threads` overrides the flag-derived thread count for benches
   /// that vary it per cell (the scaling bench); <= 0 keeps the default.
+  /// `extra_json` is emitted verbatim inside the cell object — it must
+  /// be empty or a string of the form `, "key": value, ...` (leading
+  /// comma included) of pre-formatted JSON fields.
   void Record(const std::string& cell, double wall_s, double qps,
               int cell_threads = 0,
-              const CellPercentiles& pct = CellPercentiles{}) {
+              const CellPercentiles& pct = CellPercentiles{},
+              std::string extra_json = "") {
     cells_.push_back({cell, wall_s, qps,
-                      cell_threads > 0 ? cell_threads : threads_, pct});
+                      cell_threads > 0 ? cell_threads : threads_, pct,
+                      std::move(extra_json)});
   }
 
   void Flush() {
@@ -276,6 +281,9 @@ class BenchRecorder {
                      static_cast<long long>(p.unrecoverable_queries),
                      static_cast<long long>(p.fallback_queries));
       }
+      if (!cells_[i].extra_json.empty()) {
+        std::fprintf(f, "%s", cells_[i].extra_json.c_str());
+      }
       std::fprintf(f, "}");
     }
     std::fprintf(f, "\n  ]\n}\n");
@@ -292,6 +300,7 @@ class BenchRecorder {
     double qps;
     int threads;
     CellPercentiles pct;
+    std::string extra_json;
   };
 
   std::string bench_name_;

@@ -109,6 +109,11 @@ class BroadcastChannel {
     /// Version-skew rung: observed-epoch changes that forced the client
     /// to abandon partial state and re-tune (broadcast/versioned.h).
     int epoch_switches = 0;
+    /// Answered from the client's semantic region cache
+    /// (broadcast/region_cache.h) without tuning in: every tuning field
+    /// and the latency are zero. Never set by Simulate itself — the cache
+    /// layer in the experiment / fleet drivers synthesizes hit outcomes.
+    bool cache_hit = false;
     int tuning_total() const {
       return tuning_probe + tuning_index + tuning_data;
     }

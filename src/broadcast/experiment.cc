@@ -32,6 +32,10 @@ struct ShardSums {
   int64_t corrupted_packets = 0;
   int64_t unrecoverable = 0;
   int64_t fallback = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_invalidations = 0;
   MetricsRegistry metrics;
   /// Buffered per-query traces (trace_sink set only); replayed to the
   /// sink in shard order == global query order after the parallel run.
@@ -122,6 +126,8 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
   if (options.num_queries < 0) {
     return Status::InvalidArgument("negative query count");
   }
+  DTREE_RETURN_IF_ERROR(workload::ValidateMobilityOptions(options.mobility));
+  DTREE_RETURN_IF_ERROR(ValidateCacheOptions(options.cache));
   ChannelOptions copt;
   copt.packet_capacity = options.packet_capacity;
   copt.data_instance_size = options.data_instance_size;
@@ -146,6 +152,16 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
   const int per_shard = options.num_queries / num_shards;
   const int remainder = options.num_queries % num_shards;
 
+  // Cached-cell geometry, materialized once and shared read-only: the
+  // valid scope inserted into a shard's cache after each answered query.
+  std::vector<geom::Polygon> region_polys;
+  if (options.cache.enabled) {
+    region_polys.reserve(static_cast<size_t>(subdivision.NumRegions()));
+    for (int i = 0; i < subdivision.NumRegions(); ++i) {
+      region_polys.push_back(subdivision.RegionPolygon(i));
+    }
+  }
+
   std::vector<ShardSums> shards(num_shards);
   auto run_shard = [&](int s) {
     ShardSums& sums = shards[s];
@@ -166,8 +182,86 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
     // Hoisted out of the query loop: ProbeInto refills the same trace, so
     // arena-backed indexes run the loop without per-query heap churn.
     ProbeTrace trace;
+    // Moving-client mode: the shard is one mobile client whose walk draws
+    // only from the dedicated mobility stream family, so the shared `rng`
+    // sequence is untouched by enabling it. The region cache draws no RNG
+    // at all.
+    const bool mobility_on = options.mobility.enabled;
+    const bool cache_on = options.cache.enabled;
+    workload::MobilityState walk;
+    Rng walk_rng = Rng::ForStream(
+        options.seed,
+        workload::kMobilityStreamBase + static_cast<uint64_t>(s));
+    RegionCache cache(options.cache);
     for (int q = 0; q < shard_queries; ++q) {
-      const geom::Point p = sampler.Draw(&rng);
+      const geom::Point p =
+          mobility_on ? workload::MobilityStep(options.mobility,
+                                               subdivision.service_area(),
+                                               &walk, &walk_rng)
+                      : sampler.Draw(&rng);
+
+      if (cache_on) {
+        const RegionCache::Entry* hit = cache.Lookup(p);
+        if (hit != nullptr) {
+          ++sums.cache_hits;
+          // The arrival is still drawn (same stream, same order as a
+          // miss), so the forced cold replay below sees exactly the
+          // channel state this query would have tuned into.
+          const double arrival =
+              rng.Uniform(0.0, static_cast<double>(ch.cycle_packets()));
+          if (options.cache.verify_hits) {
+            const Status probe_st = index.ProbeInto(p, &trace);
+            if (!probe_st.ok()) {
+              sums.error = probe_st;
+              return;
+            }
+            Result<BroadcastChannel::QueryOutcome> cold_r = ch.Simulate(
+                trace, arrival, static_cast<uint64_t>(shard_first + q));
+            if (!cold_r.ok()) {
+              sums.error = cold_r.status();
+              return;
+            }
+            const auto& cold = cold_r.value();
+            if (trace.region != hit->region ||
+                (!cold.unrecoverable && cold.epoch != hit->epoch)) {
+              sums.error = Status::Internal(
+                  "region cache hit diverges from cold tune-in: cached "
+                  "region " + std::to_string(hit->region) + " epoch " +
+                  std::to_string(hit->epoch) + " vs cold region " +
+                  std::to_string(trace.region) + " epoch " +
+                  std::to_string(cold.epoch));
+              return;
+            }
+          }
+          if (tracing) {
+            sums.traces.emplace_back();
+            QueryTrace* qt = &sums.traces.back();
+            qt->query_index = static_cast<uint64_t>(shard_first + q);
+            qt->x = p.x;
+            qt->y = p.y;
+            qt->region = hit->region;
+            qt->arrival = arrival;
+            qt->cache_hit = true;
+            TraceEvent ev;
+            ev.kind = TraceEventKind::kCacheHit;
+            ev.pos = static_cast<int64_t>(std::floor(arrival)) + 1;
+            ev.packet = static_cast<int>(hit->epoch);
+            qt->events.push_back(ev);
+          }
+          // The hit IS the energy win: the client never tunes in, so the
+          // query contributes zero latency and zero tuning to every
+          // aggregate (and nothing to the indexless baseline either).
+          h_latency->Add(0.0);
+          h_tuning_index->Add(0.0);
+          h_tuning_total->Add(0.0);
+          h_retries->Add(0.0);
+          h_lost->Add(0.0);
+          h_corrupted->Add(0.0);
+          continue;
+        }
+        ++sums.cache_misses;
+      }
+
       const Status probe_st = index.ProbeInto(p, &trace);
       if (!probe_st.ok()) {
         sums.error = probe_st;
@@ -220,6 +314,15 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
       h_lost->Add(out.lost_packets);
       h_corrupted->Add(out.corrupted_packets);
 
+      if (cache_on && !out.unrecoverable && trace.region >= 0) {
+        // A completed answer carries a trusted epoch stamp: flush on skew
+        // first, then cache the answer's valid scope under that epoch.
+        sums.cache_invalidations += cache.OnEpochObserved(out.epoch);
+        sums.cache_evictions += cache.Insert(
+            region_polys[static_cast<size_t>(trace.region)], trace.region,
+            out.epoch);
+      }
+
       // The indexless strawman plays the same fault processes as the
       // indexed client, keyed by the same global query index (its draws
       // come from the disjoint NoIndexStream family, so neither
@@ -245,6 +348,10 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
   int64_t sum_corrupted = 0;
   int64_t sum_unrecoverable = 0;
   int64_t sum_fallback = 0;
+  int64_t sum_cache_hits = 0;
+  int64_t sum_cache_misses = 0;
+  int64_t sum_cache_evictions = 0;
+  int64_t sum_cache_invalidations = 0;
   MetricsRegistry merged;
   for (const ShardSums& sums : shards) {
     if (!sums.error.ok()) return sums.error;
@@ -257,6 +364,10 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
     sum_corrupted += sums.corrupted_packets;
     sum_unrecoverable += sums.unrecoverable;
     sum_fallback += sums.fallback;
+    sum_cache_hits += sums.cache_hits;
+    sum_cache_misses += sums.cache_misses;
+    sum_cache_evictions += sums.cache_evictions;
+    sum_cache_invalidations += sums.cache_invalidations;
     merged.MergeOrdered(sums.metrics);
   }
 
@@ -303,6 +414,10 @@ Result<ExperimentResult> RunExperiment(const AirIndex& index,
   res.total_corrupted_packets = sum_corrupted;
   res.unrecoverable_queries = sum_unrecoverable;
   res.fallback_queries = sum_fallback;
+  res.cache_hits = sum_cache_hits;
+  res.cache_misses = sum_cache_misses;
+  res.cache_evictions = sum_cache_evictions;
+  res.cache_invalidations = sum_cache_invalidations;
   res.mean_retries = mean(static_cast<double>(sum_retries));
   res.mean_lost_packets = mean(static_cast<double>(sum_lost));
   res.mean_corrupted_packets = mean(static_cast<double>(sum_corrupted));

@@ -17,11 +17,13 @@
 
 #include "broadcast/air_index.h"
 #include "broadcast/channel.h"
+#include "broadcast/region_cache.h"
 #include "broadcast/trace.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "subdivision/subdivision.h"
+#include "workload/mobility.h"
 
 namespace dtree::bcast {
 
@@ -67,6 +69,17 @@ struct ExperimentOptions {
   /// num_threads. Tracing is observational only: enabling it changes no
   /// metric bit (it draws nothing from any RNG).
   TraceSink* trace_sink = nullptr;
+  /// Opt-in moving-client workload: each query shard becomes one mobile
+  /// client whose consecutive query points follow a mobility walk
+  /// (workload/mobility.h) instead of i.i.d. draws. The walk draws only
+  /// from its dedicated stream family (kMobilityStreamBase + shard), so
+  /// mobility-off runs are bit-identical to today.
+  workload::MobilityOptions mobility;
+  /// Opt-in per-shard semantic region cache (broadcast/region_cache.h):
+  /// consulted before probing / tuning in; a hit costs zero latency and
+  /// zero tuning. The cache draws no RNG, and with cache.enabled false
+  /// the run is bit-identical to today.
+  CacheOptions cache;
 };
 
 /// Histogram names under which RunExperiment records per-query
@@ -140,6 +153,14 @@ struct ExperimentResult {
   int64_t unrecoverable_queries = 0;
   /// Queries answered (or abandoned) through the fallback linear scan.
   int64_t fallback_queries = 0;
+
+  // Region-cache statistics (broadcast/region_cache.h); all zero when
+  // ExperimentOptions::cache is disabled. Hits are counted in every mean
+  // above with zero latency and zero tuning — that IS the saving.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_invalidations = 0;
 
   // Distribution statistics. The means above describe the average client;
   // a mobile client's energy budget is set by the tail, so the driver

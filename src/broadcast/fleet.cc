@@ -27,6 +27,11 @@ enum class Phase : uint8_t {
   kProbe,       ///< initial probe burst at floor(arrival) + 1
   kIndexRead,   ///< read packets[step] of the current descent
   kBucketRead,  ///< contiguous bucket retrieval
+  /// Query answered from the client's region cache at issue time; the
+  /// wake-up completes it at its arrival (zero latency, zero tuning).
+  /// Completion goes through the queue, not recursion, so an unbroken
+  /// run of hits cannot grow the stack.
+  kCacheHit,
   kDone,        ///< retired (horizon reached); never scheduled again
 };
 
@@ -52,6 +57,12 @@ struct Client {
   std::vector<ProbePacketOrigin> origins;
   /// In-flight query's trace; allocated per query only when tracing.
   std::unique_ptr<QueryTrace> qt;
+  /// Mobility walk state (FleetOptions::mobility); reset on churn.
+  workload::MobilityState walk;
+  /// Region cache (FleetOptions::cache); allocated lazily on the first
+  /// issued query when enabled, Clear()ed on churn so the next occupant
+  /// starts cold.
+  std::unique_ptr<RegionCache> cache;
   uint32_t generation = 0;   ///< churn generation occupying this slot
   uint32_t query_index = 0;  ///< queries issued by this session
   int32_t region = -1;
@@ -86,6 +97,10 @@ struct FleetShard {
   int64_t queries = 0;
   int64_t sessions = 0;
   int64_t departures = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_invalidations = 0;
   MetricsRegistry metrics;
   std::vector<QueryTrace> traces;
   Status error = Status::OK();
@@ -104,11 +119,18 @@ struct SpanContext {
   int64_t cycle = 0;  ///< this epoch's cycle_packets
   std::vector<int64_t> segment_start;  ///< in-cycle index segment starts
   std::vector<int64_t> bucket_start;   ///< in-cycle bucket starts, by region
+  geom::BBox area;  ///< service area (mobility walk bounds)
+  /// Region cell polygons, materialized once and shared read-only: the
+  /// valid scope a client caches after answering a query in this epoch.
+  /// Empty unless FleetOptions::cache is enabled.
+  std::vector<geom::Polygon> region_polys;
 };
 
 SpanContext MakeSpanContext(const AirIndex& index, const BroadcastChannel& ch,
-                            const QuerySampler& sampler, uint16_t epoch,
-                            int64_t start) {
+                            const QuerySampler& sampler,
+                            const sub::Subdivision& subdivision,
+                            uint16_t epoch, int64_t start,
+                            bool cache_enabled) {
   SpanContext sc;
   sc.index = &index;
   sc.sampler = &sampler;
@@ -123,6 +145,13 @@ SpanContext MakeSpanContext(const AirIndex& index, const BroadcastChannel& ch,
   sc.bucket_start.reserve(static_cast<size_t>(ch.num_regions()));
   for (int r = 0; r < ch.num_regions(); ++r) {
     sc.bucket_start.push_back(ch.BucketStart(r));
+  }
+  sc.area = subdivision.service_area();
+  if (cache_enabled) {
+    sc.region_polys.reserve(static_cast<size_t>(subdivision.NumRegions()));
+    for (int r = 0; r < subdivision.NumRegions(); ++r) {
+      sc.region_polys.push_back(subdivision.RegionPolygon(r));
+    }
   }
   return sc;
 }
@@ -191,6 +220,8 @@ class ShardEngine {
         frame_bits_(FrameBits(options.packet_capacity)),
         faults_(options.loss.any_fault()),
         versioned_(versioned),
+        mobility_on_(options.mobility.enabled),
+        cache_on_(options.cache.enabled),
         mean_think_(static_cast<double>(spans[0].cycle) /
                     options.queries_per_cycle),
         tracing_(options.trace_sink != nullptr) {
@@ -243,6 +274,10 @@ class ShardEngine {
           break;
         case Phase::kBucketRead:
           HandleBucketRead(w.slot, c, static_cast<int64_t>(w.t));
+          break;
+        case Phase::kCacheHit:
+          // Outcome was synthesized at issue time; complete at arrival.
+          CompleteQuery(w.slot, c, c.arrival);
           break;
         case Phase::kDone:
           DTREE_CHECK(false);  // retired clients are never scheduled
@@ -360,8 +395,75 @@ class ShardEngine {
                  ? SpanAt(static_cast<int64_t>(std::floor(arrival)) + 1)
                  : 0;
     const SpanContext& sc = Span(c);
-    Rng rng = Rng::ForStream(c.key, FleetPointStream(q));
-    const geom::Point p = sc.sampler->Draw(&rng);
+    geom::Point p;
+    if (mobility_on_) {
+      // The walk owns its stream family; the point stream stays untouched
+      // so mobility-off sessions draw exactly what they always did.
+      Rng rng = Rng::ForStream(c.key, FleetMobilityStream(q));
+      p = workload::MobilityStep(opt_.mobility, sc.area, &c.walk, &rng);
+    } else {
+      Rng rng = Rng::ForStream(c.key, FleetPointStream(q));
+      p = sc.sampler->Draw(&rng);
+    }
+
+    if (cache_on_) {
+      if (c.cache == nullptr) {
+        c.cache = std::make_unique<RegionCache>(opt_.cache);
+      }
+      const RegionCache::Entry* hit = c.cache->Lookup(p);
+      if (tel_ != nullptr) tel_->CacheLookup(arrival, hit != nullptr);
+      if (hit != nullptr) {
+        ++sums_->cache_hits;
+        if (opt_.cache.verify_hits) {
+          // Differential guard: the hit's answer must equal what a cold
+          // probe of the span on the air would return. (Latency / tuning
+          // legitimately differ — zeroing them is the point.)
+          const Status probe_st =
+              sc.index->ProbeInto(p, &probe_scratch_);
+          if (!probe_st.ok()) {
+            sums_->error = probe_st;
+            return;
+          }
+          if (probe_scratch_.region != hit->region) {
+            sums_->error = Status::Internal(
+                "fleet region cache hit diverges from cold probe: cached "
+                "region " + std::to_string(hit->region) + " vs probed " +
+                std::to_string(probe_scratch_.region));
+            return;
+          }
+        }
+        c.arrival = arrival;
+        c.px = p.x;
+        c.py = p.y;
+        c.out = BroadcastChannel::QueryOutcome{};
+        c.out.cache_hit = true;
+        c.out.epoch = hit->epoch;
+        c.region = hit->region;
+        c.id = ClientId(slot, c.generation);
+        if (tel_ != nullptr) tel_->QueryIssued(arrival);
+        if (tracing_) {
+          c.qt = std::make_unique<QueryTrace>();
+          c.qt->query_index = q;
+          c.qt->client_id = static_cast<int64_t>(c.id);
+          c.qt->x = p.x;
+          c.qt->y = p.y;
+          c.qt->region = c.region;
+          c.qt->arrival = arrival;
+          c.qt->cache_hit = true;
+          TraceEvent e;
+          e.kind = TraceEventKind::kCacheHit;
+          e.pos = static_cast<int64_t>(std::floor(arrival)) + 1;
+          e.packet = static_cast<int>(hit->epoch);
+          c.qt->events.push_back(e);
+          c.origins.clear();
+        }
+        c.phase = Phase::kCacheHit;
+        queue_.push({arrival, slot});
+        return;
+      }
+      ++sums_->cache_misses;
+    }
+
     const Status probe_st = sc.index->ProbeInto(p, &probe_scratch_);
     if (!probe_st.ok()) {
       sums_->error = probe_st;
@@ -467,6 +569,16 @@ class ShardEngine {
     }
     c.span = s;
     c.out.epoch = spans_[static_cast<size_t>(s)].epoch;
+    if (cache_on_ && c.cache != nullptr) {
+      // The delivered frame is a trusted stamp of the new epoch: version
+      // skew flushes the cache mid-query (loss / corruption never get
+      // here — a failed read carries no epoch evidence).
+      const int inv = c.cache->OnEpochObserved(c.out.epoch);
+      sums_->cache_invalidations += inv;
+      if (tel_ != nullptr) {
+        tel_->CacheInvalidated(static_cast<double>(at), inv);
+      }
+    }
     if (c.out.epoch_switches > lopt_.max_epoch_switches) {
       c.out.unrecoverable = true;
       c.out.give_up = GiveUpStage::kEpochChurn;
@@ -902,6 +1014,22 @@ class ShardEngine {
                       summary);
     }
 
+    if (cache_on_ && !out.cache_hit && !out.unrecoverable &&
+        c.region >= 0) {
+      // A completed answer carries a trusted epoch stamp: flush on skew
+      // first, then cache the answer's valid scope under that epoch.
+      const int inv = c.cache->OnEpochObserved(out.epoch);
+      sums_->cache_invalidations += inv;
+      const int ev = c.cache->Insert(
+          Span(c).region_polys[static_cast<size_t>(c.region)], c.region,
+          out.epoch);
+      sums_->cache_evictions += ev;
+      if (tel_ != nullptr) {
+        tel_->CacheInvalidated(done, inv);
+        tel_->CacheEvicted(done, ev);
+      }
+    }
+
     Rng rng = Rng::ForStream(c.key, FleetScheduleStream(c.query_index));
     ++c.query_index;
     const double u_churn = rng.Uniform(0.0, 1.0);
@@ -912,6 +1040,11 @@ class ShardEngine {
       c.generation += 1;
       c.query_index = 0;
       c.key = FleetClientKey(opt_.seed, ClientId(slot, c.generation));
+      // The departing client takes its cache and walk with it: the next
+      // occupant starts cold (Clear is not an invalidation — nothing the
+      // new client trusted was dropped).
+      if (c.cache != nullptr) c.cache->Clear();
+      c.walk = workload::MobilityState{};
       const double t_join = done + delay;
       if (t_join >= horizon_) {
         c.phase = Phase::kDone;
@@ -945,6 +1078,8 @@ class ShardEngine {
   const int frame_bits_;
   const bool faults_;
   const bool versioned_;
+  const bool mobility_on_;
+  const bool cache_on_;
   const double mean_think_;
   const bool tracing_;
   std::vector<int64_t> starts_;  ///< starts_[s] = spans_[s].start
@@ -976,6 +1111,8 @@ Status ValidateFleetOptions(const FleetOptions& options) {
   if (!(options.churn >= 0.0 && options.churn <= 1.0)) {
     return Status::InvalidArgument("churn must be in [0, 1]");
   }
+  DTREE_RETURN_IF_ERROR(workload::ValidateMobilityOptions(options.mobility));
+  DTREE_RETURN_IF_ERROR(ValidateCacheOptions(options.cache));
   return Status::OK();
 }
 
@@ -1000,6 +1137,7 @@ Result<FleetResult> RunFleetImpl(const std::vector<SpanContext>& spans,
 
   if (options.telemetry != nullptr) {
     options.telemetry->Reset(ch0.cycle_packets(), num_shards);
+    options.telemetry->set_cache_enabled(options.cache.enabled);
   }
 
   std::vector<FleetShard> shards(static_cast<size_t>(num_shards));
@@ -1035,6 +1173,10 @@ Result<FleetResult> RunFleetImpl(const std::vector<SpanContext>& spans,
     total.queries += sums.queries;
     total.sessions += sums.sessions;
     total.departures += sums.departures;
+    total.cache_hits += sums.cache_hits;
+    total.cache_misses += sums.cache_misses;
+    total.cache_evictions += sums.cache_evictions;
+    total.cache_invalidations += sums.cache_invalidations;
     merged.MergeOrdered(sums.metrics);
   }
   if (options.trace_sink != nullptr) {
@@ -1075,6 +1217,11 @@ Result<FleetResult> RunFleetImpl(const std::vector<SpanContext>& spans,
   res.total_epoch_switches = total.epoch_switches;
   res.epoch_churn_queries = total.epoch_churn;
   res.mean_epoch_switches = mean(static_cast<double>(total.epoch_switches));
+  res.cache_enabled = options.cache.enabled;
+  res.cache_hits = total.cache_hits;
+  res.cache_misses = total.cache_misses;
+  res.cache_evictions = total.cache_evictions;
+  res.cache_invalidations = total.cache_invalidations;
   res.min_latency = merged.histogram(kLatencyHist)->Min();
   res.max_latency = merged.histogram(kLatencyHist)->Max();
   res.min_tuning_total = merged.histogram(kTuningTotalHist)->Min();
@@ -1104,8 +1251,9 @@ Result<FleetResult> RunFleet(const AirIndex& index,
 
   std::vector<SpanContext> spans;
   spans.push_back(MakeSpanContext(index, channel_r.value(),
-                                  sampler_r.value(), /*epoch=*/0,
-                                  /*start=*/0));
+                                  sampler_r.value(), subdivision,
+                                  /*epoch=*/0, /*start=*/0,
+                                  options.cache.enabled));
   return RunFleetImpl(spans, /*versioned=*/false, options, index.name());
 }
 
@@ -1154,7 +1302,9 @@ Result<FleetResult> RunFleetVersioned(const std::vector<FleetEpoch>& epochs,
   int64_t start = 0;
   for (size_t i = 0; i < epochs.size(); ++i) {
     spans.push_back(MakeSpanContext(*epochs[i].index, channels[i],
-                                    samplers[i], epochs[i].epoch, start));
+                                    samplers[i], *epochs[i].subdivision,
+                                    epochs[i].epoch, start,
+                                    options.cache.enabled));
     start += epochs[i].cycles * channels[i].cycle_packets();
   }
   return RunFleetImpl(spans, /*versioned=*/true, options,

@@ -104,6 +104,20 @@ struct FleetOptions {
   /// engine's event sites pay one predicted branch each and FleetResult
   /// is bit-identical to a run without telemetry (golden-pinned).
   FleetTelemetry* telemetry = nullptr;
+  /// Opt-in moving clients: each client's consecutive query points follow
+  /// a mobility walk (workload/mobility.h) instead of i.i.d. sampler
+  /// draws. Query q's step draws from the dedicated stream
+  /// FleetMobilityStream(q) on the client's key — disjoint from the
+  /// 3q+{1,2,3} families — so mobility-off runs are bit-identical to
+  /// today. The walk resets on churn (a new occupant starts fresh).
+  workload::MobilityOptions mobility;
+  /// Opt-in per-client semantic region cache (broadcast/region_cache.h),
+  /// consulted before tuning in. A hit completes the query at its arrival
+  /// time with zero latency and zero tuning. The cache persists across a
+  /// client's queries within a generation, is flushed when the client
+  /// observes an epoch switch (RunFleetVersioned), and dies on churn. It
+  /// draws no RNG; cache.enabled false is bit-identical to today.
+  CacheOptions cache;
 };
 
 /// Aggregated results of one fleet run. All means are per *completed*
@@ -141,6 +155,15 @@ struct FleetResult {
   int64_t total_epoch_switches = 0;
   int64_t epoch_churn_queries = 0;
   double mean_epoch_switches = 0.0;
+  /// Region-cache accounting (FleetOptions::cache); cache_enabled echoes
+  /// the option so exporters know whether zero counters mean "cache off"
+  /// or "cache cold". Hits are counted in `queries` and in every mean
+  /// with zero latency and zero tuning — that IS the saving.
+  bool cache_enabled = false;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_invalidations = 0;
   double min_latency = 0.0;
   double max_latency = 0.0;
   double min_tuning_total = 0.0;
@@ -179,6 +202,13 @@ inline uint64_t FleetScheduleStream(uint64_t query_index) {
 inline uint64_t FleetQueryLossStream(uint64_t client_key,
                                      uint64_t query_index) {
   return Rng::MixStream(client_key, 3 * query_index + 3);
+}
+/// Mobility walk stream for query q, used instead of FleetPointStream
+/// when FleetOptions::mobility is enabled. Based at
+/// workload::kMobilityStreamBase (1 << 40), far above every 3q+k stream a
+/// session can reach, so enabling mobility perturbs no other draw.
+inline uint64_t FleetMobilityStream(uint64_t query_index) {
+  return workload::kMobilityStreamBase + query_index;
 }
 
 /// Runs the fleet. `index` must honor the AirIndex::Probe concurrency

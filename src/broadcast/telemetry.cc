@@ -78,8 +78,18 @@ void AppendTotalsJson(std::string* out, const TelemetryTotals& t) {
   AppendF(out, ", \"unrecoverable\": %lld, \"fallback\": %lld",
           static_cast<long long>(t.unrecoverable),
           static_cast<long long>(t.fallback));
-  AppendF(out, ", \"epoch_switches\": %lld}",
+  AppendF(out, ", \"epoch_switches\": %lld",
           static_cast<long long>(t.epoch_switches));
+  if (t.cache) {
+    AppendF(out,
+            ", \"cache_hits\": %lld, \"cache_misses\": %lld, "
+            "\"cache_evictions\": %lld, \"cache_invalidations\": %lld",
+            static_cast<long long>(t.cache_hits),
+            static_cast<long long>(t.cache_misses),
+            static_cast<long long>(t.cache_evictions),
+            static_cast<long long>(t.cache_invalidations));
+  }
+  out->push_back('}');
 }
 
 /// Folds the named per-window histograms into one run-total histogram,
@@ -128,6 +138,11 @@ TelemetryTotals TotalsFromFleet(const FleetResult& result) {
   t.unrecoverable = result.unrecoverable_queries;
   t.fallback = result.fallback_queries;
   t.epoch_switches = result.total_epoch_switches;
+  t.cache = result.cache_enabled;
+  t.cache_hits = result.cache_hits;
+  t.cache_misses = result.cache_misses;
+  t.cache_evictions = result.cache_evictions;
+  t.cache_invalidations = result.cache_invalidations;
   return t;
 }
 
@@ -267,6 +282,27 @@ void TelemetryShard::Fault(TraceEventKind kind, int64_t pos, int64_t client,
   RecordFlight(kind, pos, 0, 0.0, client);
 }
 
+void TelemetryShard::CacheLookup(double t, bool hit) {
+  const int64_t w = series_.WindowIndex(t);
+  if (hit) {
+    Cnt(&c_cache_hits_, kTsCacheHits, w)->Add(1);
+  } else {
+    Cnt(&c_cache_misses_, kTsCacheMisses, w)->Add(1);
+  }
+}
+
+void TelemetryShard::CacheEvicted(double t, int n) {
+  if (n <= 0) return;
+  Cnt(&c_cache_evictions_, kTsCacheEvictions, series_.WindowIndex(t))
+      ->Add(static_cast<uint64_t>(n));
+}
+
+void TelemetryShard::CacheInvalidated(double t, int n) {
+  if (n <= 0) return;
+  Cnt(&c_cache_invalidations_, kTsCacheInvalidations, series_.WindowIndex(t))
+      ->Add(static_cast<uint64_t>(n));
+}
+
 void TelemetryShard::QueryDone(double done, int64_t client, uint32_t q,
                                const QueryOutcomeSummary& out) {
   const int64_t w = series_.WindowIndex(done);
@@ -346,6 +382,7 @@ void FleetTelemetry::Reset(int64_t cycle_packets, int num_shards) {
   flight_.clear();
   flight_records_ = 0;
   merged_ = false;
+  cache_enabled_ = false;
 }
 
 void FleetTelemetry::MergeShards() {
@@ -390,6 +427,14 @@ TelemetryTotals FleetTelemetry::Totals() const {
   t.fallback = static_cast<int64_t>(series_.CounterTotal(kTsFallback));
   t.epoch_switches =
       static_cast<int64_t>(series_.CounterTotal(kTsEpochSwitches));
+  t.cache = cache_enabled_;
+  t.cache_hits = static_cast<int64_t>(series_.CounterTotal(kTsCacheHits));
+  t.cache_misses =
+      static_cast<int64_t>(series_.CounterTotal(kTsCacheMisses));
+  t.cache_evictions =
+      static_cast<int64_t>(series_.CounterTotal(kTsCacheEvictions));
+  t.cache_invalidations =
+      static_cast<int64_t>(series_.CounterTotal(kTsCacheInvalidations));
   return t;
 }
 
@@ -436,6 +481,12 @@ std::string FleetTelemetry::TimelineJsonl(
     cnt("index_reads", kTsIndexReads);
     cnt("data_reads", kTsDataReads);
     cnt("epoch_switches", kTsEpochSwitches);
+    if (cache_enabled_) {
+      cnt("cache_hits", kTsCacheHits);
+      cnt("cache_misses", kTsCacheMisses);
+      cnt("cache_evictions", kTsCacheEvictions);
+      cnt("cache_invalidations", kTsCacheInvalidations);
+    }
     const Histogram* doze = series_.FindHistogram(kTsDoze, w);
     AppendF(&out, ", \"doze_packets\": %.10g, \"doze_count\": %" PRIu64,
             doze == nullptr ? 0.0 : doze->Sum(),
@@ -486,6 +537,16 @@ std::string FleetTelemetry::PrometheusText() const {
                     series_.CounterTotal(kTsDataReads));
   AppendPromCounter(&out, "fleet_epoch_switches_total",
                     static_cast<uint64_t>(t.epoch_switches));
+  if (cache_enabled_) {
+    AppendPromCounter(&out, "fleet_cache_hits_total",
+                      static_cast<uint64_t>(t.cache_hits));
+    AppendPromCounter(&out, "fleet_cache_misses_total",
+                      static_cast<uint64_t>(t.cache_misses));
+    AppendPromCounter(&out, "fleet_cache_evictions_total",
+                      static_cast<uint64_t>(t.cache_evictions));
+    AppendPromCounter(&out, "fleet_cache_invalidations_total",
+                      static_cast<uint64_t>(t.cache_invalidations));
+  }
   AppendPromHistogram(&out, "fleet_latency_packets",
                       FoldWindows(series_, kTsLatency));
   AppendPromHistogram(&out, "fleet_tuning_packets",
@@ -522,7 +583,14 @@ void TelemetryTraceSink::Consume(const QueryTrace& trace) {
       case TraceEventKind::kEpochSwitch:
         s->Fault(e.kind, e.pos, client, q);
         break;
+      case TraceEventKind::kCacheHit:
+        // Counted once per query from the trace-level flag below, not
+        // per event.
+        break;
     }
+  }
+  if (telemetry_->cache_enabled()) {
+    s->CacheLookup(trace.arrival, trace.cache_hit);
   }
   QueryOutcomeSummary out;
   out.latency = trace.latency;

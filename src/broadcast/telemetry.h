@@ -69,6 +69,13 @@ inline constexpr char kTsDepartures[] = "departures";
 inline constexpr char kTsIndexReads[] = "index_reads";
 inline constexpr char kTsDataReads[] = "data_reads";
 inline constexpr char kTsEpochSwitches[] = "epoch_switches";
+// Region-cache activity (broadcast/region_cache.h); recorded only when
+// the run has the cache enabled, and the exporters emit the cache keys
+// only then, so cache-off telemetry bytes are unchanged.
+inline constexpr char kTsCacheHits[] = "cache_hits";
+inline constexpr char kTsCacheMisses[] = "cache_misses";
+inline constexpr char kTsCacheEvictions[] = "cache_evictions";
+inline constexpr char kTsCacheInvalidations[] = "cache_invalidations";
 inline constexpr char kTsLatency[] = "latency";
 inline constexpr char kTsTuning[] = "tuning";
 inline constexpr char kTsDoze[] = "doze";
@@ -97,6 +104,14 @@ struct TelemetryTotals {
   int64_t unrecoverable = 0;
   int64_t fallback = 0;
   int64_t epoch_switches = 0;
+  /// Region-cache totals; exported (and meaningful) only when `cache` —
+  /// set for runs that had the cache enabled — so cache-off timeline
+  /// bytes are unchanged.
+  bool cache = false;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_invalidations = 0;
 };
 
 TelemetryTotals TotalsFromFleet(const FleetResult& result);
@@ -157,6 +172,14 @@ class TelemetryShard {
   /// events as one JSONL black-box record.
   void QueryDone(double done, int64_t client, uint32_t q,
                  const QueryOutcomeSummary& out);
+  /// Region-cache lookup outcome at time t (one per issued query when the
+  /// cache is enabled). Not a Fault: losses and corruption never touch
+  /// the cache, and cache activity has its own counters.
+  void CacheLookup(double t, bool hit);
+  /// `n` entries evicted by the byte budget at time t.
+  void CacheEvicted(double t, int n);
+  /// `n` entries flushed by an epoch change at time t.
+  void CacheInvalidated(double t, int n);
 
  private:
   friend class FleetTelemetry;
@@ -200,7 +223,8 @@ class TelemetryShard {
   HeatmapRow* heat_row_ = nullptr;
   CachedCounter c_issued_, c_completed_, c_unrec_, c_fallback_, c_retries_,
       c_lost_, c_corrupted_, c_arrivals_, c_departures_, c_index_reads_,
-      c_data_reads_, c_epoch_switches_;
+      c_data_reads_, c_epoch_switches_, c_cache_hits_, c_cache_misses_,
+      c_cache_evictions_, c_cache_invalidations_;
   CachedHistogram h_latency_, h_tuning_, h_doze_;
   int64_t inflight_ = 0;
   std::vector<FlightEvent> ring_;  ///< preallocated, ring_pos_ wraps
@@ -220,7 +244,17 @@ class FleetTelemetry {
 
   /// Clears all state and re-keys the window axis to one window per
   /// broadcast cycle. Called by RunFleet before the parallel section.
+  /// Also resets cache_enabled() to false; a cache-enabled run must call
+  /// set_cache_enabled(true) again after Reset.
   void Reset(int64_t cycle_packets, int num_shards);
+
+  /// Declares whether the run being recorded has the region cache
+  /// enabled. Gates the cache keys in every exporter so cache-off
+  /// timeline / Prometheus bytes are unchanged. Set by RunFleet from
+  /// FleetOptions::cache (benches driving TelemetryTraceSink set it
+  /// directly after Reset).
+  void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+  bool cache_enabled() const { return cache_enabled_; }
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   TelemetryShard* shard(int s) { return shards_[static_cast<size_t>(s)].get(); }
@@ -260,6 +294,7 @@ class FleetTelemetry {
   std::string flight_;
   int64_t flight_records_ = 0;
   bool merged_ = false;
+  bool cache_enabled_ = false;
 };
 
 /// Adapter feeding a FleetTelemetry from a per-query trace stream — the

@@ -28,6 +28,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "fallback_scan";
     case TraceEventKind::kEpochSwitch:
       return "epoch_switch";
+    case TraceEventKind::kCacheHit:
+      return "cache_hit";
   }
   return "?";
 }
@@ -89,6 +91,7 @@ std::string FormatQueryTraceJson(const QueryTrace& trace,
     AppendF(&out, ", \"epoch\": %u, \"epoch_switches\": %d",
             static_cast<unsigned>(trace.epoch), trace.epoch_switches);
   }
+  if (trace.cache_hit) out += ", \"cache_hit\": true";
   out += ", \"events\": [";
   for (size_t i = 0; i < trace.events.size(); ++i) {
     const TraceEvent& e = trace.events[i];
@@ -117,6 +120,9 @@ std::string FormatQueryTraceJson(const QueryTrace& trace,
       case TraceEventKind::kEpochSwitch:
         AppendF(&out, ", \"epoch\": %d, \"attempt\": %d", e.packet,
                 e.attempt);
+        break;
+      case TraceEventKind::kCacheHit:
+        AppendF(&out, ", \"epoch\": %d", e.packet);
         break;
       case TraceEventKind::kProbe:
       case TraceEventKind::kLoss:
@@ -203,6 +209,8 @@ void CycleProfiler::Consume(const QueryTrace& trace) {
       case TraceEventKind::kRetune:
       case TraceEventKind::kCorruption:
       case TraceEventKind::kEpochSwitch:
+      case TraceEventKind::kCacheHit:
+        // A cache hit keeps the receiver asleep: no awake packets to bin.
         break;
     }
   }

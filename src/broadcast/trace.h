@@ -35,6 +35,12 @@
 //                 the client abandons partial state and re-tunes into the
 //                 new epoch. pos = the revealing read, packet = the newly
 //                 observed epoch id, attempt = 1-based switch ordinal.
+//   kCacheHit   — the query was answered from the client's semantic
+//                 region cache (broadcast/region_cache.h) without tuning
+//                 in at all: it is the ONLY event of its query, and the
+//                 query's latency / tuning / doze are all zero. pos = the
+//                 packet the client would otherwise have probed,
+//                 packet = the cached epoch id.
 
 #ifndef DTREE_BROADCAST_TRACE_H_
 #define DTREE_BROADCAST_TRACE_H_
@@ -58,11 +64,12 @@ enum class TraceEventKind : uint8_t {
   kCorruption,
   kFallbackScan,
   kEpochSwitch,
+  kCacheHit,
 };
 
 /// Short stable name used in the JSONL encoding ("probe", "doze",
 /// "index", "bucket", "loss", "retune", "corruption_detected",
-/// "fallback_scan", "epoch_switch").
+/// "fallback_scan", "epoch_switch", "cache_hit").
 const char* TraceEventKindName(TraceEventKind kind);
 
 struct TraceEvent {
@@ -108,6 +115,9 @@ struct QueryTrace {
   bool versioned = false;
   uint16_t epoch = 0;      ///< epoch the answer (or give-up) belongs to
   int epoch_switches = 0;  ///< epoch switches the query survived
+  /// Answered from the semantic region cache without tuning in. Gates the
+  /// "cache_hit" JSON field so cache-off trace bytes are unchanged.
+  bool cache_hit = false;
   std::vector<TraceEvent> events;
 };
 

@@ -66,6 +66,17 @@ bool Polygon::Contains(const Point& p) const {
   return (crossings % 2) == 1;
 }
 
+bool Polygon::ContainsHalfOpen(const Point& p) const {
+  if (ring_.size() < 3) return false;
+  int crossings = 0;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    Point a, b;
+    Edge(i, &a, &b);
+    if (RayRightCrossesSegment(p, a, b)) ++crossings;
+  }
+  return (crossings % 2) == 1;
+}
+
 bool Polygon::OnBoundary(const Point& p, double eps) const {
   for (size_t i = 0; i < ring_.size(); ++i) {
     Point a, b;
@@ -94,6 +105,19 @@ bool PointInRing(const double* xs, const double* ys, size_t n,
       return true;
     }
   }
+  int crossings = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j = (i + 1) % n;
+    if (RayRightCrossesSegment(p, {xs[i], ys[i]}, {xs[j], ys[j]})) {
+      ++crossings;
+    }
+  }
+  return (crossings % 2) == 1;
+}
+
+bool RingContainsHalfOpen(const double* xs, const double* ys, size_t n,
+                          const Point& p) {
+  if (n < 3) return false;
   int crossings = 0;
   for (size_t i = 0; i < n; ++i) {
     const size_t j = (i + 1) % n;

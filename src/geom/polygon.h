@@ -72,7 +72,21 @@ class Polygon {
   /// True when p is strictly inside or on the boundary. Uses ray crossing
   /// with the half-open rule plus an explicit boundary check, so points on
   /// edges are reported as contained regardless of crossing parity.
+  ///
+  /// Boundary semantics: this test is *inclusive*, so in a tiling (Voronoi
+  /// cells) a point exactly on a shared edge is contained by BOTH adjacent
+  /// cells. Use ContainsHalfOpen when exactly one cell may claim the point.
   bool Contains(const Point& p) const;
+
+  /// Pure half-open ray-crossing parity, with no boundary pre-check. In a
+  /// polygon tiling this assigns every point — including points exactly on
+  /// shared edges and vertices — to exactly one cell, deterministically:
+  /// for two cells sharing edge e, RayRightCrossesSegment's half-open rule
+  /// (an endpoint at the ray height counts only as the lower endpoint)
+  /// makes exactly one of the two parities odd on e. This is the tie-break
+  /// the client region cache relies on so a cached-cell lookup can never
+  /// resolve a boundary point to a different cell than a cold probe.
+  bool ContainsHalfOpen(const Point& p) const;
 
   /// True when p lies on the boundary within `eps`.
   bool OnBoundary(const Point& p, double eps = kGeomEps) const;
@@ -104,6 +118,12 @@ class Polygon {
 /// engines store instead of materialized Polygon objects.
 bool PointInRing(const double* xs, const double* ys, size_t n,
                  const Point& p);
+
+/// SoA twin of Polygon::ContainsHalfOpen: pure crossing parity, no boundary
+/// pre-check, bit-identical to ContainsHalfOpen on the same ring. Partitions
+/// a tiling uniquely (see ContainsHalfOpen).
+bool RingContainsHalfOpen(const double* xs, const double* ys, size_t n,
+                          const Point& p);
 
 /// Bit-identical to Polygon::DistanceToBoundary over the same SoA ring.
 double RingDistanceToBoundary(const double* xs, const double* ys, size_t n,

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <vector>
 
 #include "geom/point.h"
 #include "geom/polygon.h"
@@ -147,6 +148,91 @@ TEST(PolygonTest, Contains) {
   EXPECT_TRUE(sq.Contains({0.0, 0.5}));   // boundary
   EXPECT_TRUE(sq.Contains({1.0, 1.0}));   // corner
   EXPECT_FALSE(sq.Contains({-1e-6, 0.5}));
+}
+
+TEST(PolygonTest, ContainsHalfOpenInteriorAndExterior) {
+  Polygon sq = UnitSquare();
+  EXPECT_TRUE(sq.ContainsHalfOpen({0.5, 0.5}));
+  EXPECT_FALSE(sq.ContainsHalfOpen({1.5, 0.5}));
+  EXPECT_FALSE(sq.ContainsHalfOpen({-1e-6, 0.5}));
+}
+
+// Two cells sharing a vertical edge: every point on the shared edge must be
+// claimed by exactly one of them (the inclusive Contains claims both — the
+// ambiguity the region cache must not inherit).
+TEST(PolygonTest, HalfOpenSharedEdgeResolvesToOneCell) {
+  Polygon left({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  Polygon right({{1, 0}, {2, 0}, {2, 1}, {1, 1}});
+  for (double y : {0.0, 0.25, 0.5, 1.0 - 1e-12}) {
+    const Point p{1.0, y};
+    EXPECT_NE(left.ContainsHalfOpen(p), right.ContainsHalfOpen(p))
+        << "shared-edge point (1, " << y << ") must be in exactly one cell";
+    // The inclusive test claims the edge from both sides (y=1.0-1e-12 is
+    // within kGeomEps of the corner for both, and interior edge points are
+    // exactly on both boundaries).
+    EXPECT_TRUE(left.Contains(p));
+    EXPECT_TRUE(right.Contains(p));
+  }
+  // Horizontal shared edge too (the collinear-with-ray case).
+  Polygon bottom({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  Polygon top({{0, 1}, {1, 1}, {1, 2}, {0, 2}});
+  for (double x : {0.0, 0.3, 0.5, 1.0 - 1e-12}) {
+    const Point p{x, 1.0};
+    EXPECT_NE(bottom.ContainsHalfOpen(p), top.ContainsHalfOpen(p))
+        << "shared-edge point (" << x << ", 1) must be in exactly one cell";
+  }
+}
+
+// Four cells meeting at a vertex: the vertex belongs to exactly one.
+TEST(PolygonTest, HalfOpenSharedVertexResolvesToOneCell) {
+  Polygon cells[4] = {
+      Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}}),
+      Polygon({{1, 0}, {2, 0}, {2, 1}, {1, 1}}),
+      Polygon({{0, 1}, {1, 1}, {1, 2}, {0, 2}}),
+      Polygon({{1, 1}, {2, 1}, {2, 2}, {1, 2}}),
+  };
+  const Point corner{1.0, 1.0};
+  int owners = 0;
+  for (const Polygon& c : cells) {
+    if (c.ContainsHalfOpen(corner)) ++owners;
+  }
+  EXPECT_EQ(owners, 1);
+  // And every edge midpoint of the 2x2 tiling has exactly one owner.
+  for (const Point p : {Point{1.0, 0.5}, Point{1.0, 1.5}, Point{0.5, 1.0},
+                        Point{1.5, 1.0}}) {
+    owners = 0;
+    for (const Polygon& c : cells) {
+      if (c.ContainsHalfOpen(p)) ++owners;
+    }
+    EXPECT_EQ(owners, 1) << "edge point (" << p.x << ", " << p.y << ")";
+  }
+}
+
+// A query point whose rightward ray passes exactly through polygon vertices
+// (collinear-ray case) must still get a correct parity.
+TEST(PolygonTest, HalfOpenCollinearRayThroughVertices) {
+  // Diamond with vertices at ray height y=1 for queries along y=1.
+  Polygon diamond({{1, 0}, {2, 1}, {1, 2}, {0, 1}});
+  EXPECT_TRUE(diamond.ContainsHalfOpen({1.0, 1.0}));   // center
+  EXPECT_FALSE(diamond.ContainsHalfOpen({-1.0, 1.0}));  // left of both verts
+  EXPECT_FALSE(diamond.ContainsHalfOpen({3.0, 1.0}));   // right of both verts
+}
+
+TEST(PolygonTest, RingContainsHalfOpenMatchesPolygon) {
+  Polygon l({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  std::vector<double> xs, ys;
+  for (const Point& p : l.ring()) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  for (double x = -0.5; x <= 2.5; x += 0.125) {
+    for (double y = -0.5; y <= 2.5; y += 0.125) {
+      const Point p{x, y};
+      EXPECT_EQ(l.ContainsHalfOpen(p),
+                RingContainsHalfOpen(xs.data(), ys.data(), xs.size(), p))
+          << "(" << x << ", " << y << ")";
+    }
+  }
 }
 
 TEST(PolygonTest, ContainsNonConvex) {

@@ -34,7 +34,13 @@ file) is broken, not the fleet:
   * the epoch_switches window counter sums to the meta total (always
     present, 0 on single-epoch runs), and versioned flight records
     carry "epoch" and "epoch_switches" together or not at all
-    (DESIGN.md §15).
+    (DESIGN.md §15);
+  * region-cache counters (cache_hits, cache_misses, cache_evictions,
+    cache_invalidations; DESIGN.md §16) are optional but consistent:
+    cache-off runs omit all four everywhere, cache-on runs carry all
+    four in the meta totals and in every window, the window sums
+    reproduce the meta totals, and hits plus misses equal the block's
+    query count (every issued query consults the cache exactly once).
 """
 
 import json
@@ -45,6 +51,10 @@ META_INT_KEYS = ("window_packets", "cycle_packets", "heatmap_bins",
                  "windows", "flight_records")
 TOTALS_KEYS = ("queries", "sessions", "departures", "retries", "lost",
                "corrupted", "unrecoverable", "fallback", "epoch_switches")
+# Present in totals and windows iff the producing run had the region
+# cache enabled (broadcast/region_cache.h); all-or-nothing per block.
+CACHE_KEYS = ("cache_hits", "cache_misses", "cache_evictions",
+              "cache_invalidations")
 WINDOW_COUNTER_KEYS = ("issued", "completed", "unrecoverable", "fallback",
                        "retries", "lost", "corrupted", "arrivals",
                        "departures", "index_reads", "data_reads",
@@ -94,7 +104,18 @@ def validate_meta(obj):
     for key in TOTALS_KEYS:
         if not is_int(totals.get(key)) or totals[key] < 0:
             return f"totals field {key!r} must be a non-negative integer"
+    present = [key for key in CACHE_KEYS if key in totals]
+    if present and len(present) != len(CACHE_KEYS):
+        missing = sorted(set(CACHE_KEYS) - set(present))
+        return f"totals has cache counters but is missing {missing}"
+    for key in present:
+        if not is_int(totals[key]) or totals[key] < 0:
+            return f"totals field {key!r} must be a non-negative integer"
     return None
+
+
+def meta_cache_enabled(meta):
+    return CACHE_KEYS[0] in meta["totals"]
 
 
 def validate_hist(h, name):
@@ -108,11 +129,19 @@ def validate_hist(h, name):
     return None
 
 
-def validate_window(obj, bins):
+def validate_window(obj, bins, cache_on):
     if not is_int(obj.get("w")) or obj["w"] < 0:
         return "window field 'w' must be a non-negative integer"
     for key in WINDOW_COUNTER_KEYS:
         if not is_int(obj.get(key)) or obj[key] < 0:
+            return f"window field {key!r} must be a non-negative integer"
+    for key in CACHE_KEYS:
+        if (key in obj) != cache_on:
+            return (
+                f"window field {key!r} must appear iff the block's meta "
+                f"totals carry cache counters"
+            )
+        if cache_on and (not is_int(obj[key]) or obj[key] < 0):
             return f"window field {key!r} must be a non-negative integer"
     if not is_num(obj.get("doze_packets")) or obj["doze_packets"] < 0:
         return "window field 'doze_packets' must be non-negative"
@@ -165,6 +194,22 @@ def check_block_totals(meta, windows, where):
             f"{where}: latency histograms hold {lat_count} samples for "
             f"{meta['totals']['queries']} queries"
         )
+    if meta_cache_enabled(meta):
+        for key in CACHE_KEYS:
+            got = sum(w[key] for w in windows)
+            want = meta["totals"][key]
+            if got != want:
+                return (
+                    f"{where}: sum of window {key!r} is {got}, meta total "
+                    f"says {want}"
+                )
+        lookups = meta["totals"]["cache_hits"] + meta["totals"]["cache_misses"]
+        if lookups != meta["totals"]["queries"]:
+            return (
+                f"{where}: {lookups} cache lookups for "
+                f"{meta['totals']['queries']} queries — every issued query "
+                f"consults the cache exactly once"
+            )
     return None
 
 
@@ -238,7 +283,8 @@ def parse_blocks(path):
                 continue
             if meta is None:
                 sys.exit(f"{path}:{lineno}: window line before any meta line")
-            err = validate_window(obj, meta["heatmap_bins"])
+            err = validate_window(obj, meta["heatmap_bins"],
+                                  meta_cache_enabled(meta))
             if err is not None:
                 sys.exit(f"{path}:{lineno}: {err}")
             if windows and obj["w"] <= windows[-1]["w"]:
@@ -275,6 +321,14 @@ def report_block(meta, windows):
             f"faults: {totals['retries']} retries, {totals['lost']} lost, "
             f"{totals['corrupted']} corrupted, "
             f"{totals['fallback']} fallback queries"
+        )
+    if meta_cache_enabled(meta):
+        lookups = totals["cache_hits"] + totals["cache_misses"]
+        rate = totals["cache_hits"] / lookups if lookups else 0.0
+        print(
+            f"cache: {totals['cache_hits']} hits ({rate:.1%}), "
+            f"{totals['cache_evictions']} evictions, "
+            f"{totals['cache_invalidations']} invalidations"
         )
     print(f"{'w':>4} {'done':>7} {'p95 lat':>9} {'p95 tun':>8} "
           f"{'reads':>8} {'dozing':>8} {'inflight':>9}")

@@ -29,6 +29,14 @@ completion "epoch" and its mid-query "epoch_switches" count; the two
 must appear together, and every "epoch_switch" event must carry the
 target epoch plus a 1-based "attempt" ordinal whose sequence matches
 the line's total switch count.
+
+Region-cache traces (DESIGN.md §16) mark queries answered from the
+client's cache with a top-level "cache_hit": true and a single
+"cache_hit" event carrying the cached epoch. A hit never tunes in, so
+--check enforces: zero tuning, zero latency, and no probe / doze /
+index / bucket / fallback_scan events on the line — the cache_hit
+event must be the only one. A "cache_hit" event on a line without the
+flag (or vice versa) is an error.
 """
 
 import json
@@ -45,6 +53,7 @@ EVENT_KINDS = {
     "corruption_detected",
     "fallback_scan",
     "epoch_switch",
+    "cache_hit",
 }
 
 REQUIRED_TOP = {
@@ -99,6 +108,10 @@ def validate_line(obj):
                 return f"field {key!r} has wrong type"
             if obj[key] < 0:
                 return f"field {key!r} is negative ({obj[key]})"
+    # Region-cache traces (broadcast/region_cache.h) stamp hits with a
+    # boolean flag; miss lines and cache-off runs omit the field entirely.
+    if "cache_hit" in obj and not isinstance(obj["cache_hit"], bool):
+        return "field 'cache_hit' has wrong type"
 
     reads = 0
     retunes = 0
@@ -106,6 +119,7 @@ def validate_line(obj):
     corruptions = 0
     fallback_scans = 0
     epoch_switches = 0
+    cache_hit_events = 0
     doze = 0.0
     for i, ev in enumerate(obj["events"]):
         if not isinstance(ev, dict):
@@ -150,6 +164,10 @@ def validate_line(obj):
                     f"event {i} (epoch_switch) attempt {ev['attempt']} out "
                     f"of order (expected {epoch_switches})"
                 )
+        elif kind == "cache_hit":
+            if not isinstance(ev.get("epoch"), int) or ev["epoch"] < 0:
+                return f"event {i} (cache_hit) needs non-negative 'epoch'"
+            cache_hit_events += 1
         elif kind == "fallback_scan":
             if not isinstance(ev.get("n"), int) or ev["n"] < 0:
                 return f"event {i} (fallback_scan) needs non-negative 'n'"
@@ -184,6 +202,31 @@ def validate_line(obj):
             f"{epoch_switches} epoch_switch events on a trace without the "
             f"versioned 'epoch_switches' field"
         )
+    if obj.get("cache_hit", False):
+        # A hit is answered from the cached region: the receiver never
+        # wakes, so zero index reads, zero doze, and the single cache_hit
+        # event is the whole story.
+        if cache_hit_events != 1:
+            return (
+                f"cache_hit line has {cache_hit_events} cache_hit events "
+                f"(expected exactly 1)"
+            )
+        if len(obj["events"]) != 1:
+            return (
+                f"cache_hit line has {len(obj['events'])} events "
+                f"(the cache_hit event must be the only one)"
+            )
+        if obj["tuning"] != 0:
+            return f"cache_hit line has nonzero tuning {obj['tuning']}"
+        if obj["latency"] != 0:
+            return f"cache_hit line has nonzero latency {obj['latency']}"
+        if doze != 0.0:
+            return f"cache_hit line has nonzero doze {doze}"
+    elif cache_hit_events > 0:
+        return (
+            f"{cache_hit_events} cache_hit events on a line without the "
+            f"'cache_hit' flag"
+        )
     # Values survive a %.10g round-trip, so allow ~1e-3 absolute slack.
     if not math.isclose(doze + reads, obj["latency"], rel_tol=1e-7, abs_tol=1e-3):
         return (
@@ -210,8 +253,11 @@ class CellStats:
         self.unattributed = 0
         self.unrecoverable = 0
         self.fallback = 0
+        self.cache_hits = 0
 
     def add(self, obj):
+        if obj.get("cache_hit", False):
+            self.cache_hits += 1
         self.latency.append(obj["latency"])
         self.tuning.append(obj["tuning"])
         self.retries[obj["retries"]] = self.retries.get(obj["retries"], 0) + 1
@@ -243,6 +289,7 @@ class CellStats:
             "max_tuning": tun[-1] if tun else 0.0,
             "unrecoverable": self.unrecoverable,
             "fallback": self.fallback,
+            "cache_hits": self.cache_hits,
             "retry_histogram": {str(k): v for k, v in sorted(self.retries.items())},
             "level_reads": {str(k): v for k, v in sorted(self.level_reads.items())},
             "unattributed_reads": self.unattributed,
@@ -334,6 +381,9 @@ def main(argv):
                 f"retries  {{{hist}}}  unrecoverable {s['unrecoverable']}"
                 f"  fallback {s['fallback']}"
             )
+        if s["cache_hits"]:
+            rate = s["cache_hits"] / s["queries"] if s["queries"] else 0.0
+            print(f"cache hits {s['cache_hits']} ({rate:.1%})")
         if s["level_reads"]:
             levels = "  ".join(f"L{k} {v}" for k, v in s["level_reads"].items())
             extra = (
